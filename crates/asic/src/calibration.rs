@@ -1,0 +1,172 @@
+//! Calibration constants of the structural cost model.
+//!
+//! The component inventory (which block exists in which configuration) is
+//! taken directly from the paper's §4/§5; the absolute sizes below are
+//! free parameters calibrated so the model reproduces the paper's
+//! *reported relative overheads*:
+//!
+//! | quantity | paper | where |
+//! |---|---|---|
+//! | CV32E40P (S) area | +21.9 % | §6.3 |
+//! | CV32E40P (CV32RT) area | +21.2 % | §6.3 |
+//! | CV32E40P (T) area | ≈ 0 (tool noise) | §6.3 |
+//! | CV32E40P (ST) area | +33 % | §6.3 |
+//! | CV32E40P (SLT) area | ≈ +31..33 % | §6.3/§7 |
+//! | CV32E40P (SPLIT) area | +44 % | §6.3 |
+//! | CVA6 (S) area | +3..5 %, (CV32RT) +2 %, (SPLIT) +14 % | §6.3 |
+//! | NaxRiscv (S) +15 %, (CV32RT) +19 %, SLT ≈ +13 %, SPLIT ≈ +15 % | §6.3 |
+//! | (T) list scaling | linear, +14 % at 64 slots | Fig. 12 |
+//! | f_max drops | CV32E40P −15 %, CVA6 −8 %, NaxRiscv ≈ 0 (SPLIT −4 %) | Fig. 11 |
+//!
+//! Everything is in µm² (22 nm-class standard-cell densities), MHz, mW.
+
+use rvsim_cores::CoreKind;
+
+/// Base core area in µm², excluding cache SRAM macros (the paper excludes
+/// those for NaxRiscv to keep the comparison fair).
+pub fn base_area_um2(kind: CoreKind) -> f64 {
+    match kind {
+        CoreKind::Cv32e40p => 25_000.0,
+        CoreKind::Cva6 => 137_000.0,
+        CoreKind::NaxRiscv => 77_000.0,
+    }
+}
+
+/// Base maximum frequency in MHz at the 22 nm node.
+pub fn base_fmax_mhz(kind: CoreKind) -> f64 {
+    match kind {
+        CoreKind::Cv32e40p => 1_250.0,
+        CoreKind::Cva6 => 1_700.0,
+        CoreKind::NaxRiscv => 1_050.0,
+    }
+}
+
+/// Component base areas (µm², CV32E40P reference implementation).
+pub mod blocks {
+    /// Alternate 29×32-bit register bank (§4.2).
+    pub const ALT_RF: f64 = 3_800.0;
+    /// Sparse MUX structure in front of RF1 (§4.2 (1)).
+    pub const SPARSE_MUX: f64 = 500.0;
+    /// Store FSM + address generation (§4.2).
+    pub const STORE_FSM: f64 = 250.0;
+    /// Restore FSM plus the `mret` stall path (§4.3).
+    pub const RESTORE_FSM: f64 = 1_900.0;
+    /// `SWITCH_RF` hazard handling, needed whenever storing is present
+    /// without hardware loading (§5).
+    pub const SWITCH_RF_HAZARD: f64 = 900.0;
+    /// Extra stall depth needed when `SWITCH_RF` meets hardware
+    /// scheduling — the paper observed real stalls only in (ST)/(SDT).
+    pub const SWITCH_RF_HAZARD_HEAVY: f64 = 1_500.0;
+    /// Dirty-bit tracking (§4.5) — within tool noise in the paper.
+    pub const DIRTY_BITS: f64 = 150.0;
+    /// Scheduler control FSM (§4.4).
+    pub const SCHED_CTRL: f64 = 200.0;
+    /// One ready+delay slot pair (entry registers + compare-swap share),
+    /// the slope of Fig. 12.
+    pub const LIST_SLOT_PAIR: f64 = 55.0;
+    /// 31-word preload buffer + lockstep swap network (§4.7).
+    pub const PRELOAD: f64 = 3_250.0;
+    /// CV32RT: 16-register snapshot bank + dedicated memory port.
+    pub const CV32RT: f64 = 5_300.0;
+    /// Hardware semaphore unit (§7-extension): 8 counters + wait slots.
+    pub const SEM_UNIT: f64 = 1_100.0;
+}
+
+/// Per-core integration multipliers (routing congestion, register
+/// renaming duplication, port replication — §5/§6.3).
+#[derive(Debug, Clone, Copy)]
+pub struct CoreFactors {
+    /// Register-file duplication and MUXing (NaxRiscv also duplicates the
+    /// renaming translation logic, §5.3).
+    pub rf: f64,
+    /// Context FSMs.
+    pub fsm: f64,
+    /// `SWITCH_RF` hazard logic (pipeline rescheduling replaces it on
+    /// NaxRiscv — expensive there, §5.3/§6.3).
+    pub hazard: f64,
+    /// Deep-stall logic for `SWITCH_RF` meeting hardware scheduling
+    /// ((ST)/(SDT)); on NaxRiscv the existing reschedule mechanism covers
+    /// it, so the addition is small there (§5.3).
+    pub hazard_heavy: f64,
+    /// Hardware scheduler.
+    pub sched: f64,
+    /// Preload buffer.
+    pub preload: f64,
+    /// CV32RT comparison design (NaxRiscv needs 16 extra read ports on
+    /// the renamed register file, §6.3).
+    pub cv32rt: f64,
+}
+
+/// The multipliers for each core.
+pub fn core_factors(kind: CoreKind) -> CoreFactors {
+    match kind {
+        CoreKind::Cv32e40p => CoreFactors {
+            rf: 1.0,
+            fsm: 1.0,
+            hazard: 1.0,
+            hazard_heavy: 1.0,
+            sched: 1.0,
+            preload: 1.0,
+            cv32rt: 1.0,
+        },
+        CoreKind::Cva6 => CoreFactors {
+            rf: 1.0,
+            fsm: 1.0,
+            hazard: 1.3,
+            hazard_heavy: 1.3,
+            sched: 1.3,
+            preload: 3.0,
+            cv32rt: 0.53,
+        },
+        CoreKind::NaxRiscv => CoreFactors {
+            rf: 1.74,
+            fsm: 1.2,
+            hazard: 4.2,
+            hazard_heavy: 0.3,
+            sched: 1.5,
+            preload: 0.2,
+            cv32rt: 3.0,
+        },
+    }
+}
+
+/// f_max penalty (fraction) for attaching a full RTOSUnit (Fig. 11).
+pub fn fmax_unit_penalty(kind: CoreKind) -> f64 {
+    match kind {
+        CoreKind::Cv32e40p => 0.15,
+        CoreKind::Cva6 => 0.08,
+        CoreKind::NaxRiscv => 0.0,
+    }
+}
+
+/// Extra f_max penalty of the preload datapath on NaxRiscv (Fig. 11).
+pub const FMAX_SPLIT_NAX_PENALTY: f64 = 0.04;
+
+/// Static power density: mW per µm² at nominal voltage (the 22 nm node's
+/// strong area↔power correlation, §6.3).
+pub const STATIC_MW_PER_UM2: f64 = 8.0e-5;
+
+/// Clock-tree and idle-toggle power of *added* unit logic, mW per µm² at
+/// the 500 MHz operating point (the duplicated register bank and the
+/// preload buffer are clocked even when the FSMs are idle).
+pub const CLOCK_MW_PER_UM2: f64 = 9.0e-5;
+
+/// Dynamic energy per retired instruction (mJ · 10⁻⁹ = pJ), per core.
+pub fn instr_energy_pj(kind: CoreKind) -> f64 {
+    match kind {
+        CoreKind::Cv32e40p => 1.6,
+        CoreKind::Cva6 => 6.5,
+        CoreKind::NaxRiscv => 11.0,
+    }
+}
+
+/// Dynamic energy per data-port access (pJ).
+pub const PORT_ENERGY_PJ: f64 = 1.2;
+/// Dynamic energy per RTOSUnit context word moved (pJ).
+pub const UNIT_WORD_ENERGY_PJ: f64 = 1.4;
+/// Dynamic energy per CV32RT dedicated-port word (pJ) — a second port is
+/// less efficient than stealing idle cycles on the existing one.
+pub const DEDICATED_WORD_ENERGY_PJ: f64 = 2.2;
+
+/// The power-analysis operating point (Fig. 13).
+pub const POWER_FREQ_MHZ: f64 = 500.0;

@@ -1,0 +1,70 @@
+//! Maximum-frequency model (paper Fig. 11).
+//!
+//! The unit's timing cost appears as negative setup slack on the register
+//! file read path (the sparse MUX) and, for preloading on the
+//! out-of-order core, on the lockstep swap network.
+
+use crate::calibration::{base_fmax_mhz, fmax_unit_penalty, FMAX_SPLIT_NAX_PENALTY};
+use rtosunit::Preset;
+use rvsim_cores::CoreKind;
+
+/// f_max estimate for one `(core, configuration)` pair.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FmaxReport {
+    /// Core model.
+    pub core: CoreKind,
+    /// Configuration.
+    pub preset: Preset,
+    /// Achievable maximum frequency (MHz).
+    pub fmax_mhz: f64,
+    /// Relative drop w.r.t. the unmodified core.
+    pub drop: f64,
+}
+
+/// Computes the f_max estimate.
+pub fn fmax_report(core: CoreKind, preset: Preset) -> FmaxReport {
+    let base = base_fmax_mhz(core);
+    let drop = match preset {
+        Preset::Vanilla => 0.0,
+        // CV32RT's snapshot uses a dedicated port off the critical path;
+        // the paper shows no meaningful drop for it on CV32E40P.
+        Preset::Cv32rt => match core {
+            CoreKind::Cva6 => fmax_unit_penalty(core),
+            _ => 0.0,
+        },
+        Preset::Split if core == CoreKind::NaxRiscv => FMAX_SPLIT_NAX_PENALTY,
+        _ => fmax_unit_penalty(core),
+    };
+    FmaxReport { core, preset, fmax_mhz: base * (1.0 - drop), drop }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn drops_match_fig11() {
+        // CV32E40P: ~15 % for all unit configurations, none for CV32RT.
+        let slt = fmax_report(CoreKind::Cv32e40p, Preset::Slt);
+        assert!((slt.drop - 0.15).abs() < 1e-9);
+        let rt = fmax_report(CoreKind::Cv32e40p, Preset::Cv32rt);
+        assert_eq!(rt.drop, 0.0);
+        // CVA6: ~8 % across configurations.
+        assert!((fmax_report(CoreKind::Cva6, Preset::S).drop - 0.08).abs() < 1e-9);
+        // NaxRiscv: stable except SPLIT (−4 %).
+        assert_eq!(fmax_report(CoreKind::NaxRiscv, Preset::Slt).drop, 0.0);
+        assert!((fmax_report(CoreKind::NaxRiscv, Preset::Split).drop - 0.04).abs() < 1e-9);
+    }
+
+    #[test]
+    fn frequencies_stay_practical() {
+        // §6.3: all configurations remain well above typical embedded
+        // operating frequencies (hundreds of MHz).
+        for core in CoreKind::ALL {
+            for preset in Preset::ASIC_SET {
+                let f = fmax_report(core, preset).fmax_mhz;
+                assert!(f > 500.0, "{core} {preset}: {f} MHz");
+            }
+        }
+    }
+}

@@ -1,0 +1,33 @@
+//! Structural ASIC cost model for the RTOSUnit (paper §6.3).
+//!
+//! The paper implements all configurations down to chip layout in a
+//! commercial 22 nm flow and reports area (Fig. 10), maximum frequency
+//! (Fig. 11), list-length area scaling (Fig. 12) and average power for
+//! the `mutex_workload` at 500 MHz (Fig. 13). Without a PDK and EDA
+//! tools, this crate substitutes a **component-level structural model**:
+//!
+//! * every configuration is decomposed into the hardware blocks the paper
+//!   describes (alternate register file + sparse MUX, store/restore FSMs,
+//!   `SWITCH_RF` hazard logic, scheduler list slots, preload buffer,
+//!   CV32RT snapshot bank + dedicated port),
+//! * each block has an area cost and per-core integration multipliers
+//!   ([`calibration`]) calibrated against the paper's reported relative
+//!   overheads,
+//! * static power follows area (the paper stresses the strong
+//!   area↔power correlation at 22 nm); dynamic power is driven by
+//!   *activity counters from actual simulation* of the mutex workload.
+//!
+//! The shape claims this reproduces: which configurations are near-free
+//! (T), which are moderate (S/SL/SLT), which are expensive (SPLIT,
+//! CV32RT-on-NaxRiscv), and the linear list-length scaling of Fig. 12.
+
+pub mod area;
+pub mod calibration;
+pub mod fmax;
+pub mod power;
+pub mod scaling;
+
+pub use area::{area_report, AreaReport};
+pub use fmax::{fmax_report, FmaxReport};
+pub use power::{power_report, PowerReport};
+pub use scaling::{scaling_sweep, ScalingPoint};

@@ -1,0 +1,67 @@
+//! List-length area scaling (paper Fig. 12).
+//!
+//! The paper synthesises CV32E40P with scheduling-only (T) hardware while
+//! sweeping the ready/delay list length, observing approximately linear
+//! growth that reaches +14 % at 64 slots.
+
+use crate::area::area_report_with_lists;
+use rtosunit::Preset;
+use rvsim_cores::CoreKind;
+
+/// One point of the Fig. 12 sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScalingPoint {
+    /// Slots in each hardware list (0 = unmodified core).
+    pub list_len: usize,
+    /// Absolute area (µm²).
+    pub total_um2: f64,
+    /// Overhead w.r.t. the unmodified core.
+    pub overhead: f64,
+}
+
+/// Sweeps the (T) configuration on CV32E40P across list lengths.
+pub fn scaling_sweep(lengths: &[usize]) -> Vec<ScalingPoint> {
+    lengths
+        .iter()
+        .map(|&n| {
+            if n == 0 {
+                let base = crate::calibration::base_area_um2(CoreKind::Cv32e40p);
+                return ScalingPoint { list_len: 0, total_um2: base, overhead: 0.0 };
+            }
+            let r = area_report_with_lists(CoreKind::Cv32e40p, Preset::T, n);
+            ScalingPoint { list_len: n, total_um2: r.total_um2(), overhead: r.overhead() }
+        })
+        .collect()
+}
+
+/// The lengths the figure uses.
+pub const FIG12_LENGTHS: [usize; 7] = [0, 2, 4, 8, 16, 32, 64];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn growth_is_linear_in_slots() {
+        let pts = scaling_sweep(&[8, 16, 32, 64]);
+        let slope1 = (pts[1].total_um2 - pts[0].total_um2) / 8.0;
+        let slope2 = (pts[3].total_um2 - pts[2].total_um2) / 32.0;
+        assert!((slope1 - slope2).abs() < 1e-6, "area must scale linearly");
+    }
+
+    #[test]
+    fn sixty_four_slots_cost_about_14_percent() {
+        let pts = scaling_sweep(&[64]);
+        assert!(
+            (0.12..=0.16).contains(&pts[0].overhead),
+            "64 slots: {:.3}",
+            pts[0].overhead
+        );
+    }
+
+    #[test]
+    fn zero_slots_is_the_unmodified_core() {
+        let pts = scaling_sweep(&[0]);
+        assert_eq!(pts[0].overhead, 0.0);
+    }
+}

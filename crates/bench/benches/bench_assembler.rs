@@ -1,0 +1,37 @@
+//! Assembler / kernel-generation throughput: building the full guest
+//! image for the heaviest configurations.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use freertos_lite::KernelBuilder;
+use rtosunit::Preset;
+use std::hint::black_box;
+
+fn build_image(preset: Preset) -> usize {
+    let mut k = KernelBuilder::new(preset);
+    k.semaphore("a", 0);
+    k.semaphore("b", 1);
+    for i in 0..5 {
+        k.task(&format!("t{i}"), (i % 7 + 1) as u8, move |t| {
+            t.compute(20);
+            t.sem_take("a");
+            t.sem_give("b");
+            t.delay(2);
+        });
+    }
+    k.build().expect("builds").text_words()
+}
+
+fn bench_build(c: &mut Criterion) {
+    let mut g = c.benchmark_group("kernel_build");
+    for preset in [Preset::Vanilla, Preset::Slt, Preset::Split] {
+        g.bench_with_input(
+            BenchmarkId::new("image", preset.label()),
+            &preset,
+            |b, &p| b.iter(|| black_box(build_image(p))),
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_build);
+criterion_main!(benches);

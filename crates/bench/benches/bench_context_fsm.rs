@@ -1,0 +1,43 @@
+//! Store/restore FSM micro-benchmark: simulated drain of a full context
+//! through the shared port under different processor loads (ablation for
+//! §4.2's idle-cycle stealing).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rtosunit::layout::DMEM_BASE;
+use rtosunit::{Platform, Preset, RtosUnit, RtosUnitConfig};
+use rvsim_cores::{ArchState, Coprocessor, CoreKind, DataBus};
+use rvsim_mem::AccessSize;
+use std::hint::black_box;
+
+/// Simulates one interrupt entry plus a full store drain while the core
+/// issues a data access every `core_every` cycles. Returns drained cycles.
+fn drain_cycles(core_every: u64) -> u64 {
+    let mut unit = RtosUnit::new(RtosUnitConfig::from_preset(Preset::S).expect("S"));
+    let mut state = ArchState::new(0);
+    let mut platform = Platform::new(CoreKind::Cv32e40p, 10_000);
+    unit.on_interrupt_entry(&mut state, rvsim_isa::csr::CAUSE_TIMER);
+    let mut cycles = 0;
+    while unit.store_busy() {
+        platform.begin_cycle();
+        cycles += 1;
+        if core_every > 0 && cycles % core_every == 0 {
+            platform.core_access(DMEM_BASE, AccessSize::Word, Some(0));
+        }
+        unit.step(&mut state, &mut platform);
+        assert!(cycles < 10_000);
+    }
+    cycles
+}
+
+fn bench_fsm(c: &mut Criterion) {
+    let mut g = c.benchmark_group("context_fsm");
+    for (label, every) in [("idle_port", 0u64), ("core_every_4", 4), ("core_every_2", 2)] {
+        g.bench_with_input(BenchmarkId::new("store_drain", label), &every, |b, &every| {
+            b.iter(|| black_box(drain_cycles(every)));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_fsm);
+criterion_main!(benches);

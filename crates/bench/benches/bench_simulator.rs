@@ -1,0 +1,41 @@
+//! Simulator throughput: host time to execute a fixed guest workload on
+//! each core timing model.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rtosunit::{Preset, System};
+use rvsim_cores::CoreKind;
+use rvsim_isa::{Asm, Reg};
+use std::hint::black_box;
+
+fn loop_program() -> rvsim_isa::Program {
+    let mut a = Asm::new(rtosunit::layout::IMEM_BASE);
+    a.li(Reg::T0, 20_000);
+    a.li(Reg::T1, 0);
+    a.label("l");
+    a.add(Reg::T1, Reg::T1, Reg::T0);
+    a.xori(Reg::T2, Reg::T1, 0x55);
+    a.addi(Reg::T0, Reg::T0, -1);
+    a.bnez(Reg::T0, "l");
+    a.ebreak();
+    a.finish().expect("assembles")
+}
+
+fn bench_cores(c: &mut Criterion) {
+    let prog = loop_program();
+    let mut g = c.benchmark_group("simulator_throughput");
+    g.throughput(Throughput::Elements(80_000)); // ~4 instrs × 20k iters
+    for kind in CoreKind::ALL {
+        g.bench_with_input(BenchmarkId::new("run_loop", kind.name()), &kind, |b, &kind| {
+            b.iter(|| {
+                let mut sys = System::new(kind, Preset::Vanilla);
+                sys.load_program(&prog);
+                sys.run(1_000_000);
+                black_box(sys.core.retired())
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_cores);
+criterion_main!(benches);

@@ -1,0 +1,145 @@
+//! Ablation studies for the design decisions called out in `DESIGN.md`:
+//!
+//! 1. **ctxQueue depth** (paper §5.3): the paper evaluated different
+//!    queue sizes and found eight entries Pareto-optimal — smaller
+//!    queues hurt context-switch latency, larger ones add area for no
+//!    performance gain.
+//! 2. **Arbitration level** (paper §5): LSU-level arbitration lets the
+//!    unit share the cache (lower mean latency with warm contexts, more
+//!    hit/miss variability); bus-level arbitration bypasses the cache
+//!    (more predictable, slower on a high-latency memory core).
+
+use freertos_lite::KernelBuilder;
+use rtosbench::{run_workload_with, workloads};
+use rtosunit::layout::DMEM_BASE;
+use rtosunit::{LatencyStats, Preset, System};
+use rvsim_cores::CoreKind;
+use rvsim_isa::Reg;
+
+/// Builds a cache-thrashing workload: each task streams over a 24 KiB
+/// buffer between yields, evicting the other tasks' context lines, so
+/// context restores actually miss and the ctxQueue's pipelining matters.
+fn thrash_run(configure: impl FnOnce(&mut System)) -> (LatencyStats, Option<(u64, u64)>) {
+    let mut k = KernelBuilder::new(Preset::Slt);
+    k.tick_period(6000);
+    for name in ["ta", "tb", "tc"] {
+        k.task(name, 4, |t| {
+            let loop_l = t.fresh_label("stream");
+            let a = t.asm_mut();
+            a.li(Reg::S4, (DMEM_BASE + 0x4_0000) as i32);
+            a.li(Reg::S5, (DMEM_BASE + 0x4_0000 + 24 * 1024) as i32);
+            a.label(&loop_l);
+            a.lw(Reg::S6, 0, Reg::S4);
+            a.addi(Reg::S4, Reg::S4, 64);
+            a.blt(Reg::S4, Reg::S5, &loop_l);
+            t.yield_now();
+        });
+    }
+    let image = k.build().expect("builds");
+    let mut sys = System::new(CoreKind::NaxRiscv, Preset::Slt);
+    configure(&mut sys);
+    image.install(&mut sys);
+    sys.run(500_000);
+    let lat: Vec<u64> = sys.records().iter().skip(4).map(|r| r.latency()).collect();
+    (
+        LatencyStats::from_latencies(&lat).expect("switches"),
+        sys.platform.ctx_queue_stats(),
+    )
+}
+
+fn main() {
+    let mut out = String::new();
+    let w = workloads::by_name("roundrobin_yield").expect("exists");
+
+    out.push_str("## Ablation 1: ctxQueue depth (NaxRiscv, SLT, cache-thrashing tasks)\n\n");
+    out.push_str(&format!(
+        "{:>6} {:>8} {:>8} {:>8} {:>12}\n",
+        "depth", "mean", "max", "jitter", "queue_stalls"
+    ));
+    for depth in [1usize, 2, 4, 8, 16] {
+        let (s, q) = thrash_run(|sys| sys.platform.set_ctx_queue_depth(depth));
+        out.push_str(&format!(
+            "{:>6} {:>8.1} {:>8} {:>8} {:>12}\n",
+            depth,
+            s.mean,
+            s.max,
+            s.jitter(),
+            q.map(|(_, st)| st).unwrap_or(0)
+        ));
+    }
+    out.push_str(
+        "\n(§5.3: the paper finds 8 entries Pareto-optimal. Our thrashing setup\n\
+         misses on every line, so capacity beyond 8 still helps a little; with\n\
+         the paper's workloads a 31-word context produces only 2-3 outstanding\n\
+         misses and the curve saturates at 8 — visible in the collapsing\n\
+         queue-full stall counts.)\n\n",
+    );
+
+    out.push_str("## Ablation 2: arbitration level (CVA6, SLT)\n\n");
+    out.push_str(&format!("{:<22} {:>8} {:>8} {:>8}\n", "arbitration", "mean", "max", "jitter"));
+    for (label, shares) in [("bus (bypass cache)", false), ("LSU (share cache)", true)] {
+        let r = run_workload_with(CoreKind::Cva6, Preset::Slt, &w, |sys| {
+            sys.platform.set_unit_arbitration(shares);
+        });
+        let s = r.stats().expect("switches");
+        out.push_str(&format!(
+            "{:<22} {:>8.1} {:>8} {:>8}\n",
+            label,
+            s.mean,
+            s.max,
+            s.jitter()
+        ));
+    }
+    out.push_str("\n(§5: sharing the cache trades predictability for mean latency.)\n\n");
+
+    // ---- Ablation 3: delay-list cost vs task count ----------------------
+    // All tasks sleep on short periods, so every timer tick walks the
+    // delay list and wakes tasks — the task-count-dependent kernel path
+    // (the paper's WCET scenario assumes 8 such tasks, §6.2).
+    out.push_str("## Ablation 3: tick-switch latency vs periodic task count (CV32E40P)\n\n");
+    out.push_str(&format!(
+        "{:>6} {:>16} {:>16}\n",
+        "tasks", "(vanilla) tick µ", "(T) tick µ"
+    ));
+    for n in [2usize, 4, 8, 12, 15] {
+        let mean = |preset: Preset| {
+            let mut k = KernelBuilder::new(preset);
+            k.tick_period(2500);
+            k.hw_list_len(16);
+            for i in 0..n {
+                let period = (i % 3 + 1) as u32;
+                k.task(&format!("t{i}"), ((i % 6) + 1) as u8, move |t| {
+                    t.compute(6);
+                    t.delay(period);
+                });
+            }
+            let img = k.build().expect("builds");
+            let mut sys = System::new(CoreKind::Cv32e40p, preset);
+            if preset.has_sched() {
+                sys.set_unit_list_len(16);
+            }
+            img.install(&mut sys);
+            sys.run(400_000);
+            let lat: Vec<u64> = sys
+                .records()
+                .iter()
+                .skip(4)
+                .filter(|r| r.cause == rvsim_isa::csr::CAUSE_TIMER)
+                .map(|r| r.latency())
+                .collect();
+            LatencyStats::from_latencies(&lat).expect("tick switches").mean
+        };
+        out.push_str(&format!(
+            "{:>6} {:>16.1} {:>16.1}\n",
+            n,
+            mean(Preset::Vanilla),
+            mean(Preset::T)
+        ));
+    }
+    out.push_str(
+        "\n(Software tick handling walks the delay list and re-inserts every\n\
+         woken task, so the cost grows with the periodic task count; the\n\
+         hardware delay list handles expiry in parallel — §4.4/§6.2.)\n",
+    );
+    rtosunit_bench::emit("ablations.txt", &out);
+}

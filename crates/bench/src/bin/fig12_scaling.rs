@@ -1,0 +1,24 @@
+//! Regenerates Figure 12: ASIC area of the scheduling-only (T)
+//! configuration on CV32E40P as the hardware list length grows.
+
+use asic_model::scaling::FIG12_LENGTHS;
+use asic_model::scaling_sweep;
+
+fn main() {
+    let mut out = String::new();
+    out.push_str("## CV32E40P (T): area vs scheduler list length\n\n");
+    out.push_str(&format!("{:>6} {:>12} {:>10}\n", "slots", "total_um2", "overhead"));
+    for p in scaling_sweep(&FIG12_LENGTHS) {
+        out.push_str(&format!(
+            "{:>6} {:>12.0} {:>9.1}%\n",
+            p.list_len,
+            p.total_um2,
+            p.overhead * 100.0
+        ));
+    }
+    out.push_str(&rtosunit_bench::paper_note(&[
+        "area increases approximately linearly with list length",
+        "reaching ~14% overhead at 64 slots; small sizes within tool noise",
+    ]));
+    rtosunit_bench::emit("fig12_scaling.txt", &out);
+}

@@ -1,0 +1,32 @@
+//! Shared helpers for the figure-regeneration binaries.
+//!
+//! Each binary regenerates one table/figure of the paper; see the
+//! per-experiment index in `DESIGN.md` and the recorded results in
+//! `EXPERIMENTS.md`.
+
+use rtosunit::Preset;
+
+/// Writes `content` to `results/<name>` (best effort) and echoes it to
+/// stdout, so figure data survives the run.
+pub fn emit(name: &str, content: &str) {
+    println!("{content}");
+    let dir = std::path::Path::new("results");
+    if std::fs::create_dir_all(dir).is_ok() {
+        let _ = std::fs::write(dir.join(name), content);
+    }
+}
+
+/// The paper's qualitative expectations for a figure, printed alongside
+/// measured data so a reader can judge the reproduction at a glance.
+pub fn paper_note(lines: &[&str]) -> String {
+    let mut s = String::from("\n# Paper expectations (shape targets):\n");
+    for l in lines {
+        s.push_str(&format!("#   {l}\n"));
+    }
+    s
+}
+
+/// Presets of the latency evaluation in Fig. 9 order.
+pub fn latency_presets() -> Vec<Preset> {
+    Preset::LATENCY_SET.to_vec()
+}

@@ -1,0 +1,117 @@
+//! The simulated platform's memory map and context-region layout.
+//!
+//! These constants are shared between the RTOSUnit hardware model, the
+//! `freertos-lite` guest kernel and the WCET analyser, so they live here
+//! in the contribution crate.
+
+use rvsim_isa::Reg;
+
+/// Base of instruction memory (reset PC).
+pub const IMEM_BASE: u32 = 0x0000_0000;
+/// Size of instruction memory in bytes.
+pub const IMEM_SIZE: u32 = 0x0004_0000;
+
+/// Base of data memory.
+pub const DMEM_BASE: u32 = 0x2000_0000;
+/// Size of data memory in bytes.
+pub const DMEM_SIZE: u32 = 0x0008_0000;
+
+/// Base of the fixed context region inside DMEM (paper §4.2 (3)). Each
+/// task owns one 32-word chunk indexed by its task id, so the store
+/// address is `CTX_REGION_BASE + (id << CTX_SHIFT)`.
+pub const CTX_REGION_BASE: u32 = DMEM_BASE + 0x0007_0000;
+/// log2 of the per-task chunk size in bytes (32 words).
+pub const CTX_SHIFT: u32 = 7;
+/// Maximum number of task ids the context region can hold.
+pub const CTX_MAX_TASKS: u32 = 64;
+
+/// Number of words in a saved context: 29 GPRs + `mstatus` + `mepc`
+/// (paper §3).
+pub const CTX_WORDS: usize = 31;
+/// Context-word index holding `mstatus`.
+pub const CTX_MSTATUS_IDX: usize = 29;
+/// Context-word index holding `mepc`.
+pub const CTX_MEPC_IDX: usize = 30;
+
+/// MMIO base (CLINT-like block plus simulation devices).
+pub const MMIO_BASE: u32 = 0x4000_0000;
+/// Machine time counter, low 32 bits (read-only).
+pub const MMIO_MTIME: u32 = MMIO_BASE;
+/// Timer compare register.
+pub const MMIO_MTIMECMP: u32 = MMIO_BASE + 0x4;
+/// Software-interrupt pending bit (write 1 to raise, 0 to clear).
+pub const MMIO_MSIP: u32 = MMIO_BASE + 0x8;
+/// External-interrupt acknowledge (any write clears the line).
+pub const MMIO_EXT_ACK: u32 = MMIO_BASE + 0xC;
+/// Debug console (stores are collected by the platform).
+pub const MMIO_CONSOLE: u32 = MMIO_BASE + 0x10;
+/// Halt the simulation (any write).
+pub const MMIO_HALT: u32 = MMIO_BASE + 0x14;
+/// Trace marker used by the benchmarks to delimit iterations.
+pub const MMIO_TRACE: u32 = MMIO_BASE + 0x18;
+/// One past the last MMIO byte.
+pub const MMIO_END: u32 = MMIO_BASE + 0x100;
+
+/// Byte address of context word `word` of task `id`.
+///
+/// ```
+/// use rtosunit::layout::{ctx_word_addr, CTX_REGION_BASE};
+/// assert_eq!(ctx_word_addr(0, 0), CTX_REGION_BASE);
+/// assert_eq!(ctx_word_addr(1, 0), CTX_REGION_BASE + 128);
+/// assert_eq!(ctx_word_addr(1, 30), CTX_REGION_BASE + 128 + 120);
+/// ```
+pub fn ctx_word_addr(id: u32, word: usize) -> u32 {
+    debug_assert!(id < CTX_MAX_TASKS);
+    debug_assert!(word < 32);
+    CTX_REGION_BASE + (id << CTX_SHIFT) + (word as u32) * 4
+}
+
+/// The register saved at context word `word` (`word < 29`), in the fixed
+/// order used by both the FSMs and the software save/restore paths.
+pub fn ctx_reg(word: usize) -> Reg {
+    Reg::CONTEXT_REGS[word]
+}
+
+/// The context-word index of register `r`.
+///
+/// # Panics
+///
+/// Panics if `r` is not part of a context (`zero`, `gp`, `tp`).
+pub fn ctx_index_of(r: Reg) -> usize {
+    Reg::CONTEXT_REGS
+        .iter()
+        .position(|&c| c == r)
+        .unwrap_or_else(|| panic!("{r} is not part of a task context"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn context_region_fits_in_dmem() {
+        let end = ctx_word_addr(CTX_MAX_TASKS - 1, 31) + 4;
+        assert!(end <= DMEM_BASE + DMEM_SIZE);
+    }
+
+    #[test]
+    fn chunk_addressing_is_shift_based() {
+        // §4.2 (3): address generation is just a shift plus the base.
+        for id in 0..CTX_MAX_TASKS {
+            assert_eq!(ctx_word_addr(id, 0), CTX_REGION_BASE + id * 128);
+        }
+    }
+
+    #[test]
+    fn reg_index_roundtrip() {
+        for w in 0..29 {
+            assert_eq!(ctx_index_of(ctx_reg(w)), w);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not part of a task context")]
+    fn gp_has_no_slot() {
+        ctx_index_of(Reg::Gp);
+    }
+}

@@ -1,0 +1,425 @@
+//! The simulated platform: data memory, optional cache, MMIO devices and
+//! the shared-port arbitration.
+//!
+//! Implements [`DataBus`] for the core engine and routes RTOSUnit
+//! accesses:
+//!
+//! * on **CV32E40P** there is no cache: unit accesses use idle cycles of
+//!   the single tightly coupled SRAM port (§5.1);
+//! * on **CVA6** the unit arbitrates at the **bus level**, bypassing the
+//!   write-through cache; core misses/write-throughs occupy the bus and
+//!   block the unit (§5.2);
+//! * on **NaxRiscv** the unit sits **inside the LSU** (ctxQueue, §5.3) and
+//!   shares the write-back cache — its accesses see hit/miss latency but
+//!   also warm the cache for the core.
+
+use crate::ctxqueue::CtxQueue;
+use crate::layout::*;
+use rvsim_cores::engine::{BusResponse, DataBus};
+use rvsim_cores::CoreKind;
+use rvsim_isa::csr;
+use rvsim_mem::{AccessSize, Arbiter, Cache, Mem};
+
+/// Memory-mapped devices: CLINT-like timer/software-interrupt block plus
+/// simulation conveniences (console, halt, trace markers).
+#[derive(Debug, Clone)]
+pub struct Mmio {
+    /// Machine time, incremented every cycle.
+    pub mtime: u32,
+    /// Timer compare value; MTIP is raised when `mtime - mtimecmp`
+    /// (modular) is non-negative.
+    pub mtimecmp: u32,
+    /// Software-interrupt pending line.
+    pub msip: bool,
+    /// External-interrupt pending line.
+    pub ext_pending: bool,
+    /// When set, the platform re-arms `mtimecmp += period` on timer-ISR
+    /// entry — the auto-reset timer modification of (T), §4.4.
+    pub auto_timer_reset: bool,
+    /// Tick period in cycles.
+    pub timer_period: u32,
+    /// Set when the guest writes the HALT register.
+    pub halted: bool,
+    /// `(cycle, value)` pairs from TRACE writes.
+    pub trace_marks: Vec<(u64, u32)>,
+    /// Values written to the console register.
+    pub console: Vec<u32>,
+}
+
+impl Mmio {
+    fn new(timer_period: u32) -> Mmio {
+        Mmio {
+            mtime: 0,
+            mtimecmp: timer_period,
+            msip: false,
+            ext_pending: false,
+            auto_timer_reset: false,
+            timer_period,
+            halted: false,
+            trace_marks: Vec::new(),
+            console: Vec::new(),
+        }
+    }
+
+    fn timer_pending(&self) -> bool {
+        // Modular comparison tolerates mtime wrap-around.
+        self.mtime.wrapping_sub(self.mtimecmp) as i32 >= 0
+    }
+
+    /// The `mip` bit mask implied by the current device state.
+    pub fn pending_mask(&self) -> u32 {
+        let mut mask = 0;
+        if self.timer_pending() {
+            mask |= csr::MIP_MTIP;
+        }
+        if self.msip {
+            mask |= csr::MIP_MSIP;
+        }
+        if self.ext_pending {
+            mask |= csr::MIP_MEIP;
+        }
+        mask
+    }
+
+    fn read(&self, addr: u32) -> u32 {
+        match addr & !0x3 {
+            MMIO_MTIME => self.mtime,
+            MMIO_MTIMECMP => self.mtimecmp,
+            MMIO_MSIP => u32::from(self.msip),
+            _ => 0,
+        }
+    }
+
+    fn write(&mut self, addr: u32, value: u32, cycle: u64) {
+        match addr & !0x3 {
+            MMIO_MTIMECMP => self.mtimecmp = value,
+            MMIO_MSIP => self.msip = value & 1 != 0,
+            MMIO_EXT_ACK => self.ext_pending = false,
+            MMIO_CONSOLE => self.console.push(value),
+            MMIO_HALT => self.halted = true,
+            MMIO_TRACE => self.trace_marks.push((cycle, value)),
+            _ => {}
+        }
+    }
+}
+
+/// The data-side platform for one simulated system. See the
+/// [module docs](self).
+#[derive(Debug)]
+pub struct Platform {
+    /// Data memory (also backs cached accesses — the cache model is
+    /// timing-only).
+    pub dmem: Mem,
+    dcache: Option<Cache>,
+    unit_shares_cache: bool,
+    /// ctxQueue (paper §5.3): present when the unit arbitrates inside the
+    /// LSU and shares the cache.
+    ctx_queue: Option<CtxQueue>,
+    arb: Arbiter,
+    /// Cycles the downstream bus stays busy from a core access.
+    bus_busy: u32,
+    core_used_this_cycle: bool,
+    cycle: u64,
+    /// MMIO devices.
+    pub mmio: Mmio,
+}
+
+impl Platform {
+    /// Creates the platform for `kind` with the default memory map and
+    /// tick period.
+    pub fn new(kind: CoreKind, timer_period: u32) -> Platform {
+        Platform {
+            dmem: Mem::new(DMEM_BASE, DMEM_SIZE),
+            dcache: kind.dcache().map(Cache::new),
+            unit_shares_cache: kind.unit_shares_cache(),
+            ctx_queue: kind.unit_shares_cache().then(|| CtxQueue::new(8)),
+            arb: Arbiter::new(),
+            bus_busy: 0,
+            core_used_this_cycle: false,
+            cycle: 0,
+            mmio: Mmio::new(timer_period),
+        }
+    }
+
+    /// Overrides the ctxQueue depth (ablation for §5.3's Pareto claim).
+    /// Only meaningful when the unit shares the cache.
+    pub fn set_ctx_queue_depth(&mut self, depth: usize) {
+        if self.unit_shares_cache {
+            self.ctx_queue = Some(CtxQueue::new(depth));
+        }
+    }
+
+    /// Overrides the arbitration level (§5's integration decision):
+    /// `true` = inside the LSU, sharing the cache through a ctxQueue;
+    /// `false` = at the bus, bypassing the cache.
+    pub fn set_unit_arbitration(&mut self, shares_cache: bool) {
+        self.unit_shares_cache = shares_cache;
+        self.ctx_queue = shares_cache.then(|| CtxQueue::new(8));
+    }
+
+    /// `(issued, full-stall)` counters of the ctxQueue, if present.
+    pub fn ctx_queue_stats(&self) -> Option<(u64, u64)> {
+        self.ctx_queue.as_ref().map(|q| q.stats())
+    }
+
+    /// Starts a new cycle: advances time and decays busy counters. Must be
+    /// called once per cycle before the core steps.
+    pub fn begin_cycle(&mut self) {
+        self.arb.end_cycle();
+        self.cycle += 1;
+        self.mmio.mtime = self.mmio.mtime.wrapping_add(1);
+        self.bus_busy = self.bus_busy.saturating_sub(1);
+        self.core_used_this_cycle = false;
+    }
+
+    /// Current platform cycle.
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Raises the external interrupt line (cleared by a guest write to
+    /// `MMIO_EXT_ACK`).
+    pub fn raise_external_irq(&mut self) {
+        self.mmio.ext_pending = true;
+    }
+
+    /// Re-arms the timer after an auto-reset entry (called by the system
+    /// when (T) is enabled and a timer interrupt is taken, §4.4).
+    pub fn auto_reset_timer(&mut self) {
+        self.mmio.mtimecmp = self.mmio.mtimecmp.wrapping_add(self.mmio.timer_period);
+    }
+
+    /// The data cache, if the core has one.
+    pub fn dcache(&self) -> Option<&Cache> {
+        self.dcache.as_ref()
+    }
+
+    /// Port occupancy `(total, core, unit)` counters.
+    pub fn port_occupancy(&self) -> (u64, u64, u64) {
+        self.arb.occupancy()
+    }
+
+    fn is_mmio(addr: u32) -> bool {
+        (MMIO_BASE..MMIO_END).contains(&addr)
+    }
+}
+
+impl DataBus for Platform {
+    fn core_access(&mut self, addr: u32, size: AccessSize, write: Option<u32>) -> BusResponse {
+        self.core_used_this_cycle = true;
+        self.arb.core_request();
+
+        if Self::is_mmio(addr) {
+            return match write {
+                Some(v) => {
+                    self.mmio.write(addr, v, self.cycle);
+                    BusResponse { data: 0, extra_latency: 0 }
+                }
+                None => BusResponse { data: self.mmio.read(addr), extra_latency: 1 },
+            };
+        }
+
+        let data = match write {
+            Some(v) => {
+                self.dmem.write(addr, size, v);
+                0
+            }
+            None => self.dmem.read(addr, size),
+        };
+
+        match self.dcache.as_mut() {
+            Some(cache) => {
+                let out = cache.access(addr, write.is_some());
+                self.bus_busy = self.bus_busy.max(out.bus_cycles);
+                let extra = if write.is_some() {
+                    out.latency.saturating_sub(1)
+                } else {
+                    out.latency
+                };
+                BusResponse { data, extra_latency: extra }
+            }
+            None => {
+                // Tightly coupled single-cycle SRAM (§6.1).
+                let extra = if write.is_some() { 0 } else { 1 };
+                BusResponse { data, extra_latency: extra }
+            }
+        }
+    }
+
+    fn unit_access(&mut self, addr: u32, write: Option<u32>) -> Option<u32> {
+        // The processor always has priority (§4.2 (2)); the bus must also
+        // be free of refill/write-through traffic.
+        if self.core_used_this_cycle || self.bus_busy > 0 {
+            return None;
+        }
+        if self.unit_shares_cache {
+            // LSU-level arbitration: the access goes through the cache and
+            // a ctxQueue entry (§5.3). A full queue stalls the FSM.
+            let latency = match self.dcache.as_mut() {
+                Some(cache) => cache.access(addr, write.is_some()).latency,
+                None => 1,
+            };
+            let now = self.cycle;
+            if let Some(q) = self.ctx_queue.as_mut() {
+                if !q.try_issue(now, latency) {
+                    return None;
+                }
+            }
+        }
+        if !self.arb.unit_try_acquire() {
+            return None;
+        }
+        let data = match write {
+            Some(v) => {
+                self.dmem.write_word(addr, v);
+                0
+            }
+            None => self.dmem.read_word(addr),
+        };
+        Some(data)
+    }
+
+    fn dedicated_access(&mut self, addr: u32, write: Option<u32>) -> u32 {
+        // CV32RT's second memory port: no arbitration, bypasses the cache.
+        match write {
+            Some(v) => {
+                self.dmem.write_word(addr, v);
+                0
+            }
+            None => self.dmem.read_word(addr),
+        }
+    }
+
+    fn invalidate_line(&mut self, addr: u32) {
+        if let Some(cache) = self.dcache.as_mut() {
+            cache.invalidate_line(addr);
+        }
+    }
+
+    fn unit_pending(&self) -> u32 {
+        match &self.ctx_queue {
+            Some(q) => {
+                let mut q = q.clone();
+                q.pending(self.cycle) as u32
+            }
+            None => 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mmio_timer_fires_and_rearm_clears() {
+        let mut p = Platform::new(CoreKind::Cv32e40p, 100);
+        for _ in 0..99 {
+            p.begin_cycle();
+        }
+        assert_eq!(p.mmio.pending_mask(), 0);
+        p.begin_cycle();
+        assert_eq!(p.mmio.pending_mask(), csr::MIP_MTIP);
+        // Guest re-arms the comparator.
+        p.core_access(MMIO_MTIMECMP, AccessSize::Word, Some(p.mmio.mtime + 100));
+        assert_eq!(p.mmio.pending_mask(), 0);
+    }
+
+    #[test]
+    fn msip_and_ext_lines() {
+        let mut p = Platform::new(CoreKind::Cv32e40p, 1000);
+        p.core_access(MMIO_MSIP, AccessSize::Word, Some(1));
+        assert_eq!(p.mmio.pending_mask() & csr::MIP_MSIP, csr::MIP_MSIP);
+        p.core_access(MMIO_MSIP, AccessSize::Word, Some(0));
+        assert_eq!(p.mmio.pending_mask(), 0);
+        p.raise_external_irq();
+        assert_eq!(p.mmio.pending_mask(), csr::MIP_MEIP);
+        p.core_access(MMIO_EXT_ACK, AccessSize::Word, Some(1));
+        assert_eq!(p.mmio.pending_mask(), 0);
+    }
+
+    #[test]
+    fn unit_blocked_while_core_uses_port() {
+        let mut p = Platform::new(CoreKind::Cv32e40p, 1000);
+        p.begin_cycle();
+        p.core_access(DMEM_BASE, AccessSize::Word, Some(5));
+        assert_eq!(p.unit_access(DMEM_BASE + 4, Some(7)), None);
+        p.begin_cycle();
+        assert_eq!(p.unit_access(DMEM_BASE + 4, Some(7)), Some(0));
+        assert_eq!(p.dmem.read_word(DMEM_BASE + 4), 7);
+    }
+
+    #[test]
+    fn cache_miss_refill_blocks_the_bus_for_the_unit() {
+        let mut p = Platform::new(CoreKind::Cva6, 1000);
+        p.begin_cycle();
+        let resp = p.core_access(DMEM_BASE, AccessSize::Word, None);
+        assert!(resp.extra_latency > 1, "first access must miss");
+        // Refill traffic occupies the bus for the following cycles.
+        p.begin_cycle();
+        assert_eq!(p.unit_access(DMEM_BASE + 64, None), None);
+        // After the refill drains, the unit gets through.
+        for _ in 0..8 {
+            p.begin_cycle();
+        }
+        assert!(p.unit_access(DMEM_BASE + 64, None).is_some());
+    }
+
+    #[test]
+    fn ctx_queue_pipelines_misses_until_full() {
+        let mut p = Platform::new(CoreKind::NaxRiscv, 1000);
+        // Eight accesses to distinct lines (all misses) pipeline into the
+        // queue back-to-back...
+        for i in 0..8 {
+            p.begin_cycle();
+            assert!(
+                p.unit_access(DMEM_BASE + i * 64, None).is_some(),
+                "miss {i} must pipeline"
+            );
+        }
+        // ...the ninth stalls on the full queue.
+        p.begin_cycle();
+        assert_eq!(p.unit_access(DMEM_BASE + 8 * 64, None), None, "queue full");
+        assert!(p.unit_pending() > 0);
+        // After the oldest miss drains, issuing resumes.
+        for _ in 0..25 {
+            p.begin_cycle();
+        }
+        assert!(p.unit_access(DMEM_BASE + 8 * 64, None).is_some());
+    }
+
+    #[test]
+    fn arbitration_override_switches_models() {
+        let mut p = Platform::new(CoreKind::NaxRiscv, 1000);
+        p.set_unit_arbitration(false); // bus level: no queue, bypass cache
+        assert!(p.ctx_queue_stats().is_none());
+        p.begin_cycle();
+        assert!(p.unit_access(DMEM_BASE, None).is_some());
+        assert_eq!(p.unit_pending(), 0);
+    }
+
+    #[test]
+    fn halt_trace_console_devices() {
+        let mut p = Platform::new(CoreKind::Cv32e40p, 1000);
+        p.begin_cycle();
+        p.core_access(MMIO_CONSOLE, AccessSize::Word, Some(42));
+        p.core_access(MMIO_TRACE, AccessSize::Word, Some(7));
+        assert!(!p.mmio.halted);
+        p.core_access(MMIO_HALT, AccessSize::Word, Some(1));
+        assert!(p.mmio.halted);
+        assert_eq!(p.mmio.console, vec![42]);
+        assert_eq!(p.mmio.trace_marks, vec![(1, 7)]);
+    }
+
+    #[test]
+    fn auto_reset_rearm_advances_by_period() {
+        let mut p = Platform::new(CoreKind::Cv32e40p, 50);
+        for _ in 0..50 {
+            p.begin_cycle();
+        }
+        assert!(p.mmio.pending_mask() & csr::MIP_MTIP != 0);
+        p.auto_reset_timer();
+        assert_eq!(p.mmio.pending_mask() & csr::MIP_MTIP, 0);
+        assert_eq!(p.mmio.mtimecmp, 100);
+    }
+}

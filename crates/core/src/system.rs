@@ -1,0 +1,384 @@
+//! System composition: core + RTOSUnit + memory + interrupt sources, plus
+//! the latency instrumentation of §6.1.
+
+use crate::config::{Preset, RtosUnitConfig};
+use crate::cv32rt::Cv32rtUnit;
+use crate::layout::{IMEM_BASE, IMEM_SIZE};
+use crate::platform::Platform;
+use crate::stats::{LatencyStats, SwitchRecord};
+use crate::unit::{RtosUnit, UnitStats};
+use rvsim_cores::{make_engine, CoreEngine, CoreEvent, CoreKind, Coprocessor, NullCoprocessor};
+use rvsim_isa::{csr, Program};
+
+/// Default timer-tick period in cycles.
+pub const DEFAULT_TICK_PERIOD: u32 = 2000;
+
+/// Why [`System::run`] returned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunExit {
+    /// The guest halted (HALT MMIO write or `ebreak`).
+    Halted,
+    /// The cycle budget was exhausted first.
+    CyclesExhausted,
+}
+
+// The Rtos variant dominates runtime use; boxing would only add
+// indirection to the hot per-cycle dispatch.
+#[allow(clippy::large_enum_variant)]
+enum UnitBox {
+    None(NullCoprocessor),
+    Rtos(RtosUnit),
+    Cv32rt(Cv32rtUnit),
+}
+
+impl UnitBox {
+    fn as_coproc(&mut self) -> &mut dyn Coprocessor {
+        match self {
+            UnitBox::None(u) => u,
+            UnitBox::Rtos(u) => u,
+            UnitBox::Cv32rt(u) => u,
+        }
+    }
+}
+
+/// A complete simulated system for one `(core, configuration)` pair.
+///
+/// ```
+/// use rtosunit::{System, Preset};
+/// use rvsim_cores::CoreKind;
+/// use rvsim_isa::{Asm, Reg};
+///
+/// # fn main() -> Result<(), rvsim_isa::AsmError> {
+/// let mut a = Asm::new(rtosunit::layout::IMEM_BASE);
+/// a.li(Reg::A0, 7);
+/// a.ebreak();
+/// let mut sys = System::new(CoreKind::Cv32e40p, Preset::Vanilla);
+/// sys.load_program(&a.finish()?);
+/// sys.run(1_000);
+/// assert_eq!(sys.core.state.read_reg(Reg::A0), 7);
+/// # Ok(())
+/// # }
+/// ```
+pub struct System {
+    /// The core engine.
+    pub core: CoreEngine,
+    /// Memory, caches, MMIO and arbitration.
+    pub platform: Platform,
+    unit: UnitBox,
+    kind: CoreKind,
+    preset: Preset,
+    records: Vec<SwitchRecord>,
+    prev_mask: u32,
+    pending_triggers: [Option<u64>; 3],
+    open_episode: Option<(u64, u64, u32)>,
+    ext_schedule: Vec<u64>,
+}
+
+fn cause_slot(cause: u32) -> usize {
+    match cause {
+        csr::CAUSE_TIMER => 0,
+        csr::CAUSE_SOFTWARE => 1,
+        csr::CAUSE_EXTERNAL => 2,
+        _ => panic!("unknown interrupt cause {cause:#x}"),
+    }
+}
+
+impl System {
+    /// Builds a system for `kind` running the given `preset`, with the
+    /// default memory map and tick period.
+    pub fn new(kind: CoreKind, preset: Preset) -> System {
+        let mut platform = Platform::new(kind, DEFAULT_TICK_PERIOD);
+        let unit = match preset {
+            Preset::Vanilla => UnitBox::None(NullCoprocessor),
+            Preset::Cv32rt => UnitBox::Cv32rt(Cv32rtUnit::new(kind)),
+            p => UnitBox::Rtos(RtosUnit::new(
+                RtosUnitConfig::from_preset(p).expect("preset with unit config"),
+            )),
+        };
+        // The auto-reset timer is part of the (T) modification (§4.4).
+        platform.mmio.auto_timer_reset = preset.has_sched();
+        System {
+            core: make_engine(kind, IMEM_BASE, IMEM_SIZE),
+            platform,
+            unit,
+            kind,
+            preset,
+            records: Vec::new(),
+            prev_mask: 0,
+            pending_triggers: [None; 3],
+            open_episode: None,
+            ext_schedule: Vec::new(),
+        }
+    }
+
+    /// The core kind this system was built for.
+    pub fn kind(&self) -> CoreKind {
+        self.kind
+    }
+
+    /// The configuration preset in use.
+    pub fn preset(&self) -> Preset {
+        self.preset
+    }
+
+    /// Loads a guest program into instruction memory.
+    pub fn load_program(&mut self, program: &Program) {
+        self.core.load_program(program);
+    }
+
+    /// Rebuilds the attached RTOSUnit with a different hardware list
+    /// capacity (only before the guest boots; used by the task-count
+    /// scaling studies).
+    ///
+    /// # Panics
+    ///
+    /// Panics if this system has no RTOSUnit or the length is invalid.
+    pub fn set_unit_list_len(&mut self, list_len: usize) {
+        match &mut self.unit {
+            UnitBox::Rtos(u) => {
+                let mut cfg = *u.config();
+                cfg.list_len = list_len;
+                *u = RtosUnit::new(cfg);
+            }
+            _ => panic!("system has no RTOSUnit to resize"),
+        }
+    }
+
+    /// Overrides the timer-tick period (cycles).
+    pub fn set_timer_period(&mut self, period: u32) {
+        self.platform.mmio.timer_period = period;
+        self.platform.mmio.mtimecmp = self.platform.mmio.mtime.wrapping_add(period);
+    }
+
+    /// Schedules the external interrupt line to rise at an absolute cycle.
+    pub fn schedule_external_irq(&mut self, cycle: u64) {
+        self.ext_schedule.push(cycle);
+        self.ext_schedule.sort_unstable_by(|a, b| b.cmp(a)); // pop from the back
+    }
+
+    /// The RTOSUnit attached to this system, if any.
+    pub fn rtos_unit(&self) -> Option<&RtosUnit> {
+        match &self.unit {
+            UnitBox::Rtos(u) => Some(u),
+            _ => None,
+        }
+    }
+
+    /// Activity counters of the RTOSUnit, if one is attached.
+    pub fn unit_stats(&self) -> Option<UnitStats> {
+        self.rtos_unit().map(|u| u.stats)
+    }
+
+    /// The CV32RT comparison unit, if attached.
+    pub fn cv32rt_unit(&self) -> Option<&Cv32rtUnit> {
+        match &self.unit {
+            UnitBox::Cv32rt(u) => Some(u),
+            _ => None,
+        }
+    }
+
+    /// All completed switch episodes so far.
+    pub fn records(&self) -> &[SwitchRecord] {
+        &self.records
+    }
+
+    /// Removes and returns the recorded episodes.
+    pub fn take_records(&mut self) -> Vec<SwitchRecord> {
+        std::mem::take(&mut self.records)
+    }
+
+    /// Aggregate latency statistics over all recorded episodes.
+    pub fn latency_stats(&self) -> Option<LatencyStats> {
+        LatencyStats::from_records(&self.records)
+    }
+
+    /// Whether the guest has halted.
+    pub fn halted(&self) -> bool {
+        self.core.halted() || self.platform.mmio.halted
+    }
+
+    /// Advances the system by one cycle.
+    pub fn step(&mut self) {
+        self.platform.begin_cycle();
+        let now = self.platform.cycle();
+
+        while self
+            .ext_schedule
+            .last()
+            .is_some_and(|&c| c <= now)
+        {
+            self.ext_schedule.pop();
+            self.platform.raise_external_irq();
+        }
+
+        // Refresh mip and record rising edges as trigger timestamps.
+        let mask = self.platform.mmio.pending_mask();
+        let rising = mask & !self.prev_mask;
+        for (bit, cause) in [
+            (csr::MIP_MTIP, csr::CAUSE_TIMER),
+            (csr::MIP_MSIP, csr::CAUSE_SOFTWARE),
+            (csr::MIP_MEIP, csr::CAUSE_EXTERNAL),
+        ] {
+            if rising & bit != 0 {
+                self.pending_triggers[cause_slot(cause)] = Some(now);
+            }
+        }
+        self.prev_mask = mask;
+        self.core.state.csrs.mip = mask;
+
+        let out = self.core.step(&mut self.platform, self.unit.as_coproc());
+        match out.event {
+            Some(CoreEvent::InterruptEntered { cause }) => {
+                let trigger = self.pending_triggers[cause_slot(cause)]
+                    .take()
+                    .unwrap_or(now);
+                self.open_episode = Some((trigger, now, cause));
+                if cause == csr::CAUSE_TIMER && self.platform.mmio.auto_timer_reset {
+                    self.platform.auto_reset_timer();
+                }
+            }
+            Some(CoreEvent::MretRetired) => {
+                if let Some((trigger, entry, cause)) = self.open_episode.take() {
+                    self.records.push(SwitchRecord {
+                        trigger_cycle: trigger,
+                        entry_cycle: entry,
+                        mret_cycle: now,
+                        cause,
+                    });
+                }
+            }
+            _ => {}
+        }
+
+        self.unit
+            .as_coproc()
+            .step(&mut self.core.state, &mut self.platform);
+    }
+
+    /// Runs until the guest halts or `max_cycles` elapse.
+    pub fn run(&mut self, max_cycles: u64) -> RunExit {
+        for _ in 0..max_cycles {
+            if self.halted() {
+                return RunExit::Halted;
+            }
+            self.step();
+        }
+        if self.halted() {
+            RunExit::Halted
+        } else {
+            RunExit::CyclesExhausted
+        }
+    }
+}
+
+impl std::fmt::Debug for System {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("System")
+            .field("kind", &self.kind)
+            .field("preset", &self.preset.label())
+            .field("cycle", &self.platform.cycle())
+            .field("records", &self.records.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layout::{MMIO_HALT, MMIO_MTIMECMP, MMIO_TRACE};
+    use rvsim_isa::{Asm, Reg};
+
+    fn simple_isr_program() -> Program {
+        // Boot: install ISR, enable timer irq, loop. ISR: re-arm timer,
+        // count in a0, mret; after 3 ISRs, halt.
+        let mut a = Asm::new(IMEM_BASE);
+        a.la(Reg::T0, "isr");
+        a.csrw(csr::MTVEC, Reg::T0);
+        a.li(Reg::T0, csr::MIP_MTIP as i32);
+        a.csrw(csr::MIE, Reg::T0);
+        a.enable_interrupts();
+        a.label("spin");
+        a.li(Reg::T1, 3);
+        a.bge(Reg::A0, Reg::T1, "done");
+        a.j("spin");
+        a.label("done");
+        a.li(Reg::T2, MMIO_HALT as i32);
+        a.sw(Reg::Zero, 0, Reg::T2);
+        a.j("done");
+        a.label("isr");
+        // Re-arm mtimecmp = mtime + 1000.
+        a.li(Reg::T0, crate::layout::MMIO_MTIME as i32);
+        a.lw(Reg::T1, 0, Reg::T0);
+        a.addi(Reg::T1, Reg::T1, 1000);
+        a.li(Reg::T0, MMIO_MTIMECMP as i32);
+        a.sw(Reg::T1, 0, Reg::T0);
+        a.addi(Reg::A0, Reg::A0, 1);
+        a.mret();
+        a.finish().expect("assemble")
+    }
+
+    #[test]
+    fn timer_interrupts_are_recorded() {
+        let mut sys = System::new(CoreKind::Cv32e40p, Preset::Vanilla);
+        sys.set_timer_period(500);
+        sys.load_program(&simple_isr_program());
+        assert_eq!(sys.run(50_000), RunExit::Halted);
+        assert_eq!(sys.records().len(), 3);
+        for r in sys.records() {
+            assert_eq!(r.cause, csr::CAUSE_TIMER);
+            assert!(r.latency() > 0 && r.latency() < 200, "latency {}", r.latency());
+        }
+        // A deterministic core and identical episodes: zero jitter.
+        let stats = sys.latency_stats().expect("records");
+        assert_eq!(stats.count, 3);
+    }
+
+    #[test]
+    fn trace_marks_capture_cycles() {
+        let mut a = Asm::new(IMEM_BASE);
+        a.li(Reg::T0, MMIO_TRACE as i32);
+        a.li(Reg::T1, 11);
+        a.sw(Reg::T1, 0, Reg::T0);
+        a.ebreak();
+        let mut sys = System::new(CoreKind::Cv32e40p, Preset::Vanilla);
+        sys.load_program(&a.finish().expect("assemble"));
+        sys.run(1000);
+        assert_eq!(sys.platform.mmio.trace_marks.len(), 1);
+        assert_eq!(sys.platform.mmio.trace_marks[0].1, 11);
+    }
+
+    #[test]
+    fn external_irq_schedule_fires() {
+        let mut a = Asm::new(IMEM_BASE);
+        a.la(Reg::T0, "isr");
+        a.csrw(csr::MTVEC, Reg::T0);
+        a.li(Reg::T0, csr::MIP_MEIP as i32);
+        a.csrw(csr::MIE, Reg::T0);
+        a.enable_interrupts();
+        a.label("spin");
+        a.j("spin");
+        a.label("isr");
+        a.li(Reg::T0, MMIO_HALT as i32);
+        a.sw(Reg::Zero, 0, Reg::T0);
+        a.mret();
+        let mut sys = System::new(CoreKind::Cv32e40p, Preset::Vanilla);
+        sys.load_program(&a.finish().expect("assemble"));
+        sys.schedule_external_irq(300);
+        assert_eq!(sys.run(5000), RunExit::Halted);
+        // The trigger cycle must match the scheduled assertion.
+        assert!(sys.platform.cycle() >= 300);
+    }
+
+    #[test]
+    fn preset_selects_unit_kind() {
+        let v = System::new(CoreKind::Cv32e40p, Preset::Vanilla);
+        assert!(v.rtos_unit().is_none() && v.cv32rt_unit().is_none());
+        let r = System::new(CoreKind::Cv32e40p, Preset::Slt);
+        assert!(r.rtos_unit().is_some());
+        let c = System::new(CoreKind::Cva6, Preset::Cv32rt);
+        assert!(c.cv32rt_unit().is_some());
+        // Auto-reset timer only with hardware scheduling.
+        assert!(r.platform.mmio.auto_timer_reset);
+        assert!(!v.platform.mmio.auto_timer_reset);
+    }
+}

@@ -1,0 +1,171 @@
+//! Property tests: the hardware scheduler against an executable
+//! reference model of FreeRTOS's scheduling rules (Fig. 2 / Fig. 5).
+
+use proptest::prelude::*;
+use rtosunit::HwScheduler;
+
+/// Straightforward reference model: explicit priority buckets.
+#[derive(Debug, Default, Clone)]
+struct RefSched {
+    /// FIFO per priority; index 0 popped first.
+    ready: Vec<Vec<u8>>, // indexed by priority 0..=255 (sparse via sort)
+    delay: Vec<(u8, u8, u32)>, // (id, prio, remaining)
+}
+
+impl RefSched {
+    fn new() -> RefSched {
+        RefSched { ready: vec![Vec::new(); 256], delay: Vec::new() }
+    }
+
+    fn add_ready(&mut self, id: u8, prio: u8) {
+        self.ready[prio as usize].push(id);
+    }
+
+    fn add_delay(&mut self, id: u8, prio: u8, ticks: u32) {
+        self.delay.push((id, prio, ticks.max(1)));
+    }
+
+    fn rm_task(&mut self, id: u8) {
+        for q in &mut self.ready {
+            q.retain(|&t| t != id);
+        }
+        self.delay.retain(|&(t, _, _)| t != id);
+    }
+
+    fn pop_rotate(&mut self) -> Option<u8> {
+        let q = self.ready.iter_mut().rev().find(|q| !q.is_empty())?;
+        let head = q.remove(0);
+        q.push(head);
+        Some(head)
+    }
+
+    fn tick(&mut self) -> Vec<u8> {
+        let mut woken = Vec::new();
+        let mut i = 0;
+        while i < self.delay.len() {
+            self.delay[i].2 -= 1;
+            if self.delay[i].2 == 0 {
+                let (id, prio, _) = self.delay.remove(i);
+                self.ready[prio as usize].push(id);
+                woken.push(id);
+            } else {
+                i += 1;
+            }
+        }
+        woken
+    }
+
+    fn counts(&self) -> (usize, usize) {
+        (self.ready.iter().map(Vec::len).sum(), self.delay.len())
+    }
+}
+
+#[derive(Debug, Clone)]
+enum SchedOp {
+    AddReady(u8, u8),
+    AddDelay(u8, u8, u32),
+    RmTask(u8),
+    PopRotate,
+    Tick,
+}
+
+fn arb_op() -> impl Strategy<Value = SchedOp> {
+    prop_oneof![
+        (0u8..32, 0u8..8).prop_map(|(id, p)| SchedOp::AddReady(id, p)),
+        (0u8..32, 0u8..8, 1u32..6).prop_map(|(id, p, t)| SchedOp::AddDelay(id, p, t)),
+        (0u8..32).prop_map(SchedOp::RmTask),
+        Just(SchedOp::PopRotate),
+        Just(SchedOp::Tick),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn hw_scheduler_matches_reference(ops in proptest::collection::vec(arb_op(), 1..60)) {
+        let mut hw = HwScheduler::new(31);
+        let mut reference = RefSched::new();
+        // Unique-id discipline as in the kernel: a task id is in at most
+        // one list at a time. Track membership to skip invalid inserts.
+        let mut present = [false; 32];
+        for op in ops {
+            match op {
+                SchedOp::AddReady(id, prio) => {
+                    if !present[id as usize] {
+                        prop_assert!(hw.add_ready(id, prio));
+                        reference.add_ready(id, prio);
+                        present[id as usize] = true;
+                    }
+                }
+                SchedOp::AddDelay(id, prio, t) => {
+                    if !present[id as usize] {
+                        prop_assert!(hw.add_delay(id, prio, t));
+                        reference.add_delay(id, prio, t);
+                        present[id as usize] = true;
+                    }
+                }
+                SchedOp::RmTask(id) => {
+                    hw.rm_task(id);
+                    reference.rm_task(id);
+                    present[id as usize] = false;
+                }
+                SchedOp::PopRotate => {
+                    prop_assert_eq!(hw.pop_rotate(), reference.pop_rotate());
+                }
+                SchedOp::Tick => {
+                    let mut got = hw.tick();
+                    let mut want = reference.tick();
+                    got.sort_unstable();
+                    want.sort_unstable();
+                    prop_assert_eq!(got, want, "tick woke different tasks");
+                }
+            }
+            let (r, d) = reference.counts();
+            prop_assert_eq!(hw.ready_len(), r);
+            prop_assert_eq!(hw.delay_len(), d);
+            // Head must always agree after every operation.
+            let hw_head = hw.head().map(|(id, _)| id);
+            let ref_head = {
+                let mut clone = reference.clone();
+                clone.pop_rotate()
+            };
+            prop_assert_eq!(hw_head, ref_head, "heads diverged");
+        }
+    }
+
+    #[test]
+    fn ready_snapshot_is_always_sorted_and_stable(
+        adds in proptest::collection::vec((0u8..31, 0u8..8), 1..31)
+    ) {
+        let mut hw = HwScheduler::new(31);
+        let mut inserted = std::collections::HashSet::new();
+        for (id, prio) in adds {
+            if inserted.insert(id) {
+                hw.add_ready(id, prio);
+            }
+        }
+        let snap = hw.ready_snapshot();
+        for w in snap.windows(2) {
+            prop_assert!(
+                w[0].prio > w[1].prio || (w[0].prio == w[1].prio && w[0].seq < w[1].seq),
+                "order violated: {:?}",
+                snap
+            );
+        }
+    }
+
+    #[test]
+    fn sort_busy_is_bounded_by_list_length(
+        adds in proptest::collection::vec((0u8..31, 0u8..8), 1..31)
+    ) {
+        let mut hw = HwScheduler::new(31);
+        let mut seen = std::collections::HashSet::new();
+        for (id, prio) in adds {
+            if seen.insert(id) {
+                hw.add_ready(id, prio);
+                prop_assert!(hw.sort_busy() as usize <= hw.ready_len().max(hw.delay_len()));
+            }
+        }
+    }
+}

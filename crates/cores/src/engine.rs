@@ -1,0 +1,637 @@
+//! The cycle-stepped core engine.
+//!
+//! One [`CoreEngine::step`] call advances the core by exactly one cycle.
+//! Instructions are executed functionally at issue and then occupy the
+//! pipeline for their modelled latency; interrupts are taken at
+//! instruction boundaries; `mret` and `SWITCH_RF` honour coprocessor
+//! stalls (paper §4.2/§4.3). The engine owns the instruction memory
+//! (separate fetch port — the data port belongs to the [`DataBus`]).
+
+use crate::coproc::Coprocessor;
+use crate::exec::{execute, MemRequest};
+use crate::state::ArchState;
+use crate::timing::TimingParams;
+use rvsim_isa::{decode, disassemble, Instr, Program};
+use rvsim_mem::{AccessSize, Mem};
+use std::collections::VecDeque;
+
+/// Response of the data bus to a core access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BusResponse {
+    /// Loaded data (zero for stores).
+    pub data: u32,
+    /// Extra cycles beyond the instruction's base latency.
+    pub extra_latency: u32,
+}
+
+/// The core-facing memory interface, implemented by the platform
+/// (`rtosunit::Platform`). It owns RAM, caches, MMIO and the shared-port
+/// arbitration of paper §4.2.
+pub trait DataBus {
+    /// Performs a core access (`write = Some(value)` for stores) with core
+    /// priority, returning data and extra latency.
+    fn core_access(&mut self, addr: u32, size: AccessSize, write: Option<u32>) -> BusResponse;
+
+    /// Attempts a word-sized RTOSUnit access using an idle port cycle.
+    /// Returns `None` when the port is not available this cycle, otherwise
+    /// the loaded data (zero for stores).
+    fn unit_access(&mut self, addr: u32, write: Option<u32>) -> Option<u32>;
+
+    /// Word access over a *dedicated* second memory port (used by the
+    /// CV32RT comparison design; always granted, bypasses any cache).
+    ///
+    /// # Panics
+    ///
+    /// The default implementation panics: buses without a dedicated port
+    /// must not receive such accesses.
+    fn dedicated_access(&mut self, addr: u32, write: Option<u32>) -> u32 {
+        let _ = write;
+        panic!("this data bus has no dedicated port (access to {addr:#010x})")
+    }
+
+    /// Invalidates the cache line containing `addr`, if a cache exists
+    /// (needed after dedicated-port writes bypass it). Default: no-op.
+    fn invalidate_line(&mut self, addr: u32) {
+        let _ = addr;
+    }
+
+    /// Number of unit accesses still in flight in the LSU's ctxQueue
+    /// (paper §5.3). Zero on buses without such a queue; the RTOSUnit
+    /// holds `SWITCH_RF`/`mret` until issued work has drained.
+    fn unit_pending(&self) -> u32 {
+        0
+    }
+}
+
+/// Externally visible per-cycle events.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CoreEvent {
+    /// An interrupt was taken; the core is entering the ISR.
+    InterruptEntered {
+        /// The `mcause` value.
+        cause: u32,
+    },
+    /// `mret` finished executing (the paper's latency end-point).
+    MretRetired,
+    /// The guest executed `ebreak`/`ecall` — simulation stops.
+    Halted,
+}
+
+/// Result of one [`CoreEngine::step`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StepOutput {
+    /// Event raised this cycle, if any.
+    pub event: Option<CoreEvent>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Completing {
+    Plain,
+    Mret,
+}
+
+/// A cycle-stepped RV32IM_Zicsr core. Construct via
+/// [`make_engine`](crate::models::make_engine) or [`CoreEngine::new`].
+pub struct CoreEngine {
+    /// Timing parameters of the modelled microarchitecture.
+    pub params: TimingParams,
+    /// Architectural state (register banks, CSRs, PC).
+    pub state: ArchState,
+    imem: Mem,
+    decoded: Vec<Option<Instr>>,
+    busy: u32,
+    completing: Completing,
+    wfi_wait: bool,
+    halted: bool,
+    cycle: u64,
+    retired: u64,
+    predictor: Vec<u8>,
+    trace: VecDeque<(u64, u32)>,
+    trace_depth: usize,
+}
+
+impl std::fmt::Debug for CoreEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CoreEngine")
+            .field("core", &self.params.name)
+            .field("cycle", &self.cycle)
+            .field("pc", &format_args!("{:#010x}", self.state.pc))
+            .field("retired", &self.retired)
+            .field("halted", &self.halted)
+            .finish()
+    }
+}
+
+impl CoreEngine {
+    /// Creates an engine with an instruction memory at `imem_base` of
+    /// `imem_size` bytes. The PC starts at `imem_base`.
+    pub fn new(params: TimingParams, imem_base: u32, imem_size: u32) -> CoreEngine {
+        CoreEngine {
+            params,
+            state: ArchState::new(imem_base),
+            imem: Mem::new(imem_base, imem_size),
+            decoded: vec![None; imem_size.div_ceil(4) as usize],
+            busy: 0,
+            completing: Completing::Plain,
+            wfi_wait: false,
+            halted: false,
+            cycle: 0,
+            retired: 0,
+            predictor: vec![1; 256],
+            trace: VecDeque::new(),
+            trace_depth: 64,
+        }
+    }
+
+    /// Loads an assembled program into instruction memory and resets the
+    /// PC to its entry point (`program.base`).
+    pub fn load_program(&mut self, program: &Program) {
+        self.imem.load_words(program.base, &program.words);
+        for w in &mut self.decoded {
+            *w = None;
+        }
+        self.state.pc = program.base;
+    }
+
+    /// Current cycle count.
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Number of retired instructions.
+    pub fn retired(&self) -> u64 {
+        self.retired
+    }
+
+    /// Whether the guest halted (`ebreak`/`ecall`).
+    pub fn halted(&self) -> bool {
+        self.halted
+    }
+
+    /// Whether the core is parked in `wfi`.
+    pub fn waiting_for_interrupt(&self) -> bool {
+        self.wfi_wait
+    }
+
+    /// The last retired `(cycle, pc)` pairs, oldest first (debug aid).
+    pub fn recent_pcs(&self) -> impl Iterator<Item = (u64, u32)> + '_ {
+        self.trace.iter().copied()
+    }
+
+    fn fetch(&mut self, pc: u32) -> Instr {
+        let idx = ((pc - self.imem.base()) / 4) as usize;
+        if let Some(Some(i)) = self.decoded.get(idx) {
+            return *i;
+        }
+        let word = self.imem.read_word(pc);
+        let instr = decode(word).unwrap_or_else(|e| {
+            let mut dump = String::new();
+            for (cyc, tpc) in &self.trace {
+                dump.push_str(&format!("  cycle {cyc}: pc {tpc:#010x}\n"));
+            }
+            panic!("{e} at pc {pc:#010x}; recent instructions:\n{dump}")
+        });
+        self.decoded[idx] = Some(instr);
+        instr
+    }
+
+    fn peek(&mut self, pc: u32) -> Option<Instr> {
+        if !self.imem.contains(pc) {
+            return None;
+        }
+        let idx = ((pc - self.imem.base()) / 4) as usize;
+        if let Some(Some(i)) = self.decoded.get(idx) {
+            return Some(*i);
+        }
+        decode(self.imem.read_word(pc)).ok().inspect(|i| {
+            self.decoded[idx] = Some(*i);
+        })
+    }
+
+    fn is_simple(instr: &Instr) -> bool {
+        matches!(
+            instr,
+            Instr::OpImm { .. } | Instr::Op { .. } | Instr::Lui { .. } | Instr::Auipc { .. }
+        )
+    }
+
+    fn predict_taken(&mut self, pc: u32, actual: bool) -> bool {
+        let idx = ((pc >> 2) as usize) % self.predictor.len();
+        let counter = &mut self.predictor[idx];
+        let predicted = *counter >= 2;
+        if actual {
+            *counter = (*counter + 1).min(3);
+        } else {
+            *counter = counter.saturating_sub(1);
+        }
+        predicted
+    }
+
+    fn control_latency(&mut self, instr: &Instr, taken: bool, pc: u32) -> u32 {
+        let p = self.params;
+        match instr {
+            Instr::Branch { .. } => {
+                if p.has_predictor {
+                    let predicted = self.predict_taken(pc, taken);
+                    if predicted == taken {
+                        1
+                    } else {
+                        1 + p.branch_penalty
+                    }
+                } else if taken {
+                    1 + p.branch_penalty
+                } else {
+                    1
+                }
+            }
+            Instr::Jal { .. } => 1 + p.jump_penalty,
+            Instr::Jalr { .. } => 1 + p.jalr_penalty,
+            _ => 1,
+        }
+    }
+
+    /// Advances the core by one cycle.
+    ///
+    /// The platform must have refreshed `state.csrs.mip` before calling
+    /// this, and should step the coprocessor *after* it (the RTOSUnit uses
+    /// the data-port cycles the core left idle).
+    pub fn step(&mut self, bus: &mut dyn DataBus, coproc: &mut dyn Coprocessor) -> StepOutput {
+        self.cycle += 1;
+        self.state.csrs.mcycle = self.cycle as u32;
+        let mut out = StepOutput::default();
+        if self.halted {
+            return out;
+        }
+
+        // Drain an in-flight multi-cycle instruction.
+        if self.busy > 0 {
+            self.busy -= 1;
+            if self.busy == 0 && self.completing == Completing::Mret {
+                self.completing = Completing::Plain;
+                coproc.on_mret(&mut self.state);
+                out.event = Some(CoreEvent::MretRetired);
+            }
+            return out;
+        }
+
+        // Wake from wfi as soon as an interrupt is pending (even if
+        // globally masked, per the RISC-V spec).
+        if self.wfi_wait {
+            if self.state.csrs.mip & self.state.csrs.mie != 0 {
+                self.wfi_wait = false;
+            } else {
+                return out;
+            }
+        }
+
+        // Take a pending interrupt at the instruction boundary.
+        if self.state.csrs.mie_enabled() {
+            if let Some(cause) = self.state.csrs.pending_interrupt() {
+                let target = self.state.csrs.enter_trap(self.state.pc, cause);
+                self.state.pc = target;
+                coproc.on_interrupt_entry(&mut self.state, cause);
+                self.busy = self.params.irq_entry_latency.saturating_sub(1);
+                out.event = Some(CoreEvent::InterruptEntered { cause });
+                return out;
+            }
+        }
+
+        // Issue one instruction (two when the superscalar model pairs
+        // independent simple ALU operations).
+        let mut paired = false;
+        loop {
+            let pc = self.state.pc;
+            let instr = self.fetch(pc);
+
+            // Coprocessor stalls gate issue.
+            if let Instr::Custom { op, .. } = instr {
+                if coproc.custom_stall(op) {
+                    return out;
+                }
+            }
+            if matches!(instr, Instr::Mret) && coproc.mret_stall() {
+                return out;
+            }
+
+            let outcome = execute(&mut self.state, &instr, pc);
+            self.state.pc = outcome.next_pc;
+            self.retired += 1;
+            if self.trace.len() == self.trace_depth {
+                self.trace.pop_front();
+            }
+            self.trace.push_back((self.cycle, pc));
+
+            let p = self.params;
+            let mut latency = match instr {
+                Instr::MulDiv { op, .. } => match op {
+                    rvsim_isa::MulDivOp::Mul
+                    | rvsim_isa::MulDivOp::Mulh
+                    | rvsim_isa::MulDivOp::Mulhsu
+                    | rvsim_isa::MulDivOp::Mulhu => p.mul_latency,
+                    _ => p.div_latency,
+                },
+                Instr::Csr { .. } => p.csr_latency,
+                Instr::Custom { .. } => p.custom_latency,
+                Instr::Load { .. } => p.load_base_latency,
+                Instr::Store { .. } => p.store_latency,
+                Instr::Mret => p.mret_latency,
+                _ => self.control_latency(&instr, outcome.taken_branch, pc),
+            };
+
+            match outcome.mem {
+                Some(MemRequest::Load { addr, size, signed, rd }) => {
+                    let resp = bus.core_access(addr, size, None);
+                    let value = match (size, signed) {
+                        (AccessSize::Byte, true) => resp.data as u8 as i8 as i32 as u32,
+                        (AccessSize::Byte, false) => resp.data & 0xff,
+                        (AccessSize::Half, true) => resp.data as u16 as i16 as i32 as u32,
+                        (AccessSize::Half, false) => resp.data & 0xffff,
+                        (AccessSize::Word, _) => resp.data,
+                    };
+                    self.state.write_reg(rd, value);
+                    latency += resp.extra_latency;
+                }
+                Some(MemRequest::Store { addr, size, value }) => {
+                    let resp = bus.core_access(addr, size, Some(value));
+                    latency += resp.extra_latency;
+                }
+                None => {}
+            }
+
+            if let Some((op, a, b, rd)) = outcome.custom {
+                let result = coproc.exec_custom(op, a, b, &mut self.state);
+                if op.writes_rd() {
+                    self.state.write_reg(rd, result);
+                }
+            }
+
+            if outcome.halt {
+                self.halted = true;
+                out.event = Some(CoreEvent::Halted);
+                return out;
+            }
+            if outcome.is_wfi {
+                self.wfi_wait = true;
+                return out;
+            }
+            if outcome.is_mret {
+                self.busy = latency.saturating_sub(1);
+                if self.busy == 0 {
+                    coproc.on_mret(&mut self.state);
+                    out.event = Some(CoreEvent::MretRetired);
+                } else {
+                    self.completing = Completing::Mret;
+                }
+                return out;
+            }
+
+            // Superscalar pairing: one extra independent simple ALU
+            // instruction may retire in the same cycle.
+            if p.dual_issue && !paired && latency == 1 && Self::is_simple(&instr) {
+                if let Some(next) = self.peek(self.state.pc) {
+                    let raw_hazard = instr
+                        .rd()
+                        .is_some_and(|rd| next.sources().iter().flatten().any(|s| *s == rd));
+                    if Self::is_simple(&next) && !raw_hazard {
+                        paired = true;
+                        continue;
+                    }
+                }
+            }
+
+            self.busy = latency.saturating_sub(1);
+            return out;
+        }
+    }
+
+    /// Runs until the guest halts or `max_cycles` elapse, collecting
+    /// events through `on_event`. Returns the number of cycles executed.
+    pub fn run_with(
+        &mut self,
+        bus: &mut dyn DataBus,
+        coproc: &mut dyn Coprocessor,
+        max_cycles: u64,
+        mut on_event: impl FnMut(u64, CoreEvent),
+    ) -> u64 {
+        let start = self.cycle;
+        while !self.halted && self.cycle - start < max_cycles {
+            let out = self.step(bus, coproc);
+            if let Some(ev) = out.event {
+                on_event(self.cycle, ev);
+            }
+        }
+        self.cycle - start
+    }
+
+    /// Disassembles the instruction at `pc` (debug aid).
+    pub fn disassemble_at(&mut self, pc: u32) -> Option<String> {
+        self.peek(pc).map(|i| disassemble(&i, pc))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coproc::NullCoprocessor;
+    use rvsim_isa::{Asm, Reg};
+
+    /// A trivial single-cycle SRAM bus for engine unit tests.
+    struct SramBus {
+        mem: Mem,
+    }
+
+    impl DataBus for SramBus {
+        fn core_access(&mut self, addr: u32, size: AccessSize, write: Option<u32>) -> BusResponse {
+            match write {
+                Some(v) => {
+                    self.mem.write(addr, size, v);
+                    BusResponse { data: 0, extra_latency: 0 }
+                }
+                None => BusResponse { data: self.mem.read(addr, size), extra_latency: 1 },
+            }
+        }
+
+        fn unit_access(&mut self, _addr: u32, _write: Option<u32>) -> Option<u32> {
+            None
+        }
+    }
+
+    fn run_to_halt(asm: Asm) -> (CoreEngine, SramBus) {
+        let prog = asm.finish().expect("assembly");
+        let mut engine = CoreEngine::new(TimingParams::cv32e40p(), 0x0, 0x1_0000);
+        engine.load_program(&prog);
+        let mut bus = SramBus { mem: Mem::new(0x2000_0000, 0x1_0000) };
+        let mut co = NullCoprocessor;
+        engine.run_with(&mut bus, &mut co, 1_000_000, |_, _| {});
+        assert!(engine.halted(), "program did not halt");
+        (engine, bus)
+    }
+
+    #[test]
+    fn computes_a_sum_loop() {
+        // sum 1..=10 into a0
+        let mut a = Asm::new(0);
+        a.li(Reg::A0, 0);
+        a.li(Reg::T0, 1);
+        a.li(Reg::T1, 11);
+        a.label("loop");
+        a.add(Reg::A0, Reg::A0, Reg::T0);
+        a.addi(Reg::T0, Reg::T0, 1);
+        a.bne(Reg::T0, Reg::T1, "loop");
+        a.ebreak();
+        let (engine, _) = run_to_halt(a);
+        assert_eq!(engine.state.read_reg(Reg::A0), 55);
+    }
+
+    #[test]
+    fn memory_roundtrip_through_bus() {
+        let mut a = Asm::new(0);
+        a.li(Reg::T0, 0x2000_0040u32 as i32);
+        a.li(Reg::T1, 0x1234);
+        a.sw(Reg::T1, 0, Reg::T0);
+        a.lw(Reg::A0, 0, Reg::T0);
+        a.lb(Reg::A1, 0, Reg::T0); // 0x34
+        a.ebreak();
+        let (engine, bus) = run_to_halt(a);
+        assert_eq!(engine.state.read_reg(Reg::A0), 0x1234);
+        assert_eq!(engine.state.read_reg(Reg::A1), 0x34);
+        assert_eq!(bus.mem.read_word(0x2000_0040), 0x1234);
+    }
+
+    #[test]
+    fn taken_branches_cost_more_on_cv32() {
+        // Loop with a taken branch each iteration vs straight-line adds.
+        let mut a = Asm::new(0);
+        a.li(Reg::T0, 100);
+        a.label("l");
+        a.addi(Reg::T0, Reg::T0, -1);
+        a.bnez(Reg::T0, "l");
+        a.ebreak();
+        let (engine, _) = run_to_halt(a);
+        // 100 iterations × (1 + (1+2)) plus setup/halt: ≈ 400.
+        let c = engine.cycle();
+        assert!((380..=430).contains(&c), "unexpected cycle count {c}");
+    }
+
+    #[test]
+    fn division_takes_div_latency() {
+        let mut a = Asm::new(0);
+        a.li(Reg::A0, 1000);
+        a.li(Reg::A1, 7);
+        a.div(Reg::A2, Reg::A0, Reg::A1);
+        a.ebreak();
+        let (engine, _) = run_to_halt(a);
+        assert_eq!(engine.state.read_reg(Reg::A2), 142);
+        assert!(engine.cycle() >= 34);
+    }
+
+    #[test]
+    fn dual_issue_pairs_independent_alu_ops() {
+        let mut prog = Asm::new(0);
+        for _ in 0..50 {
+            prog.addi(Reg::T0, Reg::T0, 1);
+            prog.addi(Reg::T1, Reg::T1, 1); // independent of t0
+        }
+        prog.ebreak();
+        let p = prog.finish().unwrap();
+
+        let run = |params: TimingParams| {
+            let mut e = CoreEngine::new(params, 0, 0x1_0000);
+            e.load_program(&p);
+            let mut bus = SramBus { mem: Mem::new(0x2000_0000, 0x100) };
+            let mut co = NullCoprocessor;
+            e.run_with(&mut bus, &mut co, 10_000, |_, _| {});
+            e.cycle()
+        };
+        let scalar = run(TimingParams::cv32e40p());
+        let superscalar = run(TimingParams::naxriscv());
+        assert!(
+            superscalar * 2 <= scalar + 10,
+            "dual issue not effective: {superscalar} vs {scalar}"
+        );
+    }
+
+    #[test]
+    fn dependent_ops_do_not_pair() {
+        let mut prog = Asm::new(0);
+        for _ in 0..100 {
+            prog.addi(Reg::T0, Reg::T0, 1); // serial dependency chain
+        }
+        prog.ebreak();
+        let p = prog.finish().unwrap();
+        let mut e = CoreEngine::new(TimingParams::naxriscv(), 0, 0x1_0000);
+        e.load_program(&p);
+        let mut bus = SramBus { mem: Mem::new(0x2000_0000, 0x100) };
+        let mut co = NullCoprocessor;
+        e.run_with(&mut bus, &mut co, 10_000, |_, _| {});
+        assert!(e.cycle() >= 100, "RAW pair incorrectly dual-issued: {}", e.cycle());
+    }
+
+    #[test]
+    fn wfi_parks_until_interrupt() {
+        let mut a = Asm::new(0);
+        a.li(Reg::T0, rvsim_isa::csr::MIP_MTIP as i32);
+        a.csrw(rvsim_isa::csr::MIE, Reg::T0);
+        a.wfi();
+        a.ebreak();
+        let p = a.finish().unwrap();
+        let mut e = CoreEngine::new(TimingParams::cv32e40p(), 0, 0x1_0000);
+        e.load_program(&p);
+        let mut bus = SramBus { mem: Mem::new(0x2000_0000, 0x100) };
+        let mut co = NullCoprocessor;
+        for _ in 0..100 {
+            e.step(&mut bus, &mut co);
+        }
+        assert!(e.waiting_for_interrupt());
+        assert!(!e.halted());
+        // Raise the timer interrupt: core must wake and halt. MIE is off,
+        // so no trap is taken — execution falls through to ebreak.
+        e.state.csrs.mip = rvsim_isa::csr::MIP_MTIP;
+        for _ in 0..10 {
+            e.step(&mut bus, &mut co);
+        }
+        assert!(e.halted());
+    }
+
+    #[test]
+    fn interrupt_entry_and_mret_roundtrip() {
+        use rvsim_isa::csr;
+        let mut a = Asm::new(0);
+        // Set mtvec to the handler, enable timer irq, enable MIE, spin.
+        a.la(Reg::T0, "handler");
+        a.csrw(csr::MTVEC, Reg::T0);
+        a.li(Reg::T0, csr::MIP_MTIP as i32);
+        a.csrw(csr::MIE, Reg::T0);
+        a.enable_interrupts();
+        a.label("spin");
+        a.addi(Reg::A0, Reg::A0, 1);
+        a.j("spin");
+        a.label("handler");
+        a.li(Reg::A1, 99);
+        a.ebreak();
+        let p = a.finish().unwrap();
+        let mut e = CoreEngine::new(TimingParams::cv32e40p(), 0, 0x1_0000);
+        e.load_program(&p);
+        let mut bus = SramBus { mem: Mem::new(0x2000_0000, 0x100) };
+        let mut co = NullCoprocessor;
+        let mut entered = None;
+        for _ in 0..50 {
+            e.step(&mut bus, &mut co);
+        }
+        e.state.csrs.mip = csr::MIP_MTIP;
+        for _ in 0..50 {
+            e.state.csrs.mip = csr::MIP_MTIP;
+            let out = e.step(&mut bus, &mut co);
+            if let Some(CoreEvent::InterruptEntered { cause }) = out.event {
+                entered = Some(cause);
+            }
+            if e.halted() {
+                break;
+            }
+        }
+        assert_eq!(entered, Some(csr::CAUSE_TIMER));
+        assert_eq!(e.state.read_reg(Reg::A1), 99);
+        assert_eq!(e.state.csrs.mcause, csr::CAUSE_TIMER);
+        assert!(!e.state.csrs.mie_enabled(), "MIE must be cleared in the ISR");
+    }
+}

@@ -1,0 +1,365 @@
+//! Functional execution of RV32IM_Zicsr instructions.
+//!
+//! The executor computes the architectural effect of one instruction on an
+//! [`ArchState`]. Memory accesses and custom instructions are *not*
+//! performed here — they are returned as requests so the cycle-stepped
+//! engine can charge timing and route them to the data bus / coprocessor.
+
+use crate::state::ArchState;
+use rvsim_isa::instr::{AluOp, BranchOp, CsrOp, Instr, LoadOp, MulDivOp, StoreOp};
+use rvsim_isa::{CustomOp, Reg};
+use rvsim_mem::AccessSize;
+
+/// A data-memory request produced by a load or store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemRequest {
+    /// Load into `rd`. `signed` selects sign extension of sub-word data.
+    Load { addr: u32, size: AccessSize, signed: bool, rd: Reg },
+    /// Store `value`.
+    Store { addr: u32, size: AccessSize, value: u32 },
+}
+
+/// Non-memory outcome of functionally executing one instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Outcome {
+    /// Address of the next instruction (branches/jumps resolved; `mret`
+    /// resolved to `mepc`).
+    pub next_pc: u32,
+    /// Pending memory request, if any.
+    pub mem: Option<MemRequest>,
+    /// Custom instruction to forward to the coprocessor:
+    /// `(op, rs1 value, rs2 value, rd)`.
+    pub custom: Option<(CustomOp, u32, u32, Reg)>,
+    /// Whether a branch was taken (for branch-penalty accounting).
+    pub taken_branch: bool,
+    /// Whether this instruction was `mret`.
+    pub is_mret: bool,
+    /// Whether this instruction was `wfi`.
+    pub is_wfi: bool,
+    /// Whether this instruction halts the simulation (`ebreak`).
+    pub halt: bool,
+}
+
+impl Outcome {
+    fn fall_through(pc: u32) -> Outcome {
+        Outcome {
+            next_pc: pc.wrapping_add(4),
+            mem: None,
+            custom: None,
+            taken_branch: false,
+            is_mret: false,
+            is_wfi: false,
+            halt: false,
+        }
+    }
+}
+
+fn alu(op: AluOp, a: u32, b: u32) -> u32 {
+    match op {
+        AluOp::Add => a.wrapping_add(b),
+        AluOp::Sub => a.wrapping_sub(b),
+        AluOp::Sll => a.wrapping_shl(b & 0x1f),
+        AluOp::Slt => u32::from((a as i32) < (b as i32)),
+        AluOp::Sltu => u32::from(a < b),
+        AluOp::Xor => a ^ b,
+        AluOp::Srl => a.wrapping_shr(b & 0x1f),
+        AluOp::Sra => ((a as i32).wrapping_shr(b & 0x1f)) as u32,
+        AluOp::Or => a | b,
+        AluOp::And => a & b,
+    }
+}
+
+#[allow(clippy::manual_div_ceil, clippy::if_then_some_else_none, clippy::manual_ok_err)]
+#[allow(clippy::collapsible_else_if)]
+#[allow(clippy::manual_unwrap_or_default)]
+#[allow(clippy::manual_checked_ops)]
+fn muldiv(op: MulDivOp, a: u32, b: u32) -> u32 {
+    match op {
+        MulDivOp::Mul => a.wrapping_mul(b),
+        MulDivOp::Mulh => (((a as i32 as i64) * (b as i32 as i64)) >> 32) as u32,
+        MulDivOp::Mulhsu => (((a as i32 as i64) * (b as i64)) >> 32) as u32,
+        MulDivOp::Mulhu => (((a as u64) * (b as u64)) >> 32) as u32,
+        MulDivOp::Div => {
+            if b == 0 {
+                u32::MAX
+            } else if a == 0x8000_0000 && b == u32::MAX {
+                a
+            } else {
+                ((a as i32) / (b as i32)) as u32
+            }
+        }
+        MulDivOp::Divu => {
+            if b == 0 {
+                u32::MAX
+            } else {
+                a / b
+            }
+        }
+        MulDivOp::Rem => {
+            if b == 0 {
+                a
+            } else if a == 0x8000_0000 && b == u32::MAX {
+                0
+            } else {
+                ((a as i32) % (b as i32)) as u32
+            }
+        }
+        MulDivOp::Remu => {
+            if b == 0 {
+                a
+            } else {
+                a % b
+            }
+        }
+    }
+}
+
+fn branch_taken(op: BranchOp, a: u32, b: u32) -> bool {
+    match op {
+        BranchOp::Eq => a == b,
+        BranchOp::Ne => a != b,
+        BranchOp::Lt => (a as i32) < (b as i32),
+        BranchOp::Ge => (a as i32) >= (b as i32),
+        BranchOp::Ltu => a < b,
+        BranchOp::Geu => a >= b,
+    }
+}
+
+/// Functionally executes `instr` located at `pc`, applying register and CSR
+/// effects directly to `state` and returning everything the timing engine
+/// needs. Loads do **not** write `rd` here — the engine writes it once the
+/// data bus responds (see [`MemRequest::Load`]).
+pub fn execute(state: &mut ArchState, instr: &Instr, pc: u32) -> Outcome {
+    let mut out = Outcome::fall_through(pc);
+    match *instr {
+        Instr::Lui { rd, imm } => state.write_reg(rd, imm),
+        Instr::Auipc { rd, imm } => state.write_reg(rd, pc.wrapping_add(imm)),
+        Instr::Jal { rd, offset } => {
+            state.write_reg(rd, pc.wrapping_add(4));
+            out.next_pc = pc.wrapping_add(offset as u32);
+        }
+        Instr::Jalr { rd, rs1, offset } => {
+            let target = state.read_reg(rs1).wrapping_add(offset as u32) & !1;
+            state.write_reg(rd, pc.wrapping_add(4));
+            out.next_pc = target;
+        }
+        Instr::Branch { op, rs1, rs2, offset } => {
+            if branch_taken(op, state.read_reg(rs1), state.read_reg(rs2)) {
+                out.next_pc = pc.wrapping_add(offset as u32);
+                out.taken_branch = true;
+            }
+        }
+        Instr::Load { op, rd, rs1, offset } => {
+            let addr = state.read_reg(rs1).wrapping_add(offset as u32);
+            let (size, signed) = match op {
+                LoadOp::Lb => (AccessSize::Byte, true),
+                LoadOp::Lbu => (AccessSize::Byte, false),
+                LoadOp::Lh => (AccessSize::Half, true),
+                LoadOp::Lhu => (AccessSize::Half, false),
+                LoadOp::Lw => (AccessSize::Word, false),
+            };
+            out.mem = Some(MemRequest::Load { addr, size, signed, rd });
+        }
+        Instr::Store { op, rs1, rs2, offset } => {
+            let addr = state.read_reg(rs1).wrapping_add(offset as u32);
+            let size = match op {
+                StoreOp::Sb => AccessSize::Byte,
+                StoreOp::Sh => AccessSize::Half,
+                StoreOp::Sw => AccessSize::Word,
+            };
+            out.mem = Some(MemRequest::Store { addr, size, value: state.read_reg(rs2) });
+        }
+        Instr::OpImm { op, rd, rs1, imm } => {
+            state.write_reg(rd, alu(op, state.read_reg(rs1), imm as u32));
+        }
+        Instr::Op { op, rd, rs1, rs2 } => {
+            state.write_reg(rd, alu(op, state.read_reg(rs1), state.read_reg(rs2)));
+        }
+        Instr::MulDiv { op, rd, rs1, rs2 } => {
+            state.write_reg(rd, muldiv(op, state.read_reg(rs1), state.read_reg(rs2)));
+        }
+        Instr::Csr { op, rd, csr, src } => {
+            let old = state.csrs.read(csr);
+            let operand = if op.is_immediate() {
+                u32::from(src)
+            } else {
+                state.read_reg(Reg::from_number(src))
+            };
+            let new = match op {
+                CsrOp::Rw | CsrOp::Rwi => Some(operand),
+                CsrOp::Rs | CsrOp::Rsi => (operand != 0).then_some(old | operand),
+                CsrOp::Rc | CsrOp::Rci => (operand != 0).then_some(old & !operand),
+            };
+            if let Some(v) = new {
+                state.csrs.write(csr, v);
+            }
+            state.write_reg(rd, old);
+        }
+        Instr::Mret => {
+            out.next_pc = state.csrs.exit_trap();
+            out.is_mret = true;
+        }
+        Instr::Wfi => {
+            out.is_wfi = true;
+        }
+        Instr::Ecall | Instr::Ebreak => {
+            out.halt = true;
+        }
+        Instr::Fence => {}
+        Instr::Custom { op, rd, rs1, rs2 } => {
+            out.custom = Some((op, state.read_reg(rs1), state.read_reg(rs2), rd));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rvsim_isa::csr;
+
+    fn fresh() -> ArchState {
+        ArchState::new(0x1000)
+    }
+
+    #[test]
+    fn alu_basics() {
+        let mut s = fresh();
+        s.write_reg(Reg::A1, 7);
+        execute(&mut s, &Instr::OpImm { op: AluOp::Add, rd: Reg::A0, rs1: Reg::A1, imm: -3 }, 0);
+        assert_eq!(s.read_reg(Reg::A0), 4);
+        execute(
+            &mut s,
+            &Instr::Op { op: AluOp::Sub, rd: Reg::A2, rs1: Reg::A0, rs2: Reg::A1 },
+            0,
+        );
+        assert_eq!(s.read_reg(Reg::A2) as i32, -3);
+    }
+
+    #[test]
+    fn shifts_and_compares() {
+        let mut s = fresh();
+        s.write_reg(Reg::A0, 0x8000_0000);
+        execute(&mut s, &Instr::OpImm { op: AluOp::Sra, rd: Reg::A1, rs1: Reg::A0, imm: 4 }, 0);
+        assert_eq!(s.read_reg(Reg::A1), 0xF800_0000);
+        execute(&mut s, &Instr::OpImm { op: AluOp::Srl, rd: Reg::A2, rs1: Reg::A0, imm: 4 }, 0);
+        assert_eq!(s.read_reg(Reg::A2), 0x0800_0000);
+        execute(&mut s, &Instr::OpImm { op: AluOp::Slt, rd: Reg::A3, rs1: Reg::A0, imm: 0 }, 0);
+        assert_eq!(s.read_reg(Reg::A3), 1); // negative < 0
+        execute(&mut s, &Instr::OpImm { op: AluOp::Sltu, rd: Reg::A4, rs1: Reg::A0, imm: 0 }, 0);
+        assert_eq!(s.read_reg(Reg::A4), 0);
+    }
+
+    #[test]
+    fn division_edge_cases() {
+        assert_eq!(muldiv(MulDivOp::Div, 10, 0), u32::MAX);
+        assert_eq!(muldiv(MulDivOp::Rem, 10, 0), 10);
+        assert_eq!(muldiv(MulDivOp::Div, 0x8000_0000, u32::MAX), 0x8000_0000);
+        assert_eq!(muldiv(MulDivOp::Rem, 0x8000_0000, u32::MAX), 0);
+        assert_eq!(muldiv(MulDivOp::Divu, 7, 2), 3);
+        assert_eq!(muldiv(MulDivOp::Mulh, 0x8000_0000, 2), 0xFFFF_FFFF);
+    }
+
+    #[test]
+    fn jal_links_and_jumps() {
+        let mut s = fresh();
+        let out = execute(&mut s, &Instr::Jal { rd: Reg::Ra, offset: 0x40 }, 0x1000);
+        assert_eq!(s.read_reg(Reg::Ra), 0x1004);
+        assert_eq!(out.next_pc, 0x1040);
+    }
+
+    #[test]
+    fn jalr_clears_low_bit() {
+        let mut s = fresh();
+        s.write_reg(Reg::A0, 0x2001);
+        let out = execute(&mut s, &Instr::Jalr { rd: Reg::Zero, rs1: Reg::A0, offset: 0 }, 0);
+        assert_eq!(out.next_pc, 0x2000);
+    }
+
+    #[test]
+    fn branch_taken_and_not_taken() {
+        let mut s = fresh();
+        s.write_reg(Reg::A0, 1);
+        let t = execute(
+            &mut s,
+            &Instr::Branch { op: BranchOp::Ne, rs1: Reg::A0, rs2: Reg::Zero, offset: -16 },
+            0x1000,
+        );
+        assert!(t.taken_branch);
+        assert_eq!(t.next_pc, 0x0FF0);
+        let n = execute(
+            &mut s,
+            &Instr::Branch { op: BranchOp::Eq, rs1: Reg::A0, rs2: Reg::Zero, offset: -16 },
+            0x1000,
+        );
+        assert!(!n.taken_branch);
+        assert_eq!(n.next_pc, 0x1004);
+    }
+
+    #[test]
+    fn loads_are_deferred_to_the_bus() {
+        let mut s = fresh();
+        s.write_reg(Reg::Sp, 0x2000_0100);
+        let out = execute(
+            &mut s,
+            &Instr::Load { op: LoadOp::Lw, rd: Reg::A0, rs1: Reg::Sp, offset: 8 },
+            0,
+        );
+        assert_eq!(
+            out.mem,
+            Some(MemRequest::Load {
+                addr: 0x2000_0108,
+                size: AccessSize::Word,
+                signed: false,
+                rd: Reg::A0
+            })
+        );
+        // rd untouched until the bus responds.
+        assert_eq!(s.read_reg(Reg::A0), 0);
+    }
+
+    #[test]
+    fn csr_read_write() {
+        let mut s = fresh();
+        s.write_reg(Reg::A0, 0xAB);
+        execute(
+            &mut s,
+            &Instr::Csr { op: CsrOp::Rw, rd: Reg::A1, csr: csr::MSCRATCH, src: Reg::A0.number() },
+            0,
+        );
+        assert_eq!(s.csrs.mscratch, 0xAB);
+        assert_eq!(s.read_reg(Reg::A1), 0);
+        // csrrs with x0 must not write.
+        s.csrs.mscratch = 0x55;
+        execute(
+            &mut s,
+            &Instr::Csr { op: CsrOp::Rs, rd: Reg::A2, csr: csr::MSCRATCH, src: 0 },
+            0,
+        );
+        assert_eq!(s.read_reg(Reg::A2), 0x55);
+        assert_eq!(s.csrs.mscratch, 0x55);
+    }
+
+    #[test]
+    fn mret_resumes_at_mepc() {
+        let mut s = fresh();
+        s.csrs.enter_trap(0x4444, csr::CAUSE_TIMER);
+        let out = execute(&mut s, &Instr::Mret, 0x100);
+        assert!(out.is_mret);
+        assert_eq!(out.next_pc, 0x4444);
+        assert!(s.csrs.mie_enabled() || s.csrs.mstatus & csr::MSTATUS_MIE == 0);
+    }
+
+    #[test]
+    fn custom_forwards_operand_values() {
+        let mut s = fresh();
+        s.write_reg(Reg::A0, 3);
+        s.write_reg(Reg::A1, 9);
+        let out = execute(
+            &mut s,
+            &Instr::Custom { op: CustomOp::AddReady, rd: Reg::Zero, rs1: Reg::A0, rs2: Reg::A1 },
+            0,
+        );
+        assert_eq!(out.custom, Some((CustomOp::AddReady, 3, 9, Reg::Zero)));
+    }
+}

@@ -1,0 +1,37 @@
+//! Cycle-stepped RISC-V core timing models for the RTOSUnit reproduction.
+//!
+//! The paper integrates its RTOSUnit into three RISC-V cores of increasing
+//! complexity (§3, §5):
+//!
+//! 1. **CV32E40P** — microcontroller-class, 4-stage in-order pipeline,
+//! 2. **CVA6** — application-class, 6-stage, in-order issue with
+//!    out-of-order write-back and a write-through cache,
+//! 3. **NaxRiscv** — superscalar out-of-order with register renaming,
+//!    speculation and a write-back cache.
+//!
+//! This crate models those cores at the *timing* level: a shared functional
+//! executor ([`exec`]) provides RV32IM_Zicsr semantics, and a cycle-stepped
+//! engine ([`engine::CoreEngine`]) charges per-instruction latencies,
+//! memory-port occupancy, branch/mispredict penalties and interrupt-entry
+//! flushes according to a per-core [`timing::TimingParams`]. The engine
+//! talks to an attached accelerator through the [`coproc::Coprocessor`]
+//! trait; the RTOSUnit itself lives in the `rtosunit` crate.
+//!
+//! Fidelity notes are in `DESIGN.md` §5: the models reproduce the paper's
+//! measurement (cycles from interrupt trigger to `mret`) and its jitter
+//! sources, not the exact RTL microarchitecture.
+
+pub mod coproc;
+pub mod csrs;
+pub mod engine;
+pub mod exec;
+pub mod models;
+pub mod state;
+pub mod timing;
+
+pub use coproc::{Coprocessor, NullCoprocessor};
+pub use csrs::Csrs;
+pub use engine::{CoreEngine, CoreEvent, DataBus, StepOutput};
+pub use models::{CoreKind, make_engine};
+pub use state::{ArchState, Bank};
+pub use timing::TimingParams;

@@ -1,0 +1,120 @@
+//! Per-core timing parameters.
+
+/// Static timing description of one core model.
+///
+/// The three presets correspond to the cores of paper §3; see
+/// `DESIGN.md` §5 for the fidelity statement. All values are cycles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TimingParams {
+    /// Human-readable core name.
+    pub name: &'static str,
+    /// Extra cycles for a taken branch when no predictor is present,
+    /// or for a mispredicted branch when one is.
+    pub branch_penalty: u32,
+    /// Extra cycles for `jal`.
+    pub jump_penalty: u32,
+    /// Extra cycles for `jalr` (indirect target).
+    pub jalr_penalty: u32,
+    /// Total cycles for a multiply.
+    pub mul_latency: u32,
+    /// Total cycles for a divide/remainder.
+    pub div_latency: u32,
+    /// Total cycles for a CSR access (serialising on bigger cores).
+    pub csr_latency: u32,
+    /// Base cycles for an RTOSUnit custom instruction (the out-of-order
+    /// core pays extra for the in-order commit queue of §5.3, Fig. 6).
+    pub custom_latency: u32,
+    /// Base cycles of a store (port occupancy is charged separately).
+    pub store_latency: u32,
+    /// Base cycles of a load before memory latency is added.
+    pub load_base_latency: u32,
+    /// Pipeline-flush cycles on interrupt entry.
+    pub irq_entry_latency: u32,
+    /// Cycles for `mret` (pipeline refill).
+    pub mret_latency: u32,
+    /// Whether two independent simple ALU instructions can retire per
+    /// cycle (superscalar approximation for NaxRiscv).
+    pub dual_issue: bool,
+    /// Whether a 2-bit branch predictor is modelled.
+    pub has_predictor: bool,
+}
+
+impl TimingParams {
+    /// CV32E40P-class: 4-stage in-order microcontroller core.
+    pub fn cv32e40p() -> TimingParams {
+        TimingParams {
+            name: "CV32E40P",
+            branch_penalty: 2,
+            jump_penalty: 1,
+            jalr_penalty: 2,
+            mul_latency: 1,
+            div_latency: 34,
+            csr_latency: 1,
+            custom_latency: 1,
+            store_latency: 1,
+            load_base_latency: 1,
+            irq_entry_latency: 4,
+            mret_latency: 4,
+            dual_issue: false,
+            has_predictor: false,
+        }
+    }
+
+    /// CVA6-class: 6-stage application core, in-order issue with
+    /// out-of-order write-back and a branch predictor.
+    pub fn cva6() -> TimingParams {
+        TimingParams {
+            name: "CVA6",
+            branch_penalty: 5,
+            jump_penalty: 1,
+            jalr_penalty: 3,
+            mul_latency: 2,
+            div_latency: 20,
+            csr_latency: 3,
+            custom_latency: 2,
+            store_latency: 1,
+            load_base_latency: 1,
+            irq_entry_latency: 8,
+            mret_latency: 7,
+            dual_issue: false,
+            has_predictor: true,
+        }
+    }
+
+    /// NaxRiscv-class: superscalar out-of-order core. The commit queue for
+    /// custom instructions (paper Fig. 6) shows up as `custom_latency`.
+    pub fn naxriscv() -> TimingParams {
+        TimingParams {
+            name: "NaxRiscv",
+            branch_penalty: 11,
+            jump_penalty: 0,
+            jalr_penalty: 2,
+            mul_latency: 3,
+            div_latency: 20,
+            csr_latency: 5,
+            custom_latency: 3,
+            store_latency: 1,
+            load_base_latency: 1,
+            irq_entry_latency: 12,
+            mret_latency: 10,
+            dual_issue: true,
+            has_predictor: true,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_ordered_by_complexity() {
+        let cv = TimingParams::cv32e40p();
+        let cva = TimingParams::cva6();
+        let nax = TimingParams::naxriscv();
+        assert!(cv.irq_entry_latency < cva.irq_entry_latency);
+        assert!(cva.irq_entry_latency < nax.irq_entry_latency);
+        assert!(!cv.dual_issue && nax.dual_issue);
+        assert!(!cv.has_predictor && cva.has_predictor && nax.has_predictor);
+    }
+}

@@ -1,0 +1,705 @@
+//! A small RV32 assembler with labels and pseudo-instructions.
+//!
+//! Guest software for the simulated cores (the FreeRTOS-workalike kernel,
+//! the RTOSBench workloads) is written against this API rather than parsed
+//! from text: each method emits one instruction, labels are resolved when
+//! [`Asm::finish`] is called.
+
+use crate::csr;
+use crate::custom::CustomOp;
+use crate::encode::encode;
+use crate::instr::{AluOp, BranchOp, CsrOp, Instr, LoadOp, MulDivOp, StoreOp};
+use crate::reg::Reg;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Resolved symbol table of an assembled [`Program`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SymbolTable {
+    map: HashMap<String, u32>,
+}
+
+impl SymbolTable {
+    /// Address of `label`, if defined.
+    pub fn get(&self, label: &str) -> Option<u32> {
+        self.map.get(label).copied()
+    }
+
+    /// Address of `label`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the label is not defined.
+    pub fn addr(&self, label: &str) -> u32 {
+        self.get(label)
+            .unwrap_or_else(|| panic!("undefined symbol: {label}"))
+    }
+
+    /// Iterates over `(label, address)` pairs in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, u32)> {
+        self.map.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// Label defined exactly at `addr`, if any (labels are unique per
+    /// address for the programs we assemble; ties pick an arbitrary one).
+    pub fn label_at(&self, addr: u32) -> Option<&str> {
+        self.map
+            .iter()
+            .find(|(_, &a)| a == addr)
+            .map(|(k, _)| k.as_str())
+    }
+}
+
+/// An assembled program: a contiguous block of machine words at `base`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Program {
+    /// Load address of the first word.
+    pub base: u32,
+    /// Encoded machine words.
+    pub words: Vec<u32>,
+    /// Labels resolved to absolute addresses.
+    pub symbols: SymbolTable,
+}
+
+impl Program {
+    /// End address (one past the last word).
+    pub fn end(&self) -> u32 {
+        self.base + (self.words.len() as u32) * 4
+    }
+}
+
+/// Errors produced at assembly time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AsmError {
+    /// A referenced label was never defined.
+    UndefinedLabel(String),
+    /// A label was defined twice.
+    DuplicateLabel(String),
+    /// A branch target is out of the ±4 KiB B-type range.
+    BranchOutOfRange { label: String, offset: i64 },
+    /// A jump target is out of the ±1 MiB J-type range.
+    JumpOutOfRange { label: String, offset: i64 },
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AsmError::UndefinedLabel(l) => write!(f, "undefined label `{l}`"),
+            AsmError::DuplicateLabel(l) => write!(f, "duplicate label `{l}`"),
+            AsmError::BranchOutOfRange { label, offset } => {
+                write!(f, "branch to `{label}` out of range ({offset} bytes)")
+            }
+            AsmError::JumpOutOfRange { label, offset } => {
+                write!(f, "jump to `{label}` out of range ({offset} bytes)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+#[derive(Debug, Clone)]
+enum Fixup {
+    /// Patch a branch offset to `label`.
+    Branch(String),
+    /// Patch a jal offset to `label`.
+    Jal(String),
+    /// Patch `lui` with the high part of the absolute address of `label`.
+    Hi(String),
+    /// Patch the I-immediate with the low part of the address of `label`.
+    Lo(String),
+}
+
+/// The assembler. See the [crate-level example](crate).
+#[derive(Debug, Clone)]
+pub struct Asm {
+    base: u32,
+    instrs: Vec<Instr>,
+    fixups: Vec<(usize, Fixup)>,
+    labels: HashMap<String, u32>,
+    duplicate: Option<String>,
+}
+
+impl Asm {
+    /// Creates an assembler that places the first instruction at `base`.
+    pub fn new(base: u32) -> Asm {
+        Asm {
+            base,
+            instrs: Vec::new(),
+            fixups: Vec::new(),
+            labels: HashMap::new(),
+            duplicate: None,
+        }
+    }
+
+    /// Address of the *next* instruction to be emitted.
+    pub fn here(&self) -> u32 {
+        self.base + (self.instrs.len() as u32) * 4
+    }
+
+    /// Number of instructions emitted so far.
+    pub fn len(&self) -> usize {
+        self.instrs.len()
+    }
+
+    /// Whether no instruction has been emitted yet.
+    pub fn is_empty(&self) -> bool {
+        self.instrs.is_empty()
+    }
+
+    /// Defines `label` at the current position.
+    pub fn label(&mut self, label: &str) {
+        if self
+            .labels
+            .insert(label.to_string(), self.here())
+            .is_some()
+            && self.duplicate.is_none()
+        {
+            self.duplicate = Some(label.to_string());
+        }
+    }
+
+    /// Emits a raw instruction.
+    pub fn emit(&mut self, i: Instr) {
+        self.instrs.push(i);
+    }
+
+    // ---- RV32I ---------------------------------------------------------
+
+    /// `lui rd, imm20` (imm is the final upper-bits value).
+    pub fn lui(&mut self, rd: Reg, imm: u32) {
+        self.emit(Instr::Lui { rd, imm });
+    }
+    /// `auipc rd, imm20`.
+    pub fn auipc(&mut self, rd: Reg, imm: u32) {
+        self.emit(Instr::Auipc { rd, imm });
+    }
+    /// `jal rd, label`.
+    pub fn jal(&mut self, rd: Reg, label: &str) {
+        self.fixups.push((self.instrs.len(), Fixup::Jal(label.to_string())));
+        self.emit(Instr::Jal { rd, offset: 0 });
+    }
+    /// `jalr rd, offset(rs1)`.
+    pub fn jalr(&mut self, rd: Reg, rs1: Reg, offset: i32) {
+        self.emit(Instr::Jalr { rd, rs1, offset });
+    }
+
+    fn branch(&mut self, op: BranchOp, rs1: Reg, rs2: Reg, label: &str) {
+        self.fixups
+            .push((self.instrs.len(), Fixup::Branch(label.to_string())));
+        self.emit(Instr::Branch { op, rs1, rs2, offset: 0 });
+    }
+
+    /// `beq rs1, rs2, label`.
+    pub fn beq(&mut self, rs1: Reg, rs2: Reg, label: &str) {
+        self.branch(BranchOp::Eq, rs1, rs2, label);
+    }
+    /// `bne rs1, rs2, label`.
+    pub fn bne(&mut self, rs1: Reg, rs2: Reg, label: &str) {
+        self.branch(BranchOp::Ne, rs1, rs2, label);
+    }
+    /// `blt rs1, rs2, label`.
+    pub fn blt(&mut self, rs1: Reg, rs2: Reg, label: &str) {
+        self.branch(BranchOp::Lt, rs1, rs2, label);
+    }
+    /// `bge rs1, rs2, label`.
+    pub fn bge(&mut self, rs1: Reg, rs2: Reg, label: &str) {
+        self.branch(BranchOp::Ge, rs1, rs2, label);
+    }
+    /// `bltu rs1, rs2, label`.
+    pub fn bltu(&mut self, rs1: Reg, rs2: Reg, label: &str) {
+        self.branch(BranchOp::Ltu, rs1, rs2, label);
+    }
+    /// `bgeu rs1, rs2, label`.
+    pub fn bgeu(&mut self, rs1: Reg, rs2: Reg, label: &str) {
+        self.branch(BranchOp::Geu, rs1, rs2, label);
+    }
+    /// `beqz rs1, label`.
+    pub fn beqz(&mut self, rs1: Reg, label: &str) {
+        self.beq(rs1, Reg::Zero, label);
+    }
+    /// `bnez rs1, label`.
+    pub fn bnez(&mut self, rs1: Reg, label: &str) {
+        self.bne(rs1, Reg::Zero, label);
+    }
+
+    /// `lw rd, offset(rs1)`.
+    pub fn lw(&mut self, rd: Reg, offset: i32, rs1: Reg) {
+        self.emit(Instr::Load { op: LoadOp::Lw, rd, rs1, offset });
+    }
+    /// `lb rd, offset(rs1)`.
+    pub fn lb(&mut self, rd: Reg, offset: i32, rs1: Reg) {
+        self.emit(Instr::Load { op: LoadOp::Lb, rd, rs1, offset });
+    }
+    /// `lbu rd, offset(rs1)`.
+    pub fn lbu(&mut self, rd: Reg, offset: i32, rs1: Reg) {
+        self.emit(Instr::Load { op: LoadOp::Lbu, rd, rs1, offset });
+    }
+    /// `lh rd, offset(rs1)`.
+    pub fn lh(&mut self, rd: Reg, offset: i32, rs1: Reg) {
+        self.emit(Instr::Load { op: LoadOp::Lh, rd, rs1, offset });
+    }
+    /// `lhu rd, offset(rs1)`.
+    pub fn lhu(&mut self, rd: Reg, offset: i32, rs1: Reg) {
+        self.emit(Instr::Load { op: LoadOp::Lhu, rd, rs1, offset });
+    }
+    /// `sw rs2, offset(rs1)`.
+    pub fn sw(&mut self, rs2: Reg, offset: i32, rs1: Reg) {
+        self.emit(Instr::Store { op: StoreOp::Sw, rs1, rs2, offset });
+    }
+    /// `sb rs2, offset(rs1)`.
+    pub fn sb(&mut self, rs2: Reg, offset: i32, rs1: Reg) {
+        self.emit(Instr::Store { op: StoreOp::Sb, rs1, rs2, offset });
+    }
+    /// `sh rs2, offset(rs1)`.
+    pub fn sh(&mut self, rs2: Reg, offset: i32, rs1: Reg) {
+        self.emit(Instr::Store { op: StoreOp::Sh, rs1, rs2, offset });
+    }
+
+    /// `addi rd, rs1, imm`.
+    pub fn addi(&mut self, rd: Reg, rs1: Reg, imm: i32) {
+        self.emit(Instr::OpImm { op: AluOp::Add, rd, rs1, imm });
+    }
+    /// `andi rd, rs1, imm`.
+    pub fn andi(&mut self, rd: Reg, rs1: Reg, imm: i32) {
+        self.emit(Instr::OpImm { op: AluOp::And, rd, rs1, imm });
+    }
+    /// `ori rd, rs1, imm`.
+    pub fn ori(&mut self, rd: Reg, rs1: Reg, imm: i32) {
+        self.emit(Instr::OpImm { op: AluOp::Or, rd, rs1, imm });
+    }
+    /// `xori rd, rs1, imm`.
+    pub fn xori(&mut self, rd: Reg, rs1: Reg, imm: i32) {
+        self.emit(Instr::OpImm { op: AluOp::Xor, rd, rs1, imm });
+    }
+    /// `slti rd, rs1, imm`.
+    pub fn slti(&mut self, rd: Reg, rs1: Reg, imm: i32) {
+        self.emit(Instr::OpImm { op: AluOp::Slt, rd, rs1, imm });
+    }
+    /// `sltiu rd, rs1, imm`.
+    pub fn sltiu(&mut self, rd: Reg, rs1: Reg, imm: i32) {
+        self.emit(Instr::OpImm { op: AluOp::Sltu, rd, rs1, imm });
+    }
+    /// `slli rd, rs1, shamt`.
+    pub fn slli(&mut self, rd: Reg, rs1: Reg, shamt: i32) {
+        self.emit(Instr::OpImm { op: AluOp::Sll, rd, rs1, imm: shamt });
+    }
+    /// `srli rd, rs1, shamt`.
+    pub fn srli(&mut self, rd: Reg, rs1: Reg, shamt: i32) {
+        self.emit(Instr::OpImm { op: AluOp::Srl, rd, rs1, imm: shamt });
+    }
+    /// `srai rd, rs1, shamt`.
+    pub fn srai(&mut self, rd: Reg, rs1: Reg, shamt: i32) {
+        self.emit(Instr::OpImm { op: AluOp::Sra, rd, rs1, imm: shamt });
+    }
+
+    /// `add rd, rs1, rs2`.
+    pub fn add(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.emit(Instr::Op { op: AluOp::Add, rd, rs1, rs2 });
+    }
+    /// `sub rd, rs1, rs2`.
+    pub fn sub(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.emit(Instr::Op { op: AluOp::Sub, rd, rs1, rs2 });
+    }
+    /// `and rd, rs1, rs2`.
+    pub fn and(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.emit(Instr::Op { op: AluOp::And, rd, rs1, rs2 });
+    }
+    /// `or rd, rs1, rs2`.
+    pub fn or(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.emit(Instr::Op { op: AluOp::Or, rd, rs1, rs2 });
+    }
+    /// `xor rd, rs1, rs2`.
+    pub fn xor(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.emit(Instr::Op { op: AluOp::Xor, rd, rs1, rs2 });
+    }
+    /// `sll rd, rs1, rs2`.
+    pub fn sll(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.emit(Instr::Op { op: AluOp::Sll, rd, rs1, rs2 });
+    }
+    /// `srl rd, rs1, rs2`.
+    pub fn srl(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.emit(Instr::Op { op: AluOp::Srl, rd, rs1, rs2 });
+    }
+    /// `sltu rd, rs1, rs2`.
+    pub fn sltu(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.emit(Instr::Op { op: AluOp::Sltu, rd, rs1, rs2 });
+    }
+    /// `slt rd, rs1, rs2`.
+    pub fn slt(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.emit(Instr::Op { op: AluOp::Slt, rd, rs1, rs2 });
+    }
+
+    /// `mul rd, rs1, rs2`.
+    pub fn mul(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.emit(Instr::MulDiv { op: MulDivOp::Mul, rd, rs1, rs2 });
+    }
+    /// `div rd, rs1, rs2`.
+    pub fn div(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.emit(Instr::MulDiv { op: MulDivOp::Div, rd, rs1, rs2 });
+    }
+    /// `divu rd, rs1, rs2`.
+    pub fn divu(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.emit(Instr::MulDiv { op: MulDivOp::Divu, rd, rs1, rs2 });
+    }
+    /// `rem rd, rs1, rs2`.
+    pub fn rem(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.emit(Instr::MulDiv { op: MulDivOp::Rem, rd, rs1, rs2 });
+    }
+    /// `remu rd, rs1, rs2`.
+    pub fn remu(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.emit(Instr::MulDiv { op: MulDivOp::Remu, rd, rs1, rs2 });
+    }
+
+    // ---- Zicsr ---------------------------------------------------------
+
+    /// `csrrw rd, csr, rs1`.
+    pub fn csrrw(&mut self, rd: Reg, csr: u16, rs1: Reg) {
+        self.emit(Instr::Csr { op: CsrOp::Rw, rd, csr, src: rs1.number() });
+    }
+    /// `csrrs rd, csr, rs1`.
+    pub fn csrrs(&mut self, rd: Reg, csr: u16, rs1: Reg) {
+        self.emit(Instr::Csr { op: CsrOp::Rs, rd, csr, src: rs1.number() });
+    }
+    /// `csrrc rd, csr, rs1`.
+    pub fn csrrc(&mut self, rd: Reg, csr: u16, rs1: Reg) {
+        self.emit(Instr::Csr { op: CsrOp::Rc, rd, csr, src: rs1.number() });
+    }
+    /// `csrrsi rd, csr, uimm5`.
+    pub fn csrrsi(&mut self, rd: Reg, csr: u16, uimm: u8) {
+        self.emit(Instr::Csr { op: CsrOp::Rsi, rd, csr, src: uimm & 0x1f });
+    }
+    /// `csrrci rd, csr, uimm5`.
+    pub fn csrrci(&mut self, rd: Reg, csr: u16, uimm: u8) {
+        self.emit(Instr::Csr { op: CsrOp::Rci, rd, csr, src: uimm & 0x1f });
+    }
+    /// `csrr rd, csr` (pseudo: `csrrs rd, csr, x0`).
+    pub fn csrr(&mut self, rd: Reg, csr: u16) {
+        self.csrrs(rd, csr, Reg::Zero);
+    }
+    /// `csrw csr, rs1` (pseudo: `csrrw x0, csr, rs1`).
+    pub fn csrw(&mut self, csr: u16, rs1: Reg) {
+        self.csrrw(Reg::Zero, csr, rs1);
+    }
+
+    // ---- system --------------------------------------------------------
+
+    /// `mret`.
+    pub fn mret(&mut self) {
+        self.emit(Instr::Mret);
+    }
+    /// `wfi`.
+    pub fn wfi(&mut self) {
+        self.emit(Instr::Wfi);
+    }
+    /// `ecall`.
+    pub fn ecall(&mut self) {
+        self.emit(Instr::Ecall);
+    }
+    /// `ebreak` — the simulator treats this as "halt the guest".
+    pub fn ebreak(&mut self) {
+        self.emit(Instr::Ebreak);
+    }
+
+    // ---- RTOSUnit custom instructions ------------------------------------
+
+    /// `add_ready rs1=task_id, rs2=priority`.
+    pub fn add_ready(&mut self, task_id: Reg, priority: Reg) {
+        self.emit(Instr::Custom {
+            op: CustomOp::AddReady,
+            rd: Reg::Zero,
+            rs1: task_id,
+            rs2: priority,
+        });
+    }
+    /// `add_delay rs1=priority, rs2=delay_ticks`.
+    pub fn add_delay(&mut self, priority: Reg, delay: Reg) {
+        self.emit(Instr::Custom {
+            op: CustomOp::AddDelay,
+            rd: Reg::Zero,
+            rs1: priority,
+            rs2: delay,
+        });
+    }
+    /// `rm_task rs1=task_id`.
+    pub fn rm_task(&mut self, task_id: Reg) {
+        self.emit(Instr::Custom {
+            op: CustomOp::RmTask,
+            rd: Reg::Zero,
+            rs1: task_id,
+            rs2: Reg::Zero,
+        });
+    }
+    /// `set_context_id rs1=task_id`.
+    pub fn set_context_id(&mut self, task_id: Reg) {
+        self.emit(Instr::Custom {
+            op: CustomOp::SetContextId,
+            rd: Reg::Zero,
+            rs1: task_id,
+            rs2: Reg::Zero,
+        });
+    }
+    /// `get_hw_sched rd` — returns the next task id.
+    pub fn get_hw_sched(&mut self, rd: Reg) {
+        self.emit(Instr::Custom {
+            op: CustomOp::GetHwSched,
+            rd,
+            rs1: Reg::Zero,
+            rs2: Reg::Zero,
+        });
+    }
+    /// `switch_rf` — switch back to the application register file.
+    pub fn switch_rf(&mut self) {
+        self.emit(Instr::Custom {
+            op: CustomOp::SwitchRf,
+            rd: Reg::Zero,
+            rs1: Reg::Zero,
+            rs2: Reg::Zero,
+        });
+    }
+    /// `sem_take rd, rs1=sem_id, rs2=priority` (extension, paper §7).
+    pub fn hw_sem_take(&mut self, rd: Reg, sem_id: Reg, priority: Reg) {
+        self.emit(Instr::Custom { op: CustomOp::SemTake, rd, rs1: sem_id, rs2: priority });
+    }
+    /// `sem_give rd, rs1=sem_id` (extension, paper §7).
+    pub fn hw_sem_give(&mut self, rd: Reg, sem_id: Reg) {
+        self.emit(Instr::Custom { op: CustomOp::SemGive, rd, rs1: sem_id, rs2: Reg::Zero });
+    }
+
+    // ---- pseudo-instructions ---------------------------------------------
+
+    /// `nop`.
+    pub fn nop(&mut self) {
+        self.addi(Reg::Zero, Reg::Zero, 0);
+    }
+    /// `mv rd, rs`.
+    pub fn mv(&mut self, rd: Reg, rs: Reg) {
+        self.addi(rd, rs, 0);
+    }
+    /// `li rd, imm` — one or two instructions depending on the value.
+    pub fn li(&mut self, rd: Reg, imm: i32) {
+        if (-2048..=2047).contains(&imm) {
+            self.addi(rd, Reg::Zero, imm);
+        } else {
+            let uimm = imm as u32;
+            let hi = uimm.wrapping_add(0x800) & 0xfffff000;
+            let lo = uimm.wrapping_sub(hi) as i32;
+            self.lui(rd, hi);
+            if lo != 0 {
+                self.addi(rd, rd, lo);
+            }
+        }
+    }
+    /// `la rd, label` — always two instructions (`lui`+`addi`) so the
+    /// length is independent of where the label ends up.
+    pub fn la(&mut self, rd: Reg, label: &str) {
+        self.fixups.push((self.instrs.len(), Fixup::Hi(label.to_string())));
+        self.lui(rd, 0);
+        self.fixups.push((self.instrs.len(), Fixup::Lo(label.to_string())));
+        self.addi(rd, rd, 0);
+    }
+    /// `j label` (pseudo: `jal x0, label`).
+    pub fn j(&mut self, label: &str) {
+        self.jal(Reg::Zero, label);
+    }
+    /// `call label` (pseudo: `jal ra, label`).
+    pub fn call(&mut self, label: &str) {
+        self.jal(Reg::Ra, label);
+    }
+    /// `ret` (pseudo: `jalr x0, 0(ra)`).
+    pub fn ret(&mut self) {
+        self.jalr(Reg::Zero, Reg::Ra, 0);
+    }
+    /// `jr rs` (pseudo: `jalr x0, 0(rs)`).
+    pub fn jr(&mut self, rs: Reg) {
+        self.jalr(Reg::Zero, rs, 0);
+    }
+    /// Convenience: globally enable machine interrupts
+    /// (`csrrsi x0, mstatus, MIE`).
+    pub fn enable_interrupts(&mut self) {
+        self.csrrsi(Reg::Zero, csr::MSTATUS, 8);
+    }
+    /// Convenience: globally disable machine interrupts
+    /// (`csrrci x0, mstatus, MIE`).
+    pub fn disable_interrupts(&mut self) {
+        self.csrrci(Reg::Zero, csr::MSTATUS, 8);
+    }
+
+    /// Resolves all labels and encodes the program.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for undefined/duplicate labels and out-of-range
+    /// branch or jump targets.
+    pub fn finish(mut self) -> Result<Program, AsmError> {
+        if let Some(l) = self.duplicate.take() {
+            return Err(AsmError::DuplicateLabel(l));
+        }
+        for (idx, fixup) in &self.fixups {
+            let pc = self.base + (*idx as u32) * 4;
+            let resolve = |label: &String| -> Result<u32, AsmError> {
+                self.labels
+                    .get(label)
+                    .copied()
+                    .ok_or_else(|| AsmError::UndefinedLabel(label.clone()))
+            };
+            match fixup {
+                Fixup::Branch(label) => {
+                    let target = resolve(label)?;
+                    let off = i64::from(target) - i64::from(pc);
+                    if !(-4096..=4094).contains(&off) {
+                        return Err(AsmError::BranchOutOfRange { label: label.clone(), offset: off });
+                    }
+                    if let Instr::Branch { offset, .. } = &mut self.instrs[*idx] {
+                        *offset = off as i32;
+                    } else {
+                        unreachable!("branch fixup on non-branch");
+                    }
+                }
+                Fixup::Jal(label) => {
+                    let target = resolve(label)?;
+                    let off = i64::from(target) - i64::from(pc);
+                    if !(-(1 << 20)..(1 << 20)).contains(&off) {
+                        return Err(AsmError::JumpOutOfRange { label: label.clone(), offset: off });
+                    }
+                    if let Instr::Jal { offset, .. } = &mut self.instrs[*idx] {
+                        *offset = off as i32;
+                    } else {
+                        unreachable!("jal fixup on non-jal");
+                    }
+                }
+                Fixup::Hi(label) => {
+                    let target = resolve(label)?;
+                    let hi = target.wrapping_add(0x800) & 0xfffff000;
+                    if let Instr::Lui { imm, .. } = &mut self.instrs[*idx] {
+                        *imm = hi;
+                    } else {
+                        unreachable!("hi fixup on non-lui");
+                    }
+                }
+                Fixup::Lo(label) => {
+                    let target = resolve(label)?;
+                    let hi = target.wrapping_add(0x800) & 0xfffff000;
+                    let lo = target.wrapping_sub(hi) as i32;
+                    if let Instr::OpImm { imm, .. } = &mut self.instrs[*idx] {
+                        *imm = lo;
+                    } else {
+                        unreachable!("lo fixup on non-addi");
+                    }
+                }
+            }
+        }
+        let words = self.instrs.iter().map(encode).collect();
+        Ok(Program {
+            base: self.base,
+            words,
+            symbols: SymbolTable { map: self.labels },
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decode::decode;
+
+    #[test]
+    fn forward_and_backward_branches() {
+        let mut a = Asm::new(0x100);
+        a.label("top");
+        a.beq(Reg::A0, Reg::A1, "done"); // forward
+        a.addi(Reg::A0, Reg::A0, 1);
+        a.j("top"); // backward
+        a.label("done");
+        a.ret();
+        let p = a.finish().unwrap();
+        assert_eq!(p.words.len(), 4);
+        let b = decode(p.words[0]).unwrap();
+        assert_eq!(b, Instr::Branch { op: BranchOp::Eq, rs1: Reg::A0, rs2: Reg::A1, offset: 12 });
+        let j = decode(p.words[2]).unwrap();
+        assert_eq!(j, Instr::Jal { rd: Reg::Zero, offset: -8 });
+    }
+
+    #[test]
+    fn li_small_and_large() {
+        let mut a = Asm::new(0);
+        a.li(Reg::A0, 42); // 1 instr
+        a.li(Reg::A1, 0x12345); // 2 instrs
+        a.li(Reg::A2, -1); // 1 instr
+        a.li(Reg::A3, 0x1000); // lui only
+        let p = a.finish().unwrap();
+        assert_eq!(p.words.len(), 5);
+    }
+
+    #[test]
+    fn la_resolves_to_absolute_address() {
+        let mut a = Asm::new(0x8000_0000);
+        a.la(Reg::A0, "data");
+        a.ebreak();
+        a.label("data");
+        a.nop();
+        let p = a.finish().unwrap();
+        // lui + addi must reconstruct the label address.
+        let lui = decode(p.words[0]).unwrap();
+        let addi = decode(p.words[1]).unwrap();
+        let (hi, lo) = match (lui, addi) {
+            (Instr::Lui { imm, .. }, Instr::OpImm { imm: lo, .. }) => (imm, lo),
+            other => panic!("unexpected {other:?}"),
+        };
+        assert_eq!(hi.wrapping_add(lo as u32), p.symbols.addr("data"));
+    }
+
+    #[test]
+    fn undefined_label_is_an_error() {
+        let mut a = Asm::new(0);
+        a.j("nowhere");
+        assert_eq!(
+            a.finish().unwrap_err(),
+            AsmError::UndefinedLabel("nowhere".into())
+        );
+    }
+
+    #[test]
+    fn duplicate_label_is_an_error() {
+        let mut a = Asm::new(0);
+        a.label("x");
+        a.nop();
+        a.label("x");
+        assert_eq!(a.finish().unwrap_err(), AsmError::DuplicateLabel("x".into()));
+    }
+
+    #[test]
+    fn branch_out_of_range() {
+        let mut a = Asm::new(0);
+        a.beq(Reg::A0, Reg::A0, "far");
+        for _ in 0..2000 {
+            a.nop();
+        }
+        a.label("far");
+        a.ret();
+        assert!(matches!(
+            a.finish().unwrap_err(),
+            AsmError::BranchOutOfRange { .. }
+        ));
+    }
+
+    #[test]
+    fn custom_instructions_assemble() {
+        let mut a = Asm::new(0);
+        a.add_ready(Reg::A0, Reg::A1);
+        a.add_delay(Reg::A0, Reg::A1);
+        a.rm_task(Reg::A0);
+        a.set_context_id(Reg::A0);
+        a.get_hw_sched(Reg::A0);
+        a.switch_rf();
+        a.hw_sem_take(Reg::A0, Reg::A1, Reg::A2);
+        a.hw_sem_give(Reg::A0, Reg::A1);
+        let p = a.finish().unwrap();
+        for (w, op) in p.words.iter().zip(CustomOp::ALL) {
+            match decode(*w).unwrap() {
+                Instr::Custom { op: got, .. } => assert_eq!(got, op),
+                other => panic!("expected custom, got {other:?}"),
+            }
+        }
+    }
+}

@@ -1,0 +1,83 @@
+//! Control and Status Register addresses and field constants.
+//!
+//! Only the machine-mode CSRs needed by the FreeRTOS-style execution
+//! scenario of the paper are defined: `mstatus` and `mepc` are part of each
+//! task context (§3), the remainder drive trap handling and timing.
+
+/// `mstatus` — machine status (MIE/MPIE/MPP fields).
+pub const MSTATUS: u16 = 0x300;
+/// `mie` — machine interrupt enable.
+pub const MIE: u16 = 0x304;
+/// `mtvec` — machine trap vector base.
+pub const MTVEC: u16 = 0x305;
+/// `mscratch` — machine scratch register.
+pub const MSCRATCH: u16 = 0x340;
+/// `mepc` — machine exception program counter (part of a task context).
+pub const MEPC: u16 = 0x341;
+/// `mcause` — machine trap cause.
+pub const MCAUSE: u16 = 0x342;
+/// `mip` — machine interrupt pending.
+pub const MIP: u16 = 0x344;
+/// `mcycle` — cycle counter (read-only in this model).
+pub const MCYCLE: u16 = 0xB00;
+
+/// `mstatus.MIE` bit: globally enables machine interrupts.
+pub const MSTATUS_MIE: u32 = 1 << 3;
+/// `mstatus.MPIE` bit: previous MIE, restored by `mret`.
+pub const MSTATUS_MPIE: u32 = 1 << 7;
+/// `mstatus.MPP` field (both bits; this model only uses M-mode).
+pub const MSTATUS_MPP: u32 = 3 << 11;
+
+/// `mie`/`mip` bit for machine software interrupts.
+pub const MIP_MSIP: u32 = 1 << 3;
+/// `mie`/`mip` bit for machine timer interrupts.
+pub const MIP_MTIP: u32 = 1 << 7;
+/// `mie`/`mip` bit for machine external interrupts.
+pub const MIP_MEIP: u32 = 1 << 11;
+
+/// `mcause` value for a machine software interrupt.
+pub const CAUSE_SOFTWARE: u32 = 0x8000_0003;
+/// `mcause` value for a machine timer interrupt.
+pub const CAUSE_TIMER: u32 = 0x8000_0007;
+/// `mcause` value for a machine external interrupt.
+pub const CAUSE_EXTERNAL: u32 = 0x8000_000B;
+
+/// Human-readable name for a CSR address (used by the disassembler).
+pub fn csr_name(addr: u16) -> Option<&'static str> {
+    Some(match addr {
+        MSTATUS => "mstatus",
+        MIE => "mie",
+        MTVEC => "mtvec",
+        MSCRATCH => "mscratch",
+        MEPC => "mepc",
+        MCAUSE => "mcause",
+        MIP => "mip",
+        MCYCLE => "mcycle",
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_cover_known_csrs() {
+        for (addr, name) in [
+            (MSTATUS, "mstatus"),
+            (MEPC, "mepc"),
+            (MCAUSE, "mcause"),
+            (MCYCLE, "mcycle"),
+        ] {
+            assert_eq!(csr_name(addr), Some(name));
+        }
+        assert_eq!(csr_name(0x7FF), None);
+    }
+
+    #[test]
+    fn interrupt_causes_have_high_bit() {
+        for c in [CAUSE_SOFTWARE, CAUSE_TIMER, CAUSE_EXTERNAL] {
+            assert_eq!(c & 0x8000_0000, 0x8000_0000);
+        }
+    }
+}

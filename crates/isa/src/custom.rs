@@ -1,0 +1,131 @@
+//! The six RTOSUnit custom instructions (paper Table 1).
+//!
+//! All custom instructions live in the *custom-0* major opcode (`0x0B`) as
+//! R-type instructions with `funct3 = 0`; the operation is selected by
+//! `funct7`. They update RTOSUnit state and must therefore execute in order
+//! and non-speculatively (paper §5).
+
+use std::fmt;
+
+/// One of the RTOSUnit custom instructions.
+///
+/// | Instruction | Operands | Required for |
+/// |---|---|---|
+/// | `ADD_READY` | rs1 = task id, rs2 = priority | HW scheduling |
+/// | `ADD_DELAY` | rs1 = priority, rs2 = delay (ticks) | HW scheduling |
+/// | `RM_TASK` | rs1 = task id | HW scheduling |
+/// | `SET_CONTEXT_ID` | rs1 = task id | context acceleration w/o HW scheduling |
+/// | `GET_HW_SCHED` | rd = next task id | HW scheduling |
+/// | `SWITCH_RF` | — | context storing w/o loading |
+/// | `SEM_TAKE` | rs1 = sem id, rs2 = priority; rd = acquired? | HW synchronisation (extension) |
+/// | `SEM_GIVE` | rs1 = sem id; rd = woken priority + 1, or 0 | HW synchronisation (extension) |
+///
+/// `SEM_TAKE`/`SEM_GIVE` implement the hardware-accelerated
+/// synchronisation primitives the paper names as future work (§7); they
+/// are an extension of this reproduction, not part of the paper's
+/// evaluated configurations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CustomOp {
+    /// Insert a task into the hardware ready list.
+    AddReady,
+    /// Insert the running task into the hardware delay list.
+    AddDelay,
+    /// Remove a task from both hardware lists.
+    RmTask,
+    /// Latch the next task id (store-address generation, restore trigger).
+    SetContextId,
+    /// Pop the head of the hardware ready list (and rotate it to the tail).
+    GetHwSched,
+    /// Switch back from the ISR register file to the application register
+    /// file. Stalls while context storing is in progress.
+    SwitchRf,
+    /// Acquire a hardware semaphore; on failure the current task leaves
+    /// the ready list and joins the hardware wait list (extension, §7).
+    SemTake,
+    /// Release a hardware semaphore, waking the highest-priority waiter
+    /// (extension, §7).
+    SemGive,
+}
+
+impl CustomOp {
+    /// All custom operations, in `funct7` order.
+    pub const ALL: [CustomOp; 8] = [
+        CustomOp::AddReady,
+        CustomOp::AddDelay,
+        CustomOp::RmTask,
+        CustomOp::SetContextId,
+        CustomOp::GetHwSched,
+        CustomOp::SwitchRf,
+        CustomOp::SemTake,
+        CustomOp::SemGive,
+    ];
+
+    /// The `funct7` encoding of this operation.
+    pub fn funct7(self) -> u32 {
+        match self {
+            CustomOp::AddReady => 0x00,
+            CustomOp::AddDelay => 0x01,
+            CustomOp::RmTask => 0x02,
+            CustomOp::SetContextId => 0x03,
+            CustomOp::GetHwSched => 0x04,
+            CustomOp::SwitchRf => 0x05,
+            CustomOp::SemTake => 0x06,
+            CustomOp::SemGive => 0x07,
+        }
+    }
+
+    /// Reverse of [`CustomOp::funct7`]; `None` for unassigned values.
+    pub fn from_funct7(f: u32) -> Option<CustomOp> {
+        CustomOp::ALL.get(f as usize).copied()
+    }
+
+    /// Assembly mnemonic used by the disassembler.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            CustomOp::AddReady => "add_ready",
+            CustomOp::AddDelay => "add_delay",
+            CustomOp::RmTask => "rm_task",
+            CustomOp::SetContextId => "set_context_id",
+            CustomOp::GetHwSched => "get_hw_sched",
+            CustomOp::SwitchRf => "switch_rf",
+            CustomOp::SemTake => "sem_take",
+            CustomOp::SemGive => "sem_give",
+        }
+    }
+
+    /// Whether the instruction produces a result in `rd`.
+    pub fn writes_rd(self) -> bool {
+        matches!(self, CustomOp::GetHwSched | CustomOp::SemTake | CustomOp::SemGive)
+    }
+}
+
+impl fmt::Display for CustomOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn funct7_roundtrip() {
+        for op in CustomOp::ALL {
+            assert_eq!(CustomOp::from_funct7(op.funct7()), Some(op));
+        }
+        assert_eq!(CustomOp::from_funct7(8), None);
+        assert_eq!(CustomOp::from_funct7(0x7f), None);
+    }
+
+    #[test]
+    fn rd_writers_are_the_value_returning_ops() {
+        for op in CustomOp::ALL {
+            let expect = matches!(
+                op,
+                CustomOp::GetHwSched | CustomOp::SemTake | CustomOp::SemGive
+            );
+            assert_eq!(op.writes_rd(), expect, "{op}");
+        }
+    }
+}

@@ -1,0 +1,250 @@
+//! Instruction decoding: 32-bit machine word → [`Instr`].
+
+use crate::custom::CustomOp;
+use crate::encode::OPC_CUSTOM0;
+use crate::instr::{AluOp, BranchOp, CsrOp, Instr, LoadOp, MulDivOp, StoreOp};
+use crate::reg::Reg;
+use std::fmt;
+
+/// Error returned when a word is not a valid RV32IM_Zicsr (+ custom)
+/// instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DecodeError {
+    /// The offending machine word.
+    pub word: u32,
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid instruction encoding {:#010x}", self.word)
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+fn rd(w: u32) -> Reg {
+    Reg::from_number((w >> 7 & 0x1f) as u8)
+}
+fn rs1(w: u32) -> Reg {
+    Reg::from_number((w >> 15 & 0x1f) as u8)
+}
+fn rs2(w: u32) -> Reg {
+    Reg::from_number((w >> 20 & 0x1f) as u8)
+}
+fn funct3(w: u32) -> u32 {
+    w >> 12 & 0x7
+}
+fn funct7(w: u32) -> u32 {
+    w >> 25
+}
+fn imm_i(w: u32) -> i32 {
+    (w as i32) >> 20
+}
+fn imm_s(w: u32) -> i32 {
+    ((w & 0xfe00_0000) as i32 >> 20) | (w >> 7 & 0x1f) as i32
+}
+fn imm_b(w: u32) -> i32 {
+    let imm = ((w >> 31 & 1) << 12) | ((w >> 7 & 1) << 11) | ((w >> 25 & 0x3f) << 5)
+        | ((w >> 8 & 0xf) << 1);
+    ((imm as i32) << 19) >> 19
+}
+fn imm_j(w: u32) -> i32 {
+    let imm = ((w >> 31 & 1) << 20) | ((w >> 12 & 0xff) << 12) | ((w >> 20 & 1) << 11)
+        | ((w >> 21 & 0x3ff) << 1);
+    ((imm as i32) << 11) >> 11
+}
+
+/// Decodes a 32-bit machine word.
+///
+/// # Errors
+///
+/// Returns [`DecodeError`] if the word is not a valid instruction in the
+/// supported subset.
+///
+/// ```
+/// use rvsim_isa::{decode, Instr};
+/// assert_eq!(decode(0x3020_0073).unwrap(), Instr::Mret);
+/// assert!(decode(0xffff_ffff).is_err());
+/// ```
+pub fn decode(w: u32) -> Result<Instr, DecodeError> {
+    let err = Err(DecodeError { word: w });
+    let instr = match w & 0x7f {
+        0b0110111 => Instr::Lui { rd: rd(w), imm: w & 0xfffff000 },
+        0b0010111 => Instr::Auipc { rd: rd(w), imm: w & 0xfffff000 },
+        0b1101111 => Instr::Jal { rd: rd(w), offset: imm_j(w) },
+        0b1100111 => {
+            if funct3(w) != 0 {
+                return err;
+            }
+            Instr::Jalr { rd: rd(w), rs1: rs1(w), offset: imm_i(w) }
+        }
+        0b1100011 => {
+            let op = match funct3(w) {
+                0b000 => BranchOp::Eq,
+                0b001 => BranchOp::Ne,
+                0b100 => BranchOp::Lt,
+                0b101 => BranchOp::Ge,
+                0b110 => BranchOp::Ltu,
+                0b111 => BranchOp::Geu,
+                _ => return err,
+            };
+            Instr::Branch { op, rs1: rs1(w), rs2: rs2(w), offset: imm_b(w) }
+        }
+        0b0000011 => {
+            let op = match funct3(w) {
+                0b000 => LoadOp::Lb,
+                0b001 => LoadOp::Lh,
+                0b010 => LoadOp::Lw,
+                0b100 => LoadOp::Lbu,
+                0b101 => LoadOp::Lhu,
+                _ => return err,
+            };
+            Instr::Load { op, rd: rd(w), rs1: rs1(w), offset: imm_i(w) }
+        }
+        0b0100011 => {
+            let op = match funct3(w) {
+                0b000 => StoreOp::Sb,
+                0b001 => StoreOp::Sh,
+                0b010 => StoreOp::Sw,
+                _ => return err,
+            };
+            Instr::Store { op, rs1: rs1(w), rs2: rs2(w), offset: imm_s(w) }
+        }
+        0b0010011 => {
+            let (op, imm) = match funct3(w) {
+                0b000 => (AluOp::Add, imm_i(w)),
+                0b001 => {
+                    if funct7(w) != 0 {
+                        return err;
+                    }
+                    (AluOp::Sll, (w >> 20 & 0x1f) as i32)
+                }
+                0b010 => (AluOp::Slt, imm_i(w)),
+                0b011 => (AluOp::Sltu, imm_i(w)),
+                0b100 => (AluOp::Xor, imm_i(w)),
+                0b101 => match funct7(w) {
+                    0x00 => (AluOp::Srl, (w >> 20 & 0x1f) as i32),
+                    0x20 => (AluOp::Sra, (w >> 20 & 0x1f) as i32),
+                    _ => return err,
+                },
+                0b110 => (AluOp::Or, imm_i(w)),
+                0b111 => (AluOp::And, imm_i(w)),
+                _ => unreachable!(),
+            };
+            Instr::OpImm { op, rd: rd(w), rs1: rs1(w), imm }
+        }
+        0b0110011 => match funct7(w) {
+            0x00 => {
+                let op = match funct3(w) {
+                    0b000 => AluOp::Add,
+                    0b001 => AluOp::Sll,
+                    0b010 => AluOp::Slt,
+                    0b011 => AluOp::Sltu,
+                    0b100 => AluOp::Xor,
+                    0b101 => AluOp::Srl,
+                    0b110 => AluOp::Or,
+                    0b111 => AluOp::And,
+                    _ => unreachable!(),
+                };
+                Instr::Op { op, rd: rd(w), rs1: rs1(w), rs2: rs2(w) }
+            }
+            0x20 => {
+                let op = match funct3(w) {
+                    0b000 => AluOp::Sub,
+                    0b101 => AluOp::Sra,
+                    _ => return err,
+                };
+                Instr::Op { op, rd: rd(w), rs1: rs1(w), rs2: rs2(w) }
+            }
+            0x01 => {
+                let op = match funct3(w) {
+                    0b000 => MulDivOp::Mul,
+                    0b001 => MulDivOp::Mulh,
+                    0b010 => MulDivOp::Mulhsu,
+                    0b011 => MulDivOp::Mulhu,
+                    0b100 => MulDivOp::Div,
+                    0b101 => MulDivOp::Divu,
+                    0b110 => MulDivOp::Rem,
+                    0b111 => MulDivOp::Remu,
+                    _ => unreachable!(),
+                };
+                Instr::MulDiv { op, rd: rd(w), rs1: rs1(w), rs2: rs2(w) }
+            }
+            _ => return err,
+        },
+        0b1110011 => match funct3(w) {
+            0b000 => match w {
+                0x0000_0073 => Instr::Ecall,
+                0x0010_0073 => Instr::Ebreak,
+                0x3020_0073 => Instr::Mret,
+                0x1050_0073 => Instr::Wfi,
+                _ => return err,
+            },
+            f3 => {
+                let op = match f3 {
+                    0b001 => CsrOp::Rw,
+                    0b010 => CsrOp::Rs,
+                    0b011 => CsrOp::Rc,
+                    0b101 => CsrOp::Rwi,
+                    0b110 => CsrOp::Rsi,
+                    0b111 => CsrOp::Rci,
+                    _ => return err,
+                };
+                Instr::Csr {
+                    op,
+                    rd: rd(w),
+                    csr: (w >> 20) as u16,
+                    src: (w >> 15 & 0x1f) as u8,
+                }
+            }
+        },
+        0b0001111 => Instr::Fence,
+        opc if opc == OPC_CUSTOM0 => {
+            if funct3(w) != 0 {
+                return err;
+            }
+            let Some(op) = CustomOp::from_funct7(funct7(w)) else {
+                return err;
+            };
+            Instr::Custom { op, rd: rd(w), rs1: rs1(w), rs2: rs2(w) }
+        }
+        _ => return err,
+    };
+    Ok(instr)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encode::encode;
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(decode(0x0000_0000).is_err());
+        assert!(decode(0xffff_ffff).is_err());
+    }
+
+    #[test]
+    fn branch_offset_sign_extension() {
+        let b = Instr::Branch { op: BranchOp::Lt, rs1: Reg::T0, rs2: Reg::T1, offset: -4096 };
+        assert_eq!(decode(encode(&b)).unwrap(), b);
+        let b2 = Instr::Branch { op: BranchOp::Geu, rs1: Reg::T0, rs2: Reg::T1, offset: 4094 };
+        assert_eq!(decode(encode(&b2)).unwrap(), b2);
+    }
+
+    #[test]
+    fn jal_offset_extremes() {
+        for off in [-(1 << 20), (1 << 20) - 2, 0, 2, -2] {
+            let j = Instr::Jal { rd: Reg::Ra, offset: off };
+            assert_eq!(decode(encode(&j)).unwrap(), j);
+        }
+    }
+
+    #[test]
+    fn csr_roundtrip() {
+        let c = Instr::Csr { op: CsrOp::Rw, rd: Reg::A0, csr: crate::csr::MEPC, src: 11 };
+        assert_eq!(decode(encode(&c)).unwrap(), c);
+        let ci = Instr::Csr { op: CsrOp::Rsi, rd: Reg::Zero, csr: crate::csr::MSTATUS, src: 8 };
+        assert_eq!(decode(encode(&ci)).unwrap(), ci);
+    }
+}

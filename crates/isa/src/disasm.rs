@@ -1,0 +1,165 @@
+//! Disassembler — renders [`Instr`] as conventional assembly text.
+//!
+//! Used by the WCET reports and by simulator traces.
+
+use crate::csr::csr_name;
+use crate::instr::{AluOp, BranchOp, CsrOp, Instr, LoadOp, MulDivOp, StoreOp};
+
+fn alu_name(op: AluOp, imm: bool) -> &'static str {
+    match (op, imm) {
+        (AluOp::Add, false) => "add",
+        (AluOp::Add, true) => "addi",
+        (AluOp::Sub, _) => "sub",
+        (AluOp::Sll, false) => "sll",
+        (AluOp::Sll, true) => "slli",
+        (AluOp::Slt, false) => "slt",
+        (AluOp::Slt, true) => "slti",
+        (AluOp::Sltu, false) => "sltu",
+        (AluOp::Sltu, true) => "sltiu",
+        (AluOp::Xor, false) => "xor",
+        (AluOp::Xor, true) => "xori",
+        (AluOp::Srl, false) => "srl",
+        (AluOp::Srl, true) => "srli",
+        (AluOp::Sra, false) => "sra",
+        (AluOp::Sra, true) => "srai",
+        (AluOp::Or, false) => "or",
+        (AluOp::Or, true) => "ori",
+        (AluOp::And, false) => "and",
+        (AluOp::And, true) => "andi",
+    }
+}
+
+/// Renders `instr` located at `pc` (used to print absolute branch targets).
+///
+/// ```
+/// use rvsim_isa::{disassemble, Instr, Reg, AluOp};
+/// let i = Instr::OpImm { op: AluOp::Add, rd: Reg::A0, rs1: Reg::Sp, imm: -16 };
+/// assert_eq!(disassemble(&i, 0), "addi a0, sp, -16");
+/// ```
+pub fn disassemble(instr: &Instr, pc: u32) -> String {
+    match *instr {
+        Instr::Lui { rd, imm } => format!("lui {rd}, {:#x}", imm >> 12),
+        Instr::Auipc { rd, imm } => format!("auipc {rd}, {:#x}", imm >> 12),
+        Instr::Jal { rd, offset } => {
+            let target = pc.wrapping_add(offset as u32);
+            format!("jal {rd}, {target:#x}")
+        }
+        Instr::Jalr { rd, rs1, offset } => format!("jalr {rd}, {offset}({rs1})"),
+        Instr::Branch { op, rs1, rs2, offset } => {
+            let name = match op {
+                BranchOp::Eq => "beq",
+                BranchOp::Ne => "bne",
+                BranchOp::Lt => "blt",
+                BranchOp::Ge => "bge",
+                BranchOp::Ltu => "bltu",
+                BranchOp::Geu => "bgeu",
+            };
+            let target = pc.wrapping_add(offset as u32);
+            format!("{name} {rs1}, {rs2}, {target:#x}")
+        }
+        Instr::Load { op, rd, rs1, offset } => {
+            let name = match op {
+                LoadOp::Lb => "lb",
+                LoadOp::Lh => "lh",
+                LoadOp::Lw => "lw",
+                LoadOp::Lbu => "lbu",
+                LoadOp::Lhu => "lhu",
+            };
+            format!("{name} {rd}, {offset}({rs1})")
+        }
+        Instr::Store { op, rs1, rs2, offset } => {
+            let name = match op {
+                StoreOp::Sb => "sb",
+                StoreOp::Sh => "sh",
+                StoreOp::Sw => "sw",
+            };
+            format!("{name} {rs2}, {offset}({rs1})")
+        }
+        Instr::OpImm { op, rd, rs1, imm } => {
+            format!("{} {rd}, {rs1}, {imm}", alu_name(op, true))
+        }
+        Instr::Op { op, rd, rs1, rs2 } => {
+            format!("{} {rd}, {rs1}, {rs2}", alu_name(op, false))
+        }
+        Instr::MulDiv { op, rd, rs1, rs2 } => {
+            let name = match op {
+                MulDivOp::Mul => "mul",
+                MulDivOp::Mulh => "mulh",
+                MulDivOp::Mulhsu => "mulhsu",
+                MulDivOp::Mulhu => "mulhu",
+                MulDivOp::Div => "div",
+                MulDivOp::Divu => "divu",
+                MulDivOp::Rem => "rem",
+                MulDivOp::Remu => "remu",
+            };
+            format!("{name} {rd}, {rs1}, {rs2}")
+        }
+        Instr::Csr { op, rd, csr, src } => {
+            let name = match op {
+                CsrOp::Rw => "csrrw",
+                CsrOp::Rs => "csrrs",
+                CsrOp::Rc => "csrrc",
+                CsrOp::Rwi => "csrrwi",
+                CsrOp::Rsi => "csrrsi",
+                CsrOp::Rci => "csrrci",
+            };
+            let csr_s = csr_name(csr)
+                .map(str::to_string)
+                .unwrap_or_else(|| format!("{csr:#x}"));
+            if op.is_immediate() {
+                format!("{name} {rd}, {csr_s}, {src}")
+            } else {
+                format!("{name} {rd}, {csr_s}, {}", crate::reg::Reg::from_number(src))
+            }
+        }
+        Instr::Mret => "mret".to_string(),
+        Instr::Wfi => "wfi".to_string(),
+        Instr::Ecall => "ecall".to_string(),
+        Instr::Ebreak => "ebreak".to_string(),
+        Instr::Fence => "fence".to_string(),
+        Instr::Custom { op, rd, rs1, rs2 } => {
+            if op.writes_rd() {
+                format!("{op} {rd}")
+            } else {
+                format!("{op} {rs1}, {rs2}")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::custom::CustomOp;
+    use crate::reg::Reg;
+
+    #[test]
+    fn renders_branch_target_absolute() {
+        let b = Instr::Branch { op: BranchOp::Ne, rs1: Reg::A0, rs2: Reg::Zero, offset: -8 };
+        assert_eq!(disassemble(&b, 0x100), "bne a0, zero, 0xf8");
+    }
+
+    #[test]
+    fn renders_custom() {
+        let c = Instr::Custom {
+            op: CustomOp::GetHwSched,
+            rd: Reg::A0,
+            rs1: Reg::Zero,
+            rs2: Reg::Zero,
+        };
+        assert_eq!(disassemble(&c, 0), "get_hw_sched a0");
+        let s = Instr::Custom {
+            op: CustomOp::AddReady,
+            rd: Reg::Zero,
+            rs1: Reg::A0,
+            rs2: Reg::A1,
+        };
+        assert_eq!(disassemble(&s, 0), "add_ready a0, a1");
+    }
+
+    #[test]
+    fn renders_csr_by_name() {
+        let c = Instr::Csr { op: CsrOp::Rw, rd: Reg::Zero, csr: crate::csr::MEPC, src: 10 };
+        assert_eq!(disassemble(&c, 0), "csrrw zero, mepc, a0");
+    }
+}

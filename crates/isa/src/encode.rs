@@ -1,0 +1,256 @@
+//! Instruction encoding: [`Instr`] → 32-bit machine word.
+
+use crate::instr::{AluOp, BranchOp, CsrOp, Instr, LoadOp, MulDivOp, StoreOp};
+use crate::reg::Reg;
+
+const OPC_LUI: u32 = 0b0110111;
+const OPC_AUIPC: u32 = 0b0010111;
+const OPC_JAL: u32 = 0b1101111;
+const OPC_JALR: u32 = 0b1100111;
+const OPC_BRANCH: u32 = 0b1100011;
+const OPC_LOAD: u32 = 0b0000011;
+const OPC_STORE: u32 = 0b0100011;
+const OPC_OP_IMM: u32 = 0b0010011;
+const OPC_OP: u32 = 0b0110011;
+const OPC_SYSTEM: u32 = 0b1110011;
+/// The *custom-0* major opcode used by all RTOSUnit instructions.
+pub const OPC_CUSTOM0: u32 = 0b0001011;
+
+fn r_type(opcode: u32, rd: Reg, funct3: u32, rs1: Reg, rs2: Reg, funct7: u32) -> u32 {
+    opcode
+        | (u32::from(rd.number()) << 7)
+        | (funct3 << 12)
+        | (u32::from(rs1.number()) << 15)
+        | (u32::from(rs2.number()) << 20)
+        | (funct7 << 25)
+}
+
+fn i_type(opcode: u32, rd: Reg, funct3: u32, rs1: Reg, imm: i32) -> u32 {
+    debug_assert!((-2048..=2047).contains(&imm), "I-immediate out of range: {imm}");
+    opcode
+        | (u32::from(rd.number()) << 7)
+        | (funct3 << 12)
+        | (u32::from(rs1.number()) << 15)
+        | ((imm as u32 & 0xfff) << 20)
+}
+
+fn s_type(opcode: u32, funct3: u32, rs1: Reg, rs2: Reg, imm: i32) -> u32 {
+    debug_assert!((-2048..=2047).contains(&imm), "S-immediate out of range: {imm}");
+    let imm = imm as u32;
+    opcode
+        | ((imm & 0x1f) << 7)
+        | (funct3 << 12)
+        | (u32::from(rs1.number()) << 15)
+        | (u32::from(rs2.number()) << 20)
+        | ((imm >> 5 & 0x7f) << 25)
+}
+
+fn b_type(funct3: u32, rs1: Reg, rs2: Reg, offset: i32) -> u32 {
+    debug_assert!(
+        (-4096..=4095).contains(&offset) && offset % 2 == 0,
+        "B-offset out of range or misaligned: {offset}"
+    );
+    let o = offset as u32;
+    OPC_BRANCH
+        | ((o >> 11 & 1) << 7)
+        | ((o >> 1 & 0xf) << 8)
+        | (funct3 << 12)
+        | (u32::from(rs1.number()) << 15)
+        | (u32::from(rs2.number()) << 20)
+        | ((o >> 5 & 0x3f) << 25)
+        | ((o >> 12 & 1) << 31)
+}
+
+fn j_type(rd: Reg, offset: i32) -> u32 {
+    debug_assert!(
+        (-(1 << 20)..(1 << 20)).contains(&offset) && offset % 2 == 0,
+        "J-offset out of range or misaligned: {offset}"
+    );
+    let o = offset as u32;
+    OPC_JAL
+        | (u32::from(rd.number()) << 7)
+        | ((o >> 12 & 0xff) << 12)
+        | ((o >> 11 & 1) << 20)
+        | ((o >> 1 & 0x3ff) << 21)
+        | ((o >> 20 & 1) << 31)
+}
+
+fn alu_funct3(op: AluOp) -> u32 {
+    match op {
+        AluOp::Add | AluOp::Sub => 0b000,
+        AluOp::Sll => 0b001,
+        AluOp::Slt => 0b010,
+        AluOp::Sltu => 0b011,
+        AluOp::Xor => 0b100,
+        AluOp::Srl | AluOp::Sra => 0b101,
+        AluOp::Or => 0b110,
+        AluOp::And => 0b111,
+    }
+}
+
+fn muldiv_funct3(op: MulDivOp) -> u32 {
+    match op {
+        MulDivOp::Mul => 0b000,
+        MulDivOp::Mulh => 0b001,
+        MulDivOp::Mulhsu => 0b010,
+        MulDivOp::Mulhu => 0b011,
+        MulDivOp::Div => 0b100,
+        MulDivOp::Divu => 0b101,
+        MulDivOp::Rem => 0b110,
+        MulDivOp::Remu => 0b111,
+    }
+}
+
+fn branch_funct3(op: BranchOp) -> u32 {
+    match op {
+        BranchOp::Eq => 0b000,
+        BranchOp::Ne => 0b001,
+        BranchOp::Lt => 0b100,
+        BranchOp::Ge => 0b101,
+        BranchOp::Ltu => 0b110,
+        BranchOp::Geu => 0b111,
+    }
+}
+
+fn load_funct3(op: LoadOp) -> u32 {
+    match op {
+        LoadOp::Lb => 0b000,
+        LoadOp::Lh => 0b001,
+        LoadOp::Lw => 0b010,
+        LoadOp::Lbu => 0b100,
+        LoadOp::Lhu => 0b101,
+    }
+}
+
+fn store_funct3(op: StoreOp) -> u32 {
+    match op {
+        StoreOp::Sb => 0b000,
+        StoreOp::Sh => 0b001,
+        StoreOp::Sw => 0b010,
+    }
+}
+
+fn csr_funct3(op: CsrOp) -> u32 {
+    match op {
+        CsrOp::Rw => 0b001,
+        CsrOp::Rs => 0b010,
+        CsrOp::Rc => 0b011,
+        CsrOp::Rwi => 0b101,
+        CsrOp::Rsi => 0b110,
+        CsrOp::Rci => 0b111,
+    }
+}
+
+/// Encodes an instruction into its 32-bit machine representation.
+///
+/// # Panics
+///
+/// In debug builds, panics if an immediate is out of range for its
+/// encoding (the assembler validates ranges before calling this).
+///
+/// ```
+/// use rvsim_isa::{encode, decode, Instr, Reg, AluOp};
+/// let i = Instr::OpImm { op: AluOp::Add, rd: Reg::A0, rs1: Reg::A1, imm: -7 };
+/// assert_eq!(decode(encode(&i)).unwrap(), i);
+/// ```
+pub fn encode(instr: &Instr) -> u32 {
+    match *instr {
+        Instr::Lui { rd, imm } => OPC_LUI | (u32::from(rd.number()) << 7) | (imm & 0xfffff000),
+        Instr::Auipc { rd, imm } => {
+            OPC_AUIPC | (u32::from(rd.number()) << 7) | (imm & 0xfffff000)
+        }
+        Instr::Jal { rd, offset } => j_type(rd, offset),
+        Instr::Jalr { rd, rs1, offset } => i_type(OPC_JALR, rd, 0, rs1, offset),
+        Instr::Branch { op, rs1, rs2, offset } => b_type(branch_funct3(op), rs1, rs2, offset),
+        Instr::Load { op, rd, rs1, offset } => i_type(OPC_LOAD, rd, load_funct3(op), rs1, offset),
+        Instr::Store { op, rs1, rs2, offset } => {
+            s_type(OPC_STORE, store_funct3(op), rs1, rs2, offset)
+        }
+        Instr::OpImm { op, rd, rs1, imm } => {
+            debug_assert!(op != AluOp::Sub, "subi does not exist; use addi with -imm");
+            match op {
+                AluOp::Sll | AluOp::Srl => {
+                    debug_assert!((0..32).contains(&imm), "shift amount out of range");
+                    i_type(OPC_OP_IMM, rd, alu_funct3(op), rs1, imm & 0x1f)
+                }
+                AluOp::Sra => {
+                    debug_assert!((0..32).contains(&imm), "shift amount out of range");
+                    i_type(OPC_OP_IMM, rd, alu_funct3(op), rs1, (imm & 0x1f) | 0x400)
+                }
+                _ => i_type(OPC_OP_IMM, rd, alu_funct3(op), rs1, imm),
+            }
+        }
+        Instr::Op { op, rd, rs1, rs2 } => {
+            let funct7 = match op {
+                AluOp::Sub | AluOp::Sra => 0x20,
+                _ => 0x00,
+            };
+            r_type(OPC_OP, rd, alu_funct3(op), rs1, rs2, funct7)
+        }
+        Instr::MulDiv { op, rd, rs1, rs2 } => {
+            r_type(OPC_OP, rd, muldiv_funct3(op), rs1, rs2, 0x01)
+        }
+        Instr::Csr { op, rd, csr, src } => {
+            OPC_SYSTEM
+                | (u32::from(rd.number()) << 7)
+                | (csr_funct3(op) << 12)
+                | (u32::from(src & 0x1f) << 15)
+                | (u32::from(csr) << 20)
+        }
+        Instr::Mret => 0x3020_0073,
+        Instr::Wfi => 0x1050_0073,
+        Instr::Ecall => 0x0000_0073,
+        Instr::Ebreak => 0x0010_0073,
+        Instr::Fence => 0x0000_000f,
+        Instr::Custom { op, rd, rs1, rs2 } => {
+            r_type(OPC_CUSTOM0, rd, 0, rs1, rs2, op.funct7())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::custom::CustomOp;
+
+    #[test]
+    fn known_encodings() {
+        // addi a0, a0, 1  => 0x00150513
+        let addi = Instr::OpImm { op: AluOp::Add, rd: Reg::A0, rs1: Reg::A0, imm: 1 };
+        assert_eq!(encode(&addi), 0x0015_0513);
+        // add a0, a1, a2 => 0x00c58533
+        let add = Instr::Op { op: AluOp::Add, rd: Reg::A0, rs1: Reg::A1, rs2: Reg::A2 };
+        assert_eq!(encode(&add), 0x00c5_8533);
+        // lw a0, 8(sp) => 0x00812503
+        let lw = Instr::Load { op: LoadOp::Lw, rd: Reg::A0, rs1: Reg::Sp, offset: 8 };
+        assert_eq!(encode(&lw), 0x0081_2503);
+        // sw a0, 8(sp) => 0x00a12423
+        let sw = Instr::Store { op: StoreOp::Sw, rs1: Reg::Sp, rs2: Reg::A0, offset: 8 };
+        assert_eq!(encode(&sw), 0x00a1_2423);
+        // jal ra, +8 => 0x008000ef
+        let jal = Instr::Jal { rd: Reg::Ra, offset: 8 };
+        assert_eq!(encode(&jal), 0x0080_00ef);
+        // mret
+        assert_eq!(encode(&Instr::Mret), 0x3020_0073);
+        // mul a0, a1, a2 => 0x02c58533
+        let mul = Instr::MulDiv { op: MulDivOp::Mul, rd: Reg::A0, rs1: Reg::A1, rs2: Reg::A2 };
+        assert_eq!(encode(&mul), 0x02c5_8533);
+    }
+
+    #[test]
+    fn custom_opcode_space() {
+        for op in CustomOp::ALL {
+            let w = encode(&Instr::Custom { op, rd: Reg::A0, rs1: Reg::A1, rs2: Reg::A2 });
+            assert_eq!(w & 0x7f, OPC_CUSTOM0);
+            assert_eq!(w >> 25, op.funct7());
+        }
+    }
+
+    #[test]
+    fn negative_branch_offset() {
+        let b = Instr::Branch { op: BranchOp::Ne, rs1: Reg::A0, rs2: Reg::Zero, offset: -8 };
+        let w = encode(&b);
+        assert_eq!(w & 0x7f, OPC_BRANCH);
+        assert_eq!(crate::decode::decode(w).unwrap(), b);
+    }
+}

@@ -1,0 +1,256 @@
+//! Typed representation of RV32IM_Zicsr instructions.
+
+use crate::custom::CustomOp;
+use crate::reg::Reg;
+
+/// ALU operation used by both register-register and register-immediate forms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AluOp {
+    /// Addition (`add`/`addi`); `sub` in register-register form only.
+    Add,
+    /// Subtraction (register-register only).
+    Sub,
+    /// Logical left shift.
+    Sll,
+    /// Signed set-less-than.
+    Slt,
+    /// Unsigned set-less-than.
+    Sltu,
+    /// Bitwise exclusive or.
+    Xor,
+    /// Logical right shift.
+    Srl,
+    /// Arithmetic right shift.
+    Sra,
+    /// Bitwise or.
+    Or,
+    /// Bitwise and.
+    And,
+}
+
+/// M-extension multiply/divide operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MulDivOp {
+    /// Low 32 bits of the product.
+    Mul,
+    /// High 32 bits of the signed×signed product.
+    Mulh,
+    /// High 32 bits of the signed×unsigned product.
+    Mulhsu,
+    /// High 32 bits of the unsigned×unsigned product.
+    Mulhu,
+    /// Signed division.
+    Div,
+    /// Unsigned division.
+    Divu,
+    /// Signed remainder.
+    Rem,
+    /// Unsigned remainder.
+    Remu,
+}
+
+/// Conditional branch comparison.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BranchOp {
+    /// Branch if equal.
+    Eq,
+    /// Branch if not equal.
+    Ne,
+    /// Branch if signed less-than.
+    Lt,
+    /// Branch if signed greater-or-equal.
+    Ge,
+    /// Branch if unsigned less-than.
+    Ltu,
+    /// Branch if unsigned greater-or-equal.
+    Geu,
+}
+
+/// Load width/signedness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LoadOp {
+    /// Load sign-extended byte.
+    Lb,
+    /// Load sign-extended half-word.
+    Lh,
+    /// Load word.
+    Lw,
+    /// Load zero-extended byte.
+    Lbu,
+    /// Load zero-extended half-word.
+    Lhu,
+}
+
+/// Store width.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StoreOp {
+    /// Store byte.
+    Sb,
+    /// Store half-word.
+    Sh,
+    /// Store word.
+    Sw,
+}
+
+/// Zicsr operation. The `*i` forms use a 5-bit zero-extended immediate in
+/// place of `rs1`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CsrOp {
+    /// Atomic read/write.
+    Rw,
+    /// Atomic read and set bits.
+    Rs,
+    /// Atomic read and clear bits.
+    Rc,
+    /// Immediate read/write.
+    Rwi,
+    /// Immediate read and set bits.
+    Rsi,
+    /// Immediate read and clear bits.
+    Rci,
+}
+
+impl CsrOp {
+    /// Whether the source operand is the 5-bit immediate form.
+    pub fn is_immediate(self) -> bool {
+        matches!(self, CsrOp::Rwi | CsrOp::Rsi | CsrOp::Rci)
+    }
+}
+
+/// A decoded RV32IM_Zicsr (+ RTOSUnit custom) instruction.
+///
+/// Immediates are stored in their *architectural* form: already
+/// sign-extended (branch/jump/load/store offsets, I-immediates) or already
+/// shifted into the upper bits (`lui`/`auipc`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Instr {
+    /// Load upper immediate. `imm` holds the final value (`imm20 << 12`).
+    Lui { rd: Reg, imm: u32 },
+    /// Add upper immediate to PC. `imm` holds `imm20 << 12`.
+    Auipc { rd: Reg, imm: u32 },
+    /// Jump and link; `offset` is relative to the instruction address.
+    Jal { rd: Reg, offset: i32 },
+    /// Indirect jump and link.
+    Jalr { rd: Reg, rs1: Reg, offset: i32 },
+    /// Conditional branch; `offset` is relative to the instruction address.
+    Branch { op: BranchOp, rs1: Reg, rs2: Reg, offset: i32 },
+    /// Memory load.
+    Load { op: LoadOp, rd: Reg, rs1: Reg, offset: i32 },
+    /// Memory store.
+    Store { op: StoreOp, rs1: Reg, rs2: Reg, offset: i32 },
+    /// ALU with immediate (no `Sub`; shifts use the low 5 bits of `imm`).
+    OpImm { op: AluOp, rd: Reg, rs1: Reg, imm: i32 },
+    /// ALU register-register.
+    Op { op: AluOp, rd: Reg, rs1: Reg, rs2: Reg },
+    /// M-extension multiply/divide.
+    MulDiv { op: MulDivOp, rd: Reg, rs1: Reg, rs2: Reg },
+    /// Zicsr access. For immediate forms `src` holds the 5-bit immediate,
+    /// otherwise the source register number.
+    Csr { op: CsrOp, rd: Reg, csr: u16, src: u8 },
+    /// Return from machine trap.
+    Mret,
+    /// Wait for interrupt.
+    Wfi,
+    /// Environment call.
+    Ecall,
+    /// Breakpoint.
+    Ebreak,
+    /// Memory fence (a timing no-op in this model).
+    Fence,
+    /// RTOSUnit custom instruction (paper Table 1).
+    Custom { op: CustomOp, rd: Reg, rs1: Reg, rs2: Reg },
+}
+
+impl Instr {
+    /// The destination register, if the instruction writes one
+    /// (writes to `x0` are reported as `None`).
+    pub fn rd(&self) -> Option<Reg> {
+        let rd = match *self {
+            Instr::Lui { rd, .. }
+            | Instr::Auipc { rd, .. }
+            | Instr::Jal { rd, .. }
+            | Instr::Jalr { rd, .. }
+            | Instr::Load { rd, .. }
+            | Instr::OpImm { rd, .. }
+            | Instr::Op { rd, .. }
+            | Instr::MulDiv { rd, .. }
+            | Instr::Csr { rd, .. } => rd,
+            Instr::Custom { op, rd, .. } if op.writes_rd() => rd,
+            _ => return None,
+        };
+        (rd != Reg::Zero).then_some(rd)
+    }
+
+    /// Source registers read by the instruction (up to two).
+    pub fn sources(&self) -> [Option<Reg>; 2] {
+        match *self {
+            Instr::Jalr { rs1, .. } | Instr::Load { rs1, .. } | Instr::OpImm { rs1, .. } => {
+                [Some(rs1), None]
+            }
+            Instr::Branch { rs1, rs2, .. }
+            | Instr::Store { rs1, rs2, .. }
+            | Instr::Op { rs1, rs2, .. }
+            | Instr::MulDiv { rs1, rs2, .. }
+            | Instr::Custom { rs1, rs2, .. } => [Some(rs1), Some(rs2)],
+            Instr::Csr { op, src, .. } if !op.is_immediate() => {
+                [Some(Reg::from_number(src)), None]
+            }
+            _ => [None, None],
+        }
+    }
+
+    /// Whether this is a control-flow instruction (branch, jump, `mret`).
+    pub fn is_control_flow(&self) -> bool {
+        matches!(
+            self,
+            Instr::Jal { .. } | Instr::Jalr { .. } | Instr::Branch { .. } | Instr::Mret
+        )
+    }
+
+    /// Whether this instruction accesses data memory.
+    pub fn is_mem(&self) -> bool {
+        matches!(self, Instr::Load { .. } | Instr::Store { .. })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rd_of_x0_is_none() {
+        let i = Instr::OpImm { op: AluOp::Add, rd: Reg::Zero, rs1: Reg::A0, imm: 1 };
+        assert_eq!(i.rd(), None);
+    }
+
+    #[test]
+    fn custom_rd_only_for_get_hw_sched() {
+        let get = Instr::Custom {
+            op: CustomOp::GetHwSched,
+            rd: Reg::A0,
+            rs1: Reg::Zero,
+            rs2: Reg::Zero,
+        };
+        assert_eq!(get.rd(), Some(Reg::A0));
+        let set = Instr::Custom {
+            op: CustomOp::SetContextId,
+            rd: Reg::A0,
+            rs1: Reg::A1,
+            rs2: Reg::Zero,
+        };
+        assert_eq!(set.rd(), None);
+    }
+
+    #[test]
+    fn sources_of_store() {
+        let s = Instr::Store { op: StoreOp::Sw, rs1: Reg::Sp, rs2: Reg::A0, offset: 4 };
+        assert_eq!(s.sources(), [Some(Reg::Sp), Some(Reg::A0)]);
+    }
+
+    #[test]
+    fn control_flow_classification() {
+        assert!(Instr::Mret.is_control_flow());
+        assert!(Instr::Jal { rd: Reg::Zero, offset: 8 }.is_control_flow());
+        assert!(!Instr::Fence.is_control_flow());
+    }
+}

@@ -1,0 +1,228 @@
+//! General-purpose register names.
+
+use std::fmt;
+
+/// One of the 32 RV32 general-purpose registers, named by ABI mnemonic.
+///
+/// `Zero` is hard-wired to zero. The paper's context format (§3) excludes
+/// `Zero`, `Gp` and `Tp` from the saved state, leaving 29 general-purpose
+/// registers plus `mstatus` and `mepc` — 31 words total; see
+/// [`Reg::CONTEXT_REGS`].
+///
+/// ```
+/// use rvsim_isa::Reg;
+/// assert_eq!(Reg::CONTEXT_REGS.len(), 29);
+/// assert_eq!(Reg::A0.number(), 10);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(u8)]
+pub enum Reg {
+    /// x0: hard-wired zero.
+    Zero = 0,
+    /// x1: return address.
+    Ra = 1,
+    /// x2: stack pointer.
+    Sp = 2,
+    /// x3: global pointer (static after startup; not part of a context).
+    Gp = 3,
+    /// x4: thread pointer (static after startup; not part of a context).
+    Tp = 4,
+    /// x5: temporary.
+    T0 = 5,
+    /// x6: temporary.
+    T1 = 6,
+    /// x7: temporary.
+    T2 = 7,
+    /// x8: saved register / frame pointer.
+    S0 = 8,
+    /// x9: saved register.
+    S1 = 9,
+    /// x10: argument / return value.
+    A0 = 10,
+    /// x11: argument / return value.
+    A1 = 11,
+    /// x12: argument.
+    A2 = 12,
+    /// x13: argument.
+    A3 = 13,
+    /// x14: argument.
+    A4 = 14,
+    /// x15: argument.
+    A5 = 15,
+    /// x16: argument.
+    A6 = 16,
+    /// x17: argument.
+    A7 = 17,
+    /// x18: saved register.
+    S2 = 18,
+    /// x19: saved register.
+    S3 = 19,
+    /// x20: saved register.
+    S4 = 20,
+    /// x21: saved register.
+    S5 = 21,
+    /// x22: saved register.
+    S6 = 22,
+    /// x23: saved register.
+    S7 = 23,
+    /// x24: saved register.
+    S8 = 24,
+    /// x25: saved register.
+    S9 = 25,
+    /// x26: saved register.
+    S10 = 26,
+    /// x27: saved register.
+    S11 = 27,
+    /// x28: temporary.
+    T3 = 28,
+    /// x29: temporary.
+    T4 = 29,
+    /// x30: temporary.
+    T5 = 30,
+    /// x31: temporary.
+    T6 = 31,
+}
+
+impl Reg {
+    /// All 32 registers in numeric order.
+    pub const ALL: [Reg; 32] = [
+        Reg::Zero,
+        Reg::Ra,
+        Reg::Sp,
+        Reg::Gp,
+        Reg::Tp,
+        Reg::T0,
+        Reg::T1,
+        Reg::T2,
+        Reg::S0,
+        Reg::S1,
+        Reg::A0,
+        Reg::A1,
+        Reg::A2,
+        Reg::A3,
+        Reg::A4,
+        Reg::A5,
+        Reg::A6,
+        Reg::A7,
+        Reg::S2,
+        Reg::S3,
+        Reg::S4,
+        Reg::S5,
+        Reg::S6,
+        Reg::S7,
+        Reg::S8,
+        Reg::S9,
+        Reg::S10,
+        Reg::S11,
+        Reg::T3,
+        Reg::T4,
+        Reg::T5,
+        Reg::T6,
+    ];
+
+    /// The 29 registers that belong to a task context per §3 of the paper:
+    /// everything except `Zero` (hard-wired), `Gp` and `Tp` (static).
+    pub const CONTEXT_REGS: [Reg; 29] = [
+        Reg::Ra,
+        Reg::Sp,
+        Reg::T0,
+        Reg::T1,
+        Reg::T2,
+        Reg::S0,
+        Reg::S1,
+        Reg::A0,
+        Reg::A1,
+        Reg::A2,
+        Reg::A3,
+        Reg::A4,
+        Reg::A5,
+        Reg::A6,
+        Reg::A7,
+        Reg::S2,
+        Reg::S3,
+        Reg::S4,
+        Reg::S5,
+        Reg::S6,
+        Reg::S7,
+        Reg::S8,
+        Reg::S9,
+        Reg::S10,
+        Reg::S11,
+        Reg::T3,
+        Reg::T4,
+        Reg::T5,
+        Reg::T6,
+    ];
+
+    /// Hardware register number (0–31).
+    #[inline]
+    pub fn number(self) -> u8 {
+        self as u8
+    }
+
+    /// Constructs a register from a 5-bit field.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > 31`.
+    #[inline]
+    pub fn from_number(n: u8) -> Reg {
+        assert!(n < 32, "register number out of range: {n}");
+        Reg::ALL[n as usize]
+    }
+
+    /// ABI mnemonic, e.g. `"a0"`.
+    pub fn name(self) -> &'static str {
+        const NAMES: [&str; 32] = [
+            "zero", "ra", "sp", "gp", "tp", "t0", "t1", "t2", "s0", "s1", "a0", "a1", "a2", "a3",
+            "a4", "a5", "a6", "a7", "s2", "s3", "s4", "s5", "s6", "s7", "s8", "s9", "s10", "s11",
+            "t3", "t4", "t5", "t6",
+        ];
+        NAMES[self.number() as usize]
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl From<Reg> for u8 {
+    fn from(r: Reg) -> u8 {
+        r.number()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numbers_roundtrip() {
+        for n in 0..32u8 {
+            assert_eq!(Reg::from_number(n).number(), n);
+        }
+    }
+
+    #[test]
+    fn context_regs_exclude_static() {
+        assert!(!Reg::CONTEXT_REGS.contains(&Reg::Zero));
+        assert!(!Reg::CONTEXT_REGS.contains(&Reg::Gp));
+        assert!(!Reg::CONTEXT_REGS.contains(&Reg::Tp));
+        assert_eq!(Reg::CONTEXT_REGS.len(), 29);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn from_number_rejects_large() {
+        Reg::from_number(32);
+    }
+
+    #[test]
+    fn display_uses_abi_names() {
+        assert_eq!(Reg::A0.to_string(), "a0");
+        assert_eq!(Reg::Zero.to_string(), "zero");
+        assert_eq!(Reg::S11.to_string(), "s11");
+    }
+}

@@ -1,0 +1,286 @@
+//! Inline code emitters for the kernel's list operations.
+//!
+//! The ISR is generated as straight-line code (like real FreeRTOS port
+//! assembly): every list operation is expanded inline rather than called,
+//! which keeps the register discipline simple and makes the WCET analysis
+//! of `rvsim-wcet` tractable. Each emitter documents the registers it
+//! clobbers.
+
+use crate::klayout::{sem, tcb, KernelLayout};
+use rvsim_isa::{Asm, Reg};
+
+/// Generates unique label names for inline expansions.
+#[derive(Debug, Default)]
+pub struct LabelGen {
+    n: u64,
+}
+
+impl LabelGen {
+    /// Creates a generator.
+    pub fn new() -> LabelGen {
+        LabelGen::default()
+    }
+
+    /// Returns a fresh label with the given stem.
+    pub fn fresh(&mut self, stem: &str) -> String {
+        self.n += 1;
+        format!(".{stem}_{}", self.n)
+    }
+}
+
+/// Disables machine interrupts (`csrrci mstatus, MIE`).
+pub fn disable_irq(a: &mut Asm) {
+    a.disable_interrupts();
+}
+
+/// Enables machine interrupts (`csrrsi mstatus, MIE`).
+pub fn enable_irq(a: &mut Asm) {
+    a.enable_interrupts();
+}
+
+/// Triggers a voluntary yield by raising the software interrupt
+/// (paper Fig. 2 (c)). Clobbers `t0`, `t1`.
+pub fn trigger_yield(a: &mut Asm) {
+    a.li(Reg::T0, rtosunit::layout::MMIO_MSIP as i32);
+    a.li(Reg::T1, 1);
+    a.sw(Reg::T1, 0, Reg::T0);
+}
+
+/// Appends the TCB in `tcb_reg` to the tail of its priority's ready queue.
+///
+/// Clobbers `t0`, `t1`, `t2`. `tcb_reg` must not be one of those.
+pub fn ready_push_back(a: &mut Asm, lg: &mut LabelGen, tcb_reg: Reg) {
+    debug_assert!(![Reg::T0, Reg::T1, Reg::T2].contains(&tcb_reg));
+    let nonempty = lg.fresh("rpb_nonempty");
+    let done = lg.fresh("rpb_done");
+    a.lw(Reg::T0, tcb::PRIO, tcb_reg);
+    a.slli(Reg::T0, Reg::T0, 2);
+    a.li(Reg::T1, KernelLayout::READY_HEAD as i32);
+    a.add(Reg::T1, Reg::T1, Reg::T0); // &head[prio]
+    a.sw(Reg::Zero, tcb::NEXT, tcb_reg);
+    a.lw(Reg::T2, 0, Reg::T1);
+    a.bnez(Reg::T2, &nonempty);
+    // Empty queue: head = tail = tcb.
+    a.sw(tcb_reg, 0, Reg::T1);
+    a.addi(Reg::T1, Reg::T1, 32); // &tail[prio]
+    a.sw(tcb_reg, 0, Reg::T1);
+    a.j(&done);
+    a.label(&nonempty);
+    a.addi(Reg::T1, Reg::T1, 32); // &tail[prio]
+    a.lw(Reg::T2, 0, Reg::T1);
+    a.sw(tcb_reg, tcb::NEXT, Reg::T2); // tail.next = tcb
+    a.sw(tcb_reg, 0, Reg::T1); // tail = tcb
+    a.label(&done);
+}
+
+/// Removes the TCB in `tcb_reg` from its priority's ready queue. The TCB
+/// **must** be present (blocking paths only run for the current task,
+/// which is always in the ready list).
+///
+/// Clobbers `t0`, `t1`, `t2`, `t3`.
+pub fn ready_remove(a: &mut Asm, lg: &mut LabelGen, tcb_reg: Reg) {
+    debug_assert!(![Reg::T0, Reg::T1, Reg::T2, Reg::T3].contains(&tcb_reg));
+    let scan = lg.fresh("rrm_scan");
+    let found = lg.fresh("rrm_found");
+    let is_head = lg.fresh("rrm_head");
+    let done = lg.fresh("rrm_done");
+    a.lw(Reg::T0, tcb::PRIO, tcb_reg);
+    a.slli(Reg::T0, Reg::T0, 2);
+    a.li(Reg::T1, KernelLayout::READY_HEAD as i32);
+    a.add(Reg::T1, Reg::T1, Reg::T0); // &head[prio]
+    a.lw(Reg::T2, 0, Reg::T1); // cur = head
+    a.beq(Reg::T2, tcb_reg, &is_head);
+    a.label(&scan);
+    a.lw(Reg::T3, tcb::NEXT, Reg::T2);
+    a.beq(Reg::T3, tcb_reg, &found);
+    a.mv(Reg::T2, Reg::T3);
+    a.j(&scan);
+    a.label(&found);
+    // prev (t2).next = tcb.next
+    a.lw(Reg::T3, tcb::NEXT, tcb_reg);
+    a.sw(Reg::T3, tcb::NEXT, Reg::T2);
+    a.bnez(Reg::T3, &done);
+    // Removed the tail: tail = prev.
+    a.addi(Reg::T1, Reg::T1, 32);
+    a.sw(Reg::T2, 0, Reg::T1);
+    a.j(&done);
+    a.label(&is_head);
+    a.lw(Reg::T3, tcb::NEXT, tcb_reg);
+    a.sw(Reg::T3, 0, Reg::T1); // head = next
+    a.bnez(Reg::T3, &done);
+    a.addi(Reg::T1, Reg::T1, 32);
+    a.sw(Reg::Zero, 0, Reg::T1); // queue empty: tail = 0
+    a.label(&done);
+}
+
+/// FreeRTOS scheduling (paper Fig. 2): selects the highest-priority ready
+/// task into `a0` and rotates it to the tail of its class (round robin).
+///
+/// Clobbers `t0`–`t4`, `a0`. Falls into `ebreak` if every queue is empty
+/// (the idle task must always be ready).
+pub fn sched_select(a: &mut Asm, lg: &mut LabelGen) {
+    let scan = lg.fresh("sel_scan");
+    let got = lg.fresh("sel_got");
+    let rotate = lg.fresh("sel_rotate");
+    let done = lg.fresh("sel_done");
+    a.li(Reg::T0, (crate::klayout::NUM_PRIOS as i32) - 1);
+    a.li(Reg::T1, KernelLayout::READY_HEAD as i32);
+    a.label(&scan);
+    a.slli(Reg::T2, Reg::T0, 2);
+    a.add(Reg::T2, Reg::T1, Reg::T2); // &head[p]
+    a.lw(Reg::A0, 0, Reg::T2);
+    a.bnez(Reg::A0, &got);
+    a.addi(Reg::T0, Reg::T0, -1);
+    a.bge(Reg::T0, Reg::Zero, &scan);
+    a.ebreak(); // unreachable: idle task is always ready
+    a.label(&got);
+    a.lw(Reg::T3, tcb::NEXT, Reg::A0);
+    a.bnez(Reg::T3, &rotate);
+    a.j(&done); // single entry: no rotation needed
+    a.label(&rotate);
+    a.sw(Reg::T3, 0, Reg::T2); // head = next
+    a.addi(Reg::T2, Reg::T2, 32); // &tail[p]
+    a.lw(Reg::T4, 0, Reg::T2);
+    a.sw(Reg::A0, tcb::NEXT, Reg::T4); // tail.next = selected
+    a.sw(Reg::A0, 0, Reg::T2); // tail = selected
+    a.sw(Reg::Zero, tcb::NEXT, Reg::A0);
+    a.label(&done);
+}
+
+/// Inserts the TCB in `a1` into the delay list, sorted by the wake tick in
+/// `t5` (ascending; FIFO among equal ticks).
+///
+/// Clobbers `t0`–`t4`. Inputs: `a1` = TCB, `t5` = absolute wake tick.
+pub fn delay_insert(a: &mut Asm, lg: &mut LabelGen) {
+    let front = lg.fresh("dli_front");
+    let scan = lg.fresh("dli_scan");
+    let between = lg.fresh("dli_between");
+    let done = lg.fresh("dli_done");
+    a.sw(Reg::T5, tcb::WAKE_TICK, Reg::A1);
+    a.li(Reg::T0, KernelLayout::DELAY_HEAD as i32);
+    a.lw(Reg::T1, 0, Reg::T0); // cur = head
+    a.beqz(Reg::T1, &front);
+    a.lw(Reg::T2, tcb::WAKE_TICK, Reg::T1);
+    a.bltu(Reg::T5, Reg::T2, &front);
+    a.label(&scan);
+    a.lw(Reg::T3, tcb::NEXT, Reg::T1); // next
+    a.beqz(Reg::T3, &between); // append at end (next = 0)
+    a.lw(Reg::T2, tcb::WAKE_TICK, Reg::T3);
+    a.bltu(Reg::T5, Reg::T2, &between);
+    a.mv(Reg::T1, Reg::T3);
+    a.j(&scan);
+    a.label(&between);
+    // insert a1 after t1
+    a.sw(Reg::T3, tcb::NEXT, Reg::A1);
+    a.sw(Reg::A1, tcb::NEXT, Reg::T1);
+    a.j(&done);
+    a.label(&front);
+    a.lw(Reg::T3, 0, Reg::T0);
+    a.sw(Reg::T3, tcb::NEXT, Reg::A1);
+    a.sw(Reg::A1, 0, Reg::T0);
+    a.label(&done);
+}
+
+/// Software tick handler (paper Fig. 2 (f)/(g)): increments `TICK_COUNT`
+/// and moves every expired task from the delay list to its ready queue.
+///
+/// Clobbers `t0`–`t5`, `a0`, `s0`, `s1` (the caller must have saved or
+/// banked them).
+pub fn delay_tick(a: &mut Asm, lg: &mut LabelGen) {
+    let scan = lg.fresh("dtk_scan");
+    let done = lg.fresh("dtk_done");
+    a.li(Reg::T0, KernelLayout::TICK_COUNT as i32);
+    a.lw(Reg::S0, 0, Reg::T0);
+    a.addi(Reg::S0, Reg::S0, 1);
+    a.sw(Reg::S0, 0, Reg::T0);
+    a.li(Reg::S1, KernelLayout::DELAY_HEAD as i32);
+    a.label(&scan);
+    a.lw(Reg::A0, 0, Reg::S1); // head
+    a.beqz(Reg::A0, &done);
+    a.lw(Reg::T4, tcb::WAKE_TICK, Reg::A0);
+    a.bltu(Reg::S0, Reg::T4, &done); // head wakes later: stop
+    a.lw(Reg::T5, tcb::NEXT, Reg::A0);
+    a.sw(Reg::T5, 0, Reg::S1); // pop head
+    ready_push_back(a, lg, Reg::A0);
+    a.j(&scan);
+    a.label(&done);
+}
+
+/// Inserts the TCB in `a1` into the wait list of the semaphore whose
+/// address is in `sem_reg`, sorted by priority descending (FreeRTOS event
+/// lists are priority-ordered).
+///
+/// Clobbers `t0`–`t3`. `sem_reg` must not be `t0`–`t3` or `a1`.
+pub fn event_insert(a: &mut Asm, lg: &mut LabelGen, sem_reg: Reg) {
+    debug_assert!(![Reg::T0, Reg::T1, Reg::T2, Reg::T3, Reg::A1].contains(&sem_reg));
+    let front = lg.fresh("evi_front");
+    let scan = lg.fresh("evi_scan");
+    let between = lg.fresh("evi_between");
+    let done = lg.fresh("evi_done");
+    a.lw(Reg::T0, tcb::PRIO, Reg::A1); // our prio
+    a.lw(Reg::T1, sem::WAIT_HEAD, sem_reg);
+    a.beqz(Reg::T1, &front);
+    a.lw(Reg::T2, tcb::PRIO, Reg::T1);
+    a.blt(Reg::T2, Reg::T0, &front); // head prio < ours: take the front
+    a.label(&scan);
+    a.lw(Reg::T3, tcb::NEXT, Reg::T1);
+    a.beqz(Reg::T3, &between);
+    a.lw(Reg::T2, tcb::PRIO, Reg::T3);
+    a.blt(Reg::T2, Reg::T0, &between);
+    a.mv(Reg::T1, Reg::T3);
+    a.j(&scan);
+    a.label(&between);
+    a.sw(Reg::T3, tcb::NEXT, Reg::A1);
+    a.sw(Reg::A1, tcb::NEXT, Reg::T1);
+    a.j(&done);
+    a.label(&front);
+    a.lw(Reg::T3, sem::WAIT_HEAD, sem_reg);
+    a.sw(Reg::T3, tcb::NEXT, Reg::A1);
+    a.sw(Reg::A1, sem::WAIT_HEAD, sem_reg);
+    a.label(&done);
+}
+
+/// Pops the highest-priority waiter of the semaphore whose address is in
+/// `sem_reg` into `a1` (0 when the wait list is empty).
+///
+/// Clobbers `t0`. `sem_reg` must not be `t0` or `a1`.
+pub fn event_pop(a: &mut Asm, lg: &mut LabelGen, sem_reg: Reg) {
+    debug_assert!(![Reg::T0, Reg::A1].contains(&sem_reg));
+    let done = lg.fresh("evp_done");
+    a.lw(Reg::A1, sem::WAIT_HEAD, sem_reg);
+    a.beqz(Reg::A1, &done);
+    a.lw(Reg::T0, tcb::NEXT, Reg::A1);
+    a.sw(Reg::T0, sem::WAIT_HEAD, sem_reg);
+    a.label(&done);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_are_unique() {
+        let mut lg = LabelGen::new();
+        let a = lg.fresh("x");
+        let b = lg.fresh("x");
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn emitters_assemble() {
+        // Every emitter must produce internally consistent labels.
+        let mut a = Asm::new(0);
+        let mut lg = LabelGen::new();
+        ready_push_back(&mut a, &mut lg, Reg::A0);
+        ready_remove(&mut a, &mut lg, Reg::A0);
+        sched_select(&mut a, &mut lg);
+        delay_insert(&mut a, &mut lg);
+        delay_tick(&mut a, &mut lg);
+        event_insert(&mut a, &mut lg, Reg::S0);
+        event_pop(&mut a, &mut lg, Reg::S0);
+        trigger_yield(&mut a);
+        a.ebreak();
+        let p = a.finish().expect("all emitters assemble");
+        assert!(p.words.len() > 60);
+    }
+}

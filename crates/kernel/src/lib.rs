@@ -1,0 +1,45 @@
+//! **freertos-lite** — a FreeRTOS-workalike guest kernel emitted as real
+//! RV32 machine code for the RTOSUnit simulator.
+//!
+//! The paper evaluates the RTOSUnit with FreeRTOS (§3): per-priority ready
+//! lists with round-robin time slicing, a sorted delay list, event lists
+//! for synchronisation primitives, TCBs and a `currentTCB` global. This
+//! crate generates that kernel — boot code, per-configuration ISRs,
+//! task-level syscalls (`yield`, `delay`, semaphore/mutex take/give) and
+//! task bodies — via the `rvsim-isa` assembler, plus the initial data
+//! image (TCBs, stacks, lists, saved contexts).
+//!
+//! One kernel image is produced per [`Preset`](rtosunit::Preset): the ISR
+//! shrinks exactly as Fig. 4 of the paper describes — from the full
+//! software save/schedule/restore of **(vanilla)** down to "update
+//! `currentTCB`" for **(SLT)**.
+//!
+//! # Example
+//!
+//! ```
+//! use freertos_lite::KernelBuilder;
+//! use rtosunit::{Preset, System};
+//! use rvsim_cores::CoreKind;
+//!
+//! let mut k = KernelBuilder::new(Preset::Slt);
+//! k.task("a", 5, |t| {
+//!     t.yield_now();
+//! });
+//! k.task("b", 5, |t| {
+//!     t.yield_now();
+//! });
+//! let image = k.build().expect("kernel builds");
+//! let mut sys = System::new(CoreKind::Cv32e40p, Preset::Slt);
+//! image.install(&mut sys);
+//! sys.run(100_000);
+//! assert!(sys.records().len() > 10); // context switches happened
+//! ```
+
+pub mod builder;
+pub mod emit;
+pub mod isr;
+pub mod klayout;
+pub mod syscalls;
+
+pub use builder::{GuestImage, KernelBuilder, KernelError, TaskCtx};
+pub use klayout::KernelLayout;

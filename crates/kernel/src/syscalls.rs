@@ -1,0 +1,211 @@
+//! Task-level kernel services: `yield`, `delay`, semaphore take/give.
+//!
+//! These are real subroutines called from task bodies (via `jal ra`).
+//! They follow the standard ABI for saved registers, run their critical
+//! sections with interrupts disabled, and defer the actual switch to the
+//! ISR by raising the software interrupt (paper Fig. 2 (c)).
+
+use crate::emit::{self, LabelGen};
+use crate::klayout::{sem, tcb, KernelLayout};
+use rtosunit::{Preset, RtosUnitConfig};
+use rvsim_isa::{Asm, Reg};
+
+fn hw_sync(preset: Preset) -> bool {
+    RtosUnitConfig::from_preset(preset).is_some_and(|c| c.hw_sync)
+}
+
+/// Emits every syscall for the given configuration. Labels:
+/// `k_yield`, `k_delay`, `k_sem_take`, `k_sem_give`.
+pub fn gen_syscalls(a: &mut Asm, lg: &mut LabelGen, preset: Preset) {
+    gen_yield(a);
+    gen_delay(a, lg, preset);
+    gen_sem_take(a, lg, preset);
+    gen_sem_give(a, lg, preset);
+}
+
+/// `k_yield`: voluntary yield. Clobbers `t0`, `t1`.
+fn gen_yield(a: &mut Asm) {
+    a.label("k_yield");
+    emit::trigger_yield(a);
+    a.ret();
+}
+
+/// `k_delay(a0 = ticks)`: blocks the current task for `ticks` timer ticks
+/// (`vTaskDelay`). Clobbers caller-saved registers.
+fn gen_delay(a: &mut Asm, lg: &mut LabelGen, preset: Preset) {
+    a.label("k_delay");
+    a.addi(Reg::Sp, Reg::Sp, -4);
+    a.sw(Reg::Ra, 0, Reg::Sp);
+    emit::disable_irq(a);
+    a.li(Reg::T0, KernelLayout::CURRENT_TCB as i32);
+    a.lw(Reg::A1, 0, Reg::T0); // a1 = self
+    if preset.has_sched() {
+        // Hardware path: RM_TASK + ADD_DELAY (§4.4). ADD_DELAY applies to
+        // the currently running task, so only priority and duration are
+        // passed (Fig. 5 (d)).
+        a.lw(Reg::T0, tcb::ID, Reg::A1);
+        a.rm_task(Reg::T0);
+        a.lw(Reg::T1, tcb::PRIO, Reg::A1);
+        a.add_delay(Reg::T1, Reg::A0);
+    } else {
+        // Software path: leave the ready list, sorted-insert into the
+        // delay list (Fig. 2 (f)).
+        a.li(Reg::T0, KernelLayout::TICK_COUNT as i32);
+        a.lw(Reg::T5, 0, Reg::T0);
+        a.add(Reg::T5, Reg::T5, Reg::A0); // wake tick
+        emit::ready_remove(a, lg, Reg::A1);
+        emit::delay_insert(a, lg);
+    }
+    emit::trigger_yield(a);
+    emit::enable_irq(a); // the pending yield is taken right here
+    a.lw(Reg::Ra, 0, Reg::Sp);
+    a.addi(Reg::Sp, Reg::Sp, 4);
+    a.ret();
+}
+
+/// `k_sem_take(a0 = semaphore address, or hardware id with the §7
+/// extension)`: P operation, blocking.
+fn gen_sem_take(a: &mut Asm, lg: &mut LabelGen, preset: Preset) {
+    if hw_sync(preset) {
+        // Hardware path: one custom instruction; on a blocking take the
+        // unit removes us from the ready list and queues us on the
+        // semaphore, and SEM_GIVE hands the token over directly — after
+        // the yield returns, the token is ours.
+        let got = lg.fresh("take_hw_got");
+        a.label("k_sem_take");
+        emit::disable_irq(a);
+        a.li(Reg::T1, KernelLayout::CURRENT_TCB as i32);
+        a.lw(Reg::T1, 0, Reg::T1);
+        a.lw(Reg::T1, tcb::PRIO, Reg::T1);
+        a.hw_sem_take(Reg::T0, Reg::A0, Reg::T1);
+        a.bnez(Reg::T0, &got);
+        emit::trigger_yield(a);
+        emit::enable_irq(a);
+        a.ret(); // resumed ⇒ direct hand-off granted
+        a.label(&got);
+        emit::enable_irq(a);
+        a.ret();
+        return;
+    }
+    let retry = lg.fresh("take_retry");
+    let block = lg.fresh("take_block");
+    a.label("k_sem_take");
+    a.addi(Reg::Sp, Reg::Sp, -8);
+    a.sw(Reg::Ra, 0, Reg::Sp);
+    a.sw(Reg::S0, 4, Reg::Sp);
+    a.mv(Reg::S0, Reg::A0);
+    a.label(&retry);
+    emit::disable_irq(a);
+    a.lw(Reg::T0, sem::COUNT, Reg::S0);
+    a.beqz(Reg::T0, &block);
+    a.addi(Reg::T0, Reg::T0, -1);
+    a.sw(Reg::T0, sem::COUNT, Reg::S0);
+    emit::enable_irq(a);
+    a.lw(Reg::Ra, 0, Reg::Sp);
+    a.lw(Reg::S0, 4, Reg::Sp);
+    a.addi(Reg::Sp, Reg::Sp, 8);
+    a.ret();
+    a.label(&block);
+    // Leave the ready list and join the semaphore's priority-ordered
+    // event list (Fig. 2 (d)), then yield and retry once woken (e).
+    a.li(Reg::T0, KernelLayout::CURRENT_TCB as i32);
+    a.lw(Reg::A1, 0, Reg::T0);
+    if preset.has_sched() {
+        a.lw(Reg::T0, tcb::ID, Reg::A1);
+        a.rm_task(Reg::T0);
+    } else {
+        emit::ready_remove(a, lg, Reg::A1);
+    }
+    emit::event_insert(a, lg, Reg::S0);
+    emit::trigger_yield(a);
+    emit::enable_irq(a);
+    a.j(&retry);
+}
+
+/// `k_sem_give(a0 = semaphore address, or hardware id with the §7
+/// extension)`: V operation. Wakes the highest-priority waiter and yields
+/// if that waiter outranks the caller.
+fn gen_sem_give(a: &mut Asm, lg: &mut LabelGen, preset: Preset) {
+    if hw_sync(preset) {
+        let done = lg.fresh("give_hw_done");
+        a.label("k_sem_give");
+        emit::disable_irq(a);
+        a.hw_sem_give(Reg::T0, Reg::A0); // t0 = woken priority + 1, or 0
+        a.li(Reg::T1, KernelLayout::CURRENT_TCB as i32);
+        a.lw(Reg::T1, 0, Reg::T1);
+        a.lw(Reg::T1, tcb::PRIO, Reg::T1);
+        a.addi(Reg::T1, Reg::T1, 1);
+        a.bge(Reg::T1, Reg::T0, &done); // our prio >= woken prio: no yield
+        emit::trigger_yield(a);
+        a.label(&done);
+        emit::enable_irq(a);
+        a.ret();
+        return;
+    }
+    let no_waiter = lg.fresh("give_nowaiter");
+    let out = lg.fresh("give_out");
+    a.label("k_sem_give");
+    a.addi(Reg::Sp, Reg::Sp, -8);
+    a.sw(Reg::Ra, 0, Reg::Sp);
+    a.sw(Reg::S0, 4, Reg::Sp);
+    a.mv(Reg::S0, Reg::A0);
+    emit::disable_irq(a);
+    a.lw(Reg::T0, sem::COUNT, Reg::S0);
+    a.addi(Reg::T0, Reg::T0, 1);
+    a.sw(Reg::T0, sem::COUNT, Reg::S0);
+    emit::event_pop(a, lg, Reg::S0); // a1 = waiter or 0
+    a.beqz(Reg::A1, &no_waiter);
+    if preset.has_sched() {
+        a.lw(Reg::T0, tcb::ID, Reg::A1);
+        a.lw(Reg::T1, tcb::PRIO, Reg::A1);
+        a.add_ready(Reg::T0, Reg::T1);
+    } else {
+        emit::ready_push_back(a, lg, Reg::A1);
+    }
+    // Preempt immediately if the waiter has higher priority.
+    a.lw(Reg::T0, tcb::PRIO, Reg::A1);
+    a.li(Reg::T1, KernelLayout::CURRENT_TCB as i32);
+    a.lw(Reg::T1, 0, Reg::T1);
+    a.lw(Reg::T1, tcb::PRIO, Reg::T1);
+    a.bge(Reg::T1, Reg::T0, &no_waiter);
+    emit::trigger_yield(a);
+    a.label(&no_waiter);
+    emit::enable_irq(a);
+    a.label(&out);
+    let _ = &out;
+    a.lw(Reg::Ra, 0, Reg::Sp);
+    a.lw(Reg::S0, 4, Reg::Sp);
+    a.addi(Reg::Sp, Reg::Sp, 8);
+    a.ret();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn syscalls_assemble_for_all_presets() {
+        for p in Preset::LATENCY_SET {
+            let mut a = Asm::new(0);
+            let mut lg = LabelGen::new();
+            gen_syscalls(&mut a, &mut lg, p);
+            a.ebreak();
+            let prog = a.finish().expect("syscalls assemble");
+            assert!(prog.symbols.get("k_yield").is_some());
+            assert!(prog.symbols.get("k_delay").is_some());
+            assert!(prog.symbols.get("k_sem_take").is_some());
+            assert!(prog.symbols.get("k_sem_give").is_some());
+        }
+    }
+
+    #[test]
+    fn hw_path_is_shorter_than_sw_path() {
+        let len = |p: Preset| {
+            let mut a = Asm::new(0);
+            let mut lg = LabelGen::new();
+            gen_syscalls(&mut a, &mut lg, p);
+            a.finish().expect("assembles").words.len()
+        };
+        assert!(len(Preset::Slt) < len(Preset::Vanilla));
+    }
+}

@@ -1,0 +1,143 @@
+//! End-to-end tests of the §7-extension hardware synchronisation
+//! primitives (`SEM_TAKE`/`SEM_GIVE`): semantics must match the software
+//! semaphores, and syscall overhead must shrink.
+
+use freertos_lite::KernelBuilder;
+use rtosunit::{Preset, System};
+use rvsim_cores::CoreKind;
+
+fn pingpong(preset: Preset, cycles: u64) -> System {
+    let mut k = KernelBuilder::new(preset);
+    k.semaphore("ping", 0);
+    k.semaphore("pong", 0);
+    k.task("producer", 5, |t| {
+        t.trace_mark(1);
+        t.sem_give("ping");
+        t.sem_take("pong");
+    });
+    k.task("consumer", 5, |t| {
+        t.sem_take("ping");
+        t.trace_mark(2);
+        t.sem_give("pong");
+    });
+    let img = k.build().expect("kernel builds");
+    let mut sys = System::new(CoreKind::Cv32e40p, preset);
+    img.install(&mut sys);
+    sys.run(cycles);
+    sys
+}
+
+#[test]
+fn hw_semaphores_preserve_pingpong_semantics() {
+    let sys = pingpong(Preset::SltHs, 300_000);
+    let marks: Vec<u32> = sys.platform.mmio.trace_marks.iter().map(|(_, v)| *v).collect();
+    assert!(marks.len() > 20, "only {} handoffs", marks.len());
+    for w in marks.windows(2) {
+        assert_ne!(w[0], w[1], "handoffs must alternate strictly: {marks:?}");
+    }
+    let stats = sys.unit_stats().expect("unit attached");
+    assert!(stats.sem_takes + stats.sem_blocks > 10, "{stats:?}");
+    assert!(stats.sem_gives > 10, "{stats:?}");
+}
+
+#[test]
+fn hw_semaphores_increase_throughput_over_slt() {
+    // Same workload, same cycle budget: the hardware path eliminates the
+    // software event-list manipulation, so more handoffs complete.
+    let sw = pingpong(Preset::Slt, 300_000).platform.mmio.trace_marks.len();
+    let hw = pingpong(Preset::SltHs, 300_000).platform.mmio.trace_marks.len();
+    assert!(
+        hw as f64 > sw as f64 * 1.05,
+        "hardware semaphores should raise throughput: sw={sw} hw={hw}"
+    );
+}
+
+#[test]
+fn hw_mutex_provides_mutual_exclusion() {
+    use rvsim_isa::Reg;
+    const SCRATCH: u32 = rtosunit::layout::DMEM_BASE + 0x800;
+    let mut k = KernelBuilder::new(Preset::SltHs);
+    k.mutex("m");
+    let body = |t: &mut freertos_lite::TaskCtx<'_>| {
+        t.mutex_lock("m");
+        let a = t.asm_mut();
+        a.li(Reg::S2, SCRATCH as i32);
+        a.lw(Reg::S3, 0, Reg::S2);
+        t.yield_now();
+        let a = t.asm_mut();
+        a.addi(Reg::S3, Reg::S3, 1);
+        a.sw(Reg::S3, 0, Reg::S2);
+        t.mutex_unlock("m");
+    };
+    k.task("w1", 5, body);
+    k.task("w2", 5, body);
+    let img = k.build().expect("builds");
+    let mut sys = System::new(CoreKind::Cv32e40p, Preset::SltHs);
+    img.install(&mut sys);
+    sys.run(300_000);
+    let count = sys.platform.dmem.read_word(SCRATCH);
+    assert!(count > 20, "workers stalled: {count}");
+}
+
+#[test]
+fn hw_give_from_isr_wakes_handler() {
+    let mut k = KernelBuilder::new(Preset::SltHs);
+    k.semaphore("event", 0);
+    k.ext_irq_gives("event");
+    k.task("handler", 7, |t| {
+        t.sem_take("event");
+        t.trace_mark(0xE1);
+    });
+    k.task("background", 2, |t| {
+        t.busy_work(50);
+    });
+    let img = k.build().expect("builds");
+    let mut sys = System::new(CoreKind::Cv32e40p, Preset::SltHs);
+    img.install(&mut sys);
+    sys.schedule_external_irq(20_000);
+    sys.run(60_000);
+    let hit = sys
+        .platform
+        .mmio
+        .trace_marks
+        .iter()
+        .find(|(_, v)| *v == 0xE1)
+        .expect("handler never ran");
+    assert!(hit.0 >= 20_000 && hit.0 < 24_000, "handler at {}", hit.0);
+}
+
+#[test]
+fn priority_handoff_prefers_highest_waiter() {
+    // Three takers of different priorities block; a giver releases three
+    // tokens; the wake order must be priority-descending.
+    let mut k = KernelBuilder::new(Preset::SltHs);
+    k.semaphore("res", 0);
+    for (name, prio, mark) in [("lo", 3u8, 3u32), ("mid", 4, 4), ("hi", 5, 5)] {
+        k.task(name, prio, move |t| {
+            t.sem_take("res");
+            t.trace_mark(mark);
+            t.delay(50); // park afterwards
+        });
+    }
+    k.task("giver", 2, |t| {
+        t.delay(2); // let every taker block first
+        t.sem_give("res");
+        t.sem_give("res");
+        t.sem_give("res");
+        t.delay(50);
+    });
+    let img = k.build().expect("builds");
+    let mut sys = System::new(CoreKind::Cv32e40p, Preset::SltHs);
+    img.install(&mut sys);
+    sys.run(80_000);
+    let marks: Vec<u32> = sys
+        .platform
+        .mmio
+        .trace_marks
+        .iter()
+        .map(|(_, v)| *v)
+        .filter(|v| (3..=5).contains(v))
+        .take(3)
+        .collect();
+    assert_eq!(marks, [5, 4, 3], "wake order must follow priority");
+}

@@ -1,0 +1,278 @@
+//! End-to-end guest-kernel tests: every ISR variant on every core must
+//! schedule correctly, keep semaphore semantics, and wake delayed tasks.
+
+use freertos_lite::KernelBuilder;
+use rtosunit::layout::DMEM_BASE;
+use rtosunit::{Preset, System};
+use rvsim_cores::CoreKind;
+use rvsim_isa::Reg;
+
+/// Free scratch region for test counters (between the TCB array and the
+/// task stacks).
+const SCRATCH: u32 = DMEM_BASE + 0x800;
+
+fn counter_task(ctx: &mut freertos_lite::TaskCtx<'_>, addr: u32) {
+    let a = ctx.asm_mut();
+    a.li(Reg::S2, addr as i32);
+    a.lw(Reg::S3, 0, Reg::S2);
+    a.addi(Reg::S3, Reg::S3, 1);
+    a.sw(Reg::S3, 0, Reg::S2);
+    ctx.yield_now();
+}
+
+/// Two equal-priority tasks that increment private counters and yield.
+fn run_yield_pair(kind: CoreKind, preset: Preset, cycles: u64) -> (System, u32, u32) {
+    let mut k = KernelBuilder::new(preset);
+    k.tick_period(3000);
+    k.task("a", 5, |t| counter_task(t, SCRATCH));
+    k.task("b", 5, |t| counter_task(t, SCRATCH + 4));
+    let img = k.build().expect("kernel builds");
+    let mut sys = System::new(kind, preset);
+    img.install(&mut sys);
+    sys.run(cycles);
+    let ca = sys.platform.dmem.read_word(SCRATCH);
+    let cb = sys.platform.dmem.read_word(SCRATCH + 4);
+    (sys, ca, cb)
+}
+
+#[test]
+fn yield_pair_makes_progress_on_every_preset_and_core() {
+    for kind in CoreKind::ALL {
+        for preset in Preset::LATENCY_SET {
+            let (sys, ca, cb) = run_yield_pair(kind, preset, 300_000);
+            assert!(
+                ca > 20 && cb > 20,
+                "{kind} {preset}: counters stalled (a={ca}, b={cb})"
+            );
+            // Round-robin fairness between equal priorities.
+            let ratio = ca as f64 / cb as f64;
+            assert!(
+                (0.5..=2.0).contains(&ratio),
+                "{kind} {preset}: unfair scheduling a={ca} b={cb}"
+            );
+            assert!(
+                sys.records().len() > 40,
+                "{kind} {preset}: too few context switches ({})",
+                sys.records().len()
+            );
+        }
+    }
+}
+
+#[test]
+fn semaphore_ping_pong_alternates_strictly() {
+    for preset in [Preset::Vanilla, Preset::S, Preset::Sl, Preset::T, Preset::Slt, Preset::Split]
+    {
+        let mut k = KernelBuilder::new(preset);
+        k.semaphore("ping", 0);
+        k.semaphore("pong", 0);
+        k.task("producer", 5, |t| {
+            t.trace_mark(1);
+            t.sem_give("ping");
+            t.sem_take("pong");
+        });
+        k.task("consumer", 5, |t| {
+            t.sem_take("ping");
+            t.trace_mark(2);
+            t.sem_give("pong");
+        });
+        let img = k.build().expect("builds");
+        let mut sys = System::new(CoreKind::Cv32e40p, preset);
+        img.install(&mut sys);
+        sys.run(400_000);
+        let marks: Vec<u32> =
+            sys.platform.mmio.trace_marks.iter().map(|(_, v)| *v).collect();
+        assert!(marks.len() >= 10, "{preset}: only {} marks", marks.len());
+        for (i, w) in marks.windows(2).enumerate() {
+            assert_ne!(w[0], w[1], "{preset}: marks not alternating at {i}: {marks:?}");
+        }
+        assert_eq!(marks[0], 1, "{preset}: producer must mark first");
+    }
+}
+
+#[test]
+fn delayed_task_wakes_after_its_ticks() {
+    for preset in [Preset::Vanilla, Preset::T, Preset::Slt] {
+        let tick = 1000u32;
+        let mut k = KernelBuilder::new(preset);
+        k.tick_period(tick);
+        k.task("sleeper", 5, |t| {
+            t.trace_mark(0xD0);
+            t.delay(3);
+            t.trace_mark(0xD1);
+        });
+        let img = k.build().expect("builds");
+        let mut sys = System::new(CoreKind::Cv32e40p, preset);
+        img.install(&mut sys);
+        sys.run(40_000);
+        let marks = &sys.platform.mmio.trace_marks;
+        let d0 = marks.iter().find(|(_, v)| *v == 0xD0).expect("slept").0;
+        let d1 = marks
+            .iter()
+            .find(|(_, v)| *v == 0xD1)
+            .unwrap_or_else(|| panic!("{preset}: sleeper never woke; marks: {marks:?}"))
+            .0;
+        let slept = d1 - d0;
+        // Three ticks of 1000 cycles, modulo phase: between 2 and 4 ticks.
+        assert!(
+            (2000..4500).contains(&slept),
+            "{preset}: slept {slept} cycles, expected ≈3000"
+        );
+    }
+}
+
+#[test]
+fn external_interrupt_defers_to_handler_task() {
+    for preset in [Preset::Vanilla, Preset::Slt] {
+        let mut k = KernelBuilder::new(preset);
+        k.semaphore("event", 0);
+        k.ext_irq_gives("event");
+        // High-priority handler task blocks on the event semaphore.
+        k.task("handler", 7, |t| {
+            t.sem_take("event");
+            t.trace_mark(0xE1);
+        });
+        // Background task spins.
+        k.task("background", 2, |t| {
+            t.busy_work(50);
+        });
+        let img = k.build().expect("builds");
+        let mut sys = System::new(CoreKind::Cv32e40p, preset);
+        img.install(&mut sys);
+        sys.schedule_external_irq(20_000);
+        sys.run(60_000);
+        let hit = sys
+            .platform
+            .mmio
+            .trace_marks
+            .iter()
+            .find(|(_, v)| *v == 0xE1)
+            .unwrap_or_else(|| panic!("{preset}: handler never ran"));
+        assert!(
+            hit.0 >= 20_000 && hit.0 < 25_000,
+            "{preset}: handler latency too large (ran at {})",
+            hit.0
+        );
+        // The deferred switch must be recorded as an external episode.
+        assert!(sys
+            .records()
+            .iter()
+            .any(|r| r.cause == rvsim_isa::csr::CAUSE_EXTERNAL));
+    }
+}
+
+#[test]
+fn priorities_starve_lower_tasks() {
+    let mut k = KernelBuilder::new(Preset::Vanilla);
+    k.task("high", 6, |t| counter_task(t, SCRATCH));
+    k.task("low", 2, |t| counter_task(t, SCRATCH + 4));
+    let img = k.build().expect("builds");
+    let mut sys = System::new(CoreKind::Cv32e40p, Preset::Vanilla);
+    img.install(&mut sys);
+    sys.run(200_000);
+    let high = sys.platform.dmem.read_word(SCRATCH);
+    let low = sys.platform.dmem.read_word(SCRATCH + 4);
+    assert!(high > 50, "high-priority task must run constantly (ran {high})");
+    assert_eq!(low, 0, "low-priority task must never run while high yields+runs");
+}
+
+#[test]
+fn mutex_provides_mutual_exclusion() {
+    // Two tasks increment a shared counter under a mutex; a third value
+    // checks for lost updates by re-reading after a yield inside the
+    // critical section.
+    let mut k = KernelBuilder::new(Preset::Slt);
+    k.mutex("m");
+    let body = |t: &mut freertos_lite::TaskCtx<'_>| {
+        t.mutex_lock("m");
+        let a = t.asm_mut();
+        a.li(Reg::S2, SCRATCH as i32);
+        a.lw(Reg::S3, 0, Reg::S2);
+        t.yield_now(); // try to provoke interleaving inside the section
+        let a = t.asm_mut();
+        a.addi(Reg::S3, Reg::S3, 1);
+        a.sw(Reg::S3, 0, Reg::S2);
+        t.mutex_unlock("m");
+    };
+    k.task("w1", 5, body);
+    k.task("w2", 5, body);
+    let img = k.build().expect("builds");
+    let mut sys = System::new(CoreKind::Cv32e40p, Preset::Slt);
+    img.install(&mut sys);
+    sys.run(400_000);
+    let count = sys.platform.dmem.read_word(SCRATCH);
+    assert!(count > 20, "workers stalled: {count}");
+    // Count lock/unlock pairs via the semaphore count: must be 1 when no
+    // one holds the mutex. (The run stops mid-flight, so just sanity-check
+    // the counter kept increasing monotonically — lost updates would show
+    // as a lower count than switch records imply; here we assert progress.)
+}
+
+#[test]
+fn unit_stats_reflect_configuration() {
+    let (sys, _, _) = run_yield_pair(CoreKind::Cv32e40p, Preset::Slt, 150_000);
+    let stats = sys.unit_stats().expect("SLT has a unit");
+    assert!(stats.interrupts > 10);
+    assert!(stats.store_words > 0, "store FSM must run");
+    assert!(stats.load_words > 0, "restore FSM must run");
+
+    let (sys_s, _, _) = run_yield_pair(CoreKind::Cv32e40p, Preset::S, 150_000);
+    let s = sys_s.unit_stats().expect("S has a unit");
+    assert!(s.store_words > 0);
+    assert_eq!(s.load_words, 0, "(S) restores in software");
+
+    let (sys_v, _, _) = run_yield_pair(CoreKind::Cv32e40p, Preset::Vanilla, 150_000);
+    assert!(sys_v.unit_stats().is_none());
+}
+
+#[test]
+fn split_preloader_hits_on_pingpong() {
+    // Give the preloader idle time to fill its 31-word buffer between
+    // switches (tasks that yield back-to-back never leave the port idle
+    // long enough — exactly the misprediction/incomplete case of §4.7).
+    let mut k = KernelBuilder::new(Preset::Split);
+    k.tick_period(5000);
+    k.task("a", 5, |t| {
+        t.busy_work(150);
+        t.yield_now();
+    });
+    k.task("b", 5, |t| {
+        t.busy_work(150);
+        t.yield_now();
+    });
+    let img = k.build().expect("builds");
+    let mut sys = System::new(CoreKind::Cv32e40p, Preset::Split);
+    img.install(&mut sys);
+    sys.run(400_000);
+    let stats = sys.unit_stats().expect("SPLIT has a unit");
+    assert!(
+        stats.preload_hits + stats.preload_misses + stats.omitted_loads > 10,
+        "preloader never consulted: {stats:?}"
+    );
+    assert!(
+        stats.preload_hits > 0,
+        "alternating yield pair should be predictable: {stats:?}"
+    );
+}
+
+#[test]
+fn slt_has_zero_jitter_on_deterministic_core_yields() {
+    // On the deterministic CV32E40P, (SLT) voluntary-yield switches must
+    // all take exactly the same number of cycles (the paper's headline
+    // zero-jitter result).
+    let (sys, _, _) = run_yield_pair(CoreKind::Cv32e40p, Preset::Slt, 300_000);
+    let lat: Vec<u64> = sys
+        .records()
+        .iter()
+        .filter(|r| r.cause == rvsim_isa::csr::CAUSE_SOFTWARE)
+        .skip(2) // warm-up switches may differ (initial contexts)
+        .map(|r| r.latency())
+        .collect();
+    assert!(lat.len() > 20);
+    let min = lat.iter().min().expect("some");
+    let max = lat.iter().max().expect("some");
+    assert!(
+        max - min <= 2,
+        "SLT yield jitter on CV32E40P should be ~0, got {min}..{max}"
+    );
+}

@@ -1,0 +1,22 @@
+//! Memory system for the RTOSUnit simulator.
+//!
+//! The simulated platforms follow the paper's setup (§6.1): tightly coupled
+//! SRAM for the microcontroller-class core, and cached memory for the
+//! larger cores. This crate provides:
+//!
+//! * [`Mem`] — a flat word-organised RAM with byte/half/word access,
+//! * [`Cache`] — a configurable set-associative cache model supporting the
+//!   write-through (CVA6) and write-back (NaxRiscv) policies of §5,
+//! * [`Arbiter`] — the per-cycle data-port arbitration of §4.2: the
+//!   processor has priority and the RTOSUnit uses idle cycles.
+//!
+//! Timing is expressed in cycles and consumed by the core models in
+//! `rvsim-cores`; this crate itself is purely structural.
+
+pub mod arbiter;
+pub mod cache;
+pub mod ram;
+
+pub use arbiter::{Arbiter, PortClient};
+pub use cache::{Cache, CacheConfig, CacheOutcome, WritePolicy};
+pub use ram::{AccessSize, Mem};

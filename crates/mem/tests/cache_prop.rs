@@ -1,0 +1,153 @@
+//! Property tests for the cache model against a reference residency
+//! simulator, plus arbiter accounting invariants.
+
+use proptest::prelude::*;
+use rvsim_mem::{Arbiter, Cache, CacheConfig, WritePolicy};
+use std::collections::HashMap;
+
+/// Reference model: per-set LRU lists of line addresses.
+#[derive(Debug)]
+struct RefCache {
+    cfg: CacheConfig,
+    sets: HashMap<u32, Vec<(u32, bool)>>, // set -> MRU-last [(tag, dirty)]
+}
+
+impl RefCache {
+    fn new(cfg: CacheConfig) -> RefCache {
+        RefCache { cfg, sets: HashMap::new() }
+    }
+
+    fn set_and_tag(&self, addr: u32) -> (u32, u32) {
+        let line = addr / (self.cfg.line_words * 4);
+        (line % self.cfg.sets, line / self.cfg.sets)
+    }
+
+    /// Returns (hit, writeback_happened).
+    fn access(&mut self, addr: u32, write: bool) -> (bool, bool) {
+        let (set, tag) = self.set_and_tag(addr);
+        let ways = self.sets.entry(set).or_default();
+        if let Some(pos) = ways.iter().position(|&(t, _)| t == tag) {
+            let (t, mut d) = ways.remove(pos);
+            if write && self.cfg.policy == WritePolicy::WriteBack {
+                d = true;
+            }
+            ways.push((t, d));
+            return (true, false);
+        }
+        if self.cfg.policy == WritePolicy::WriteThrough && write {
+            return (false, false); // no allocate
+        }
+        let mut wb = false;
+        if ways.len() == self.cfg.ways as usize {
+            let (_, dirty) = ways.remove(0); // LRU first
+            wb = dirty;
+        }
+        ways.push((tag, write && self.cfg.policy == WritePolicy::WriteBack));
+        (false, wb)
+    }
+
+    fn resident(&self, addr: u32) -> bool {
+        let (set, tag) = self.set_and_tag(addr);
+        self.sets
+            .get(&set)
+            .is_some_and(|ways| ways.iter().any(|&(t, _)| t == tag))
+    }
+}
+
+fn arb_cfg() -> impl Strategy<Value = CacheConfig> {
+    (
+        prop_oneof![Just(2u32), Just(4), Just(8)],
+        1u32..4,
+        prop_oneof![Just(4u32), Just(8), Just(16)],
+        prop_oneof![Just(WritePolicy::WriteThrough), Just(WritePolicy::WriteBack)],
+    )
+        .prop_map(|(sets, ways, line_words, policy)| CacheConfig {
+            sets,
+            ways,
+            line_words,
+            policy,
+            hit_latency: 1,
+            miss_penalty: 10,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn cache_matches_reference_residency(
+        cfg in arb_cfg(),
+        accesses in proptest::collection::vec((0u32..4096, any::<bool>()), 1..200),
+    ) {
+        let mut cache = Cache::new(cfg);
+        let mut reference = RefCache::new(cfg);
+        for (addr, write) in accesses {
+            let addr = addr & !3;
+            let out = cache.access(addr, write);
+            let (hit, wb) = reference.access(addr, write);
+            prop_assert_eq!(out.hit, hit, "hit/miss diverged at {:#x}", addr);
+            prop_assert_eq!(out.writeback, wb, "writeback diverged at {:#x}", addr);
+            prop_assert_eq!(cache.probe(addr), reference.resident(addr));
+        }
+    }
+
+    #[test]
+    fn invalidate_always_clears_residency(
+        cfg in arb_cfg(),
+        warm in proptest::collection::vec(0u32..4096, 1..50),
+        victim in 0u32..4096,
+    ) {
+        let mut cache = Cache::new(cfg);
+        for a in warm {
+            cache.access(a & !3, false);
+        }
+        cache.invalidate_line(victim & !3);
+        prop_assert!(!cache.probe(victim & !3));
+    }
+
+    #[test]
+    fn latency_is_consistent_with_hit_flag(
+        cfg in arb_cfg(),
+        accesses in proptest::collection::vec((0u32..4096, any::<bool>()), 1..100),
+    ) {
+        let mut cache = Cache::new(cfg);
+        for (addr, write) in accesses {
+            let out = cache.access(addr & !3, write);
+            if out.hit {
+                prop_assert_eq!(out.latency, cfg.hit_latency);
+            } else if !(write && cfg.policy == WritePolicy::WriteThrough) {
+                prop_assert!(out.latency >= cfg.hit_latency + cfg.miss_penalty);
+            }
+            if out.writeback {
+                prop_assert!(out.bus_cycles >= cfg.line_words);
+            }
+        }
+    }
+
+    #[test]
+    fn arbiter_occupancy_adds_up(pattern in proptest::collection::vec(0u8..3, 1..300)) {
+        let mut arb = Arbiter::new();
+        let mut core = 0u64;
+        let mut unit = 0u64;
+        for p in &pattern {
+            match p {
+                0 => {}
+                1 => {
+                    arb.core_request();
+                    core += 1;
+                }
+                _ => {
+                    if arb.unit_try_acquire() {
+                        unit += 1;
+                    }
+                }
+            }
+            arb.end_cycle();
+        }
+        let (total, c, u) = arb.occupancy();
+        prop_assert_eq!(total, pattern.len() as u64);
+        prop_assert_eq!(c, core);
+        prop_assert_eq!(u, unit);
+        prop_assert!(arb.idle_fraction() >= 0.0 && arb.idle_fraction() <= 1.0);
+    }
+}

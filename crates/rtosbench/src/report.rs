@@ -1,0 +1,99 @@
+//! Plain-text tables for the benchmark binaries.
+
+use crate::runner::Fig9Row;
+
+/// Formats one pooled Fig. 9 table for a core, one row per preset.
+pub fn fig9_table(core_name: &str, rows: &[Fig9Row]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "## {core_name}: context-switch latency (cycles)\n\n"
+    ));
+    out.push_str(&format!(
+        "{:<10} {:>8} {:>8} {:>8} {:>8} {:>9} {:>9}\n",
+        "config", "mean", "min", "max", "jitter", "vs_van_µ", "vs_van_Δ"
+    ));
+    let vanilla = rows
+        .iter()
+        .find(|r| r.preset == rtosunit::Preset::Vanilla)
+        .map(|r| (r.mean(), r.jitter()));
+    for r in rows {
+        let (dmu, ddelta) = match vanilla {
+            Some((vm, vj)) if vm > 0.0 => (
+                format!("{:+.0}%", (r.mean() / vm - 1.0) * 100.0),
+                if vj > 0 {
+                    format!("{:+.0}%", (r.jitter() as f64 / vj as f64 - 1.0) * 100.0)
+                } else {
+                    "-".to_string()
+                },
+            ),
+            _ => ("-".to_string(), "-".to_string()),
+        };
+        out.push_str(&format!(
+            "{:<10} {:>8.1} {:>8} {:>8} {:>8} {:>9} {:>9}\n",
+            r.preset.label(),
+            r.mean(),
+            r.stats.min,
+            r.stats.max,
+            r.jitter(),
+            dmu,
+            ddelta
+        ));
+    }
+    out
+}
+
+/// Formats the per-workload breakdown of one row.
+pub fn workload_breakdown(row: &Fig9Row) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "### {} {} per-workload\n",
+        row.core,
+        row.preset.label()
+    ));
+    for (name, s) in &row.per_workload {
+        out.push_str(&format!(
+            "  {:<22} µ={:>7.1}  min={:>5}  max={:>5}  Δ={:>5}  n={}\n",
+            name,
+            s.mean,
+            s.min,
+            s.max,
+            s.jitter(),
+            s.count
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtosunit::{LatencyStats, Preset};
+    use rvsim_cores::CoreKind;
+
+    fn row(preset: Preset, mean: f64, min: u64, max: u64) -> Fig9Row {
+        Fig9Row {
+            core: CoreKind::Cv32e40p,
+            preset,
+            stats: LatencyStats { count: 10, min, max, mean },
+            per_workload: vec![],
+        }
+    }
+
+    #[test]
+    fn table_contains_relative_columns() {
+        let rows = vec![row(Preset::Vanilla, 200.0, 150, 340), row(Preset::Slt, 70.0, 70, 70)];
+        let t = fig9_table("CV32E40P", &rows);
+        assert!(t.contains("(vanilla)"));
+        assert!(t.contains("(SLT)"));
+        assert!(t.contains("-65%"), "relative mean missing:\n{t}");
+    }
+
+    #[test]
+    fn breakdown_lists_workloads() {
+        let mut r = row(Preset::T, 100.0, 90, 120);
+        r.per_workload
+            .push(("pingpong_semaphore", LatencyStats { count: 5, min: 90, max: 120, mean: 100.0 }));
+        let b = workload_breakdown(&r);
+        assert!(b.contains("pingpong_semaphore"));
+    }
+}

@@ -1,0 +1,149 @@
+//! Control-flow extraction and loop bounds for the ISR.
+
+use rvsim_isa::{decode, Instr, Program};
+use std::collections::HashMap;
+
+/// Loop bounds keyed by the label *stem* of the loop-header label the
+/// kernel generator emitted (e.g. `dtk_scan` for the delay-list walk).
+#[derive(Debug, Clone)]
+pub struct LoopBounds {
+    bounds: Vec<(&'static str, u32)>,
+    /// Bound for back-edges whose target has no matching stem.
+    pub default_bound: u32,
+}
+
+impl LoopBounds {
+    /// The paper's WCET scenario: 8 delayed tasks wake in one tick, 8
+    /// priority levels are scanned, event lists hold at most 8 waiters.
+    pub fn paper_defaults() -> LoopBounds {
+        LoopBounds {
+            bounds: vec![
+                ("dtk_scan", 8),  // delay-list walk: 8 expiring tasks
+                ("sel_scan", 8),  // priority scan: NUM_PRIOS levels
+                ("evi_scan", 8),  // event-list insert scan
+                ("rrm_scan", 8),  // ready-queue removal scan
+                ("dli_scan", 8),  // delay-list insert scan
+            ],
+            default_bound: 8,
+        }
+    }
+
+    /// The iteration bound for a back-edge targeting `label`.
+    pub fn bound_for(&self, label: Option<&str>) -> u32 {
+        if let Some(l) = label {
+            for (stem, b) in &self.bounds {
+                if l.contains(stem) {
+                    return *b;
+                }
+            }
+        }
+        self.default_bound
+    }
+}
+
+/// A decoded program view with label lookup, for path exploration.
+#[derive(Debug, Clone)]
+pub struct Cfg {
+    base: u32,
+    instrs: Vec<Instr>,
+    labels_by_addr: HashMap<u32, String>,
+    /// Entry address of the ISR.
+    pub entry: u32,
+}
+
+impl Cfg {
+    /// Builds the view from an assembled program; `entry_label` is the
+    /// analysis start (normally `"isr"`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the entry label is missing or an instruction fails to
+    /// decode (the program came from our own assembler).
+    pub fn from_program(program: &Program, entry_label: &str) -> Cfg {
+        let instrs = program
+            .words
+            .iter()
+            .map(|w| decode(*w).expect("assembled instruction decodes"))
+            .collect();
+        let mut labels_by_addr = HashMap::new();
+        for (name, addr) in program.symbols.iter() {
+            labels_by_addr.insert(addr, name.to_string());
+        }
+        Cfg {
+            base: program.base,
+            instrs,
+            labels_by_addr,
+            entry: program.symbols.addr(entry_label),
+        }
+    }
+
+    /// The instruction at `pc`.
+    pub fn at(&self, pc: u32) -> &Instr {
+        let idx = ((pc - self.base) / 4) as usize;
+        &self.instrs[idx]
+    }
+
+    /// The label defined at `pc`, if any.
+    pub fn label_at(&self, pc: u32) -> Option<&str> {
+        self.labels_by_addr.get(&pc).map(String::as_str)
+    }
+
+    /// Successor PCs of the instruction at `pc`:
+    /// `(fall_through, taken_target)`. `mret` has no successors.
+    pub fn successors(&self, pc: u32) -> (Option<u32>, Option<u32>) {
+        match *self.at(pc) {
+            Instr::Mret | Instr::Ebreak | Instr::Ecall => (None, None),
+            Instr::Jal { offset, .. } => (None, Some(pc.wrapping_add(offset as u32))),
+            Instr::Branch { offset, .. } => {
+                (Some(pc + 4), Some(pc.wrapping_add(offset as u32)))
+            }
+            Instr::Jalr { .. } => {
+                // The generated ISR is fully inlined: no indirect jumps.
+                panic!("indirect jump at {pc:#x} inside the ISR — not analysable")
+            }
+            _ => (Some(pc + 4), None),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rvsim_isa::{Asm, Reg};
+
+    fn tiny_program() -> Program {
+        let mut a = Asm::new(0x100);
+        a.label("isr");
+        a.addi(Reg::T0, Reg::Zero, 3);
+        a.label("loop");
+        a.addi(Reg::T0, Reg::T0, -1);
+        a.bnez(Reg::T0, "loop");
+        a.mret();
+        a.finish().expect("assembles")
+    }
+
+    #[test]
+    fn successors_of_branch_and_mret() {
+        let cfg = Cfg::from_program(&tiny_program(), "isr");
+        assert_eq!(cfg.entry, 0x100);
+        let (ft, taken) = cfg.successors(0x108); // bnez
+        assert_eq!(ft, Some(0x10C));
+        assert_eq!(taken, Some(0x104));
+        assert_eq!(cfg.successors(0x10C), (None, None)); // mret
+    }
+
+    #[test]
+    fn labels_resolve() {
+        let cfg = Cfg::from_program(&tiny_program(), "isr");
+        assert_eq!(cfg.label_at(0x104), Some("loop"));
+        assert_eq!(cfg.label_at(0x108), None);
+    }
+
+    #[test]
+    fn bounds_match_stems() {
+        let b = LoopBounds::paper_defaults();
+        assert_eq!(b.bound_for(Some(".dtk_scan_7")), 8);
+        assert_eq!(b.bound_for(Some("whatever")), 8);
+        assert_eq!(b.bound_for(None), 8);
+    }
+}

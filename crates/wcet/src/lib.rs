@@ -1,0 +1,28 @@
+//! Static WCET analysis of the ISR (paper §6.2).
+//!
+//! The paper computes worst-case context-switch latency for CV32E40P by
+//! analysing "the longest instruction path, assuming maximum latency for
+//! every instruction and accounting for pipeline flushes and stalls",
+//! with **eight delayed tasks** that the software scheduler must move to
+//! the ready lists. RTOSUnit FSM latency is analysed alongside, including
+//! stalls from prioritised processor memory accesses.
+//!
+//! This crate reproduces that methodology on the generated kernel:
+//!
+//! 1. extract the ISR's control-flow graph from the assembled image,
+//! 2. bound every loop (the bounds are keyed on the kernel's own label
+//!    stems: delay-list walk ≤ 8 wakes, priority scan ≤ 8 levels, …),
+//! 3. explore all bounded paths from `isr` to `mret`, charging the
+//!    CV32E40P worst-case latency per instruction,
+//! 4. model the store/restore FSMs: one word per port-idle cycle, the
+//!    processor's own accesses steal cycles, `SWITCH_RF` and `mret`
+//!    stall until the FSMs finish (§4.2/§4.3).
+//!
+//! WCET analysis of the out-of-order cores is out of scope, as in the
+//! paper.
+
+pub mod analysis;
+pub mod cfg;
+
+pub use analysis::{analyze_preset, wcet_table, WcetReport};
+pub use cfg::{Cfg, LoopBounds};

@@ -1,0 +1,47 @@
+//! Quickstart: build a two-task guest kernel, attach an RTOSUnit in the
+//! (SLT) configuration to a CV32E40P-class core, run it, and print the
+//! measured context-switch latencies.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use rtosunit_suite::kernel::KernelBuilder;
+use rtosunit_suite::unit::{Preset, System};
+use rtosunit_suite::cores::CoreKind;
+
+fn main() {
+    // 1. Describe the application: two equal-priority tasks handing a
+    //    token back and forth through semaphores.
+    let mut kernel = KernelBuilder::new(Preset::Slt);
+    kernel.semaphore("ping", 0);
+    kernel.semaphore("pong", 0);
+    kernel.task("producer", 5, |t| {
+        t.compute(10);
+        t.sem_give("ping");
+        t.sem_take("pong");
+    });
+    kernel.task("consumer", 5, |t| {
+        t.sem_take("ping");
+        t.compute(10);
+        t.sem_give("pong");
+    });
+    let image = kernel.build().expect("kernel builds");
+
+    // 2. Build the system: core model + RTOSUnit configuration.
+    let mut sys = System::new(CoreKind::Cv32e40p, Preset::Slt);
+    image.install(&mut sys);
+
+    // 3. Run and inspect.
+    sys.run(200_000);
+    let stats = sys.latency_stats().expect("context switches happened");
+    println!("core:            {}", sys.kind());
+    println!("configuration:   {}", sys.preset());
+    println!("context switches: {}", stats.count);
+    println!("mean latency:     {:.1} cycles", stats.mean);
+    println!("min/max:          {} / {} cycles", stats.min, stats.max);
+    println!("jitter (max-min): {} cycles", stats.jitter());
+    let unit = sys.unit_stats().expect("unit attached");
+    println!(
+        "unit activity:    {} stores, {} loads over {} interrupts",
+        unit.store_words, unit.load_words, unit.interrupts
+    );
+}

@@ -1,0 +1,37 @@
+//! Static WCET analysis (paper §6.2): analyse the generated ISR of each
+//! configuration on the CV32E40P timing model and print the bound next to
+//! the worst observed latency from the benchmark suite.
+//!
+//! Run with: `cargo run --example wcet_analysis --release`
+
+use rtosunit_suite::bench::{run_workload, WORKLOADS};
+use rtosunit_suite::cores::CoreKind;
+use rtosunit_suite::unit::Preset;
+use rtosunit_suite::wcet::analyze_preset;
+
+fn main() {
+    println!(
+        "{:<10} {:>10} {:>12} {:>10} {:>14}",
+        "config", "sw cycles", "fsm stalls", "WCET", "worst measured"
+    );
+    for preset in [Preset::Vanilla, Preset::S, Preset::Sl, Preset::T, Preset::St, Preset::Slt] {
+        let r = analyze_preset(preset);
+        let measured = WORKLOADS
+            .iter()
+            .flat_map(|w| run_workload(CoreKind::Cv32e40p, preset, w).latencies)
+            .max()
+            .unwrap_or(0);
+        println!(
+            "{:<10} {:>10} {:>12} {:>10} {:>14}",
+            preset.label(),
+            r.software_cycles,
+            r.fsm_stall_cycles,
+            r.total_cycles,
+            measured
+        );
+        assert!(measured <= r.total_cycles, "{preset}: bound violated!");
+    }
+    println!("\nEvery measured switch is dominated by its static bound; the bound");
+    println!("collapses from hundreds of cycles (software scheduling, 8 delayed");
+    println!("tasks) to the ~62-cycle FSM drain for (SLT) — paper §6.2.");
+}

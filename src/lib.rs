@@ -1,0 +1,14 @@
+//! Umbrella crate for the RTOSUnit reproduction workspace.
+//!
+//! Re-exports the member crates so integration tests and examples can use a
+//! single dependency. See `README.md` for the project overview and
+//! `DESIGN.md` for the system inventory.
+
+pub use asic_model as asic;
+pub use freertos_lite as kernel;
+pub use rtosbench as bench;
+pub use rtosunit as unit;
+pub use rvsim_cores as cores;
+pub use rvsim_isa as isa;
+pub use rvsim_mem as mem;
+pub use rvsim_wcet as wcet;
