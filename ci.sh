@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Offline CI gate: formatting, lints, build and the full test suite.
+# Mirrors .github/workflows/ci.yml so the same checks run locally.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== cargo fmt --check"
+cargo fmt --check
+
+echo "== cargo clippy (warnings are errors)"
+cargo clippy --workspace --all-targets --release -- -D warnings
+
+echo "== cargo build --release"
+cargo build --release
+
+echo "== cargo test (workspace)"
+cargo test -q --release --workspace
+
+echo "CI OK"

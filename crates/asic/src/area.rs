@@ -47,7 +47,10 @@ pub fn area_report_with_lists(core: CoreKind, preset: Preset, list_len: usize) -
     match RtosUnitConfig::from_preset(preset) {
         None => {
             if preset == Preset::Cv32rt {
-                components.push(("cv32rt snapshot bank + dedicated port", blocks::CV32RT * f.cv32rt));
+                components.push((
+                    "cv32rt snapshot bank + dedicated port",
+                    blocks::CV32RT * f.cv32rt,
+                ));
             }
         }
         Some(cfg) => {
@@ -56,7 +59,10 @@ pub fn area_report_with_lists(core: CoreKind, preset: Preset, list_len: usize) -
                 components.push(("sparse RF mux", blocks::SPARSE_MUX * f.rf));
                 components.push(("store FSM", blocks::STORE_FSM * f.fsm));
                 if !cfg.load {
-                    components.push(("SWITCH_RF hazard logic", blocks::SWITCH_RF_HAZARD * f.hazard));
+                    components.push((
+                        "SWITCH_RF hazard logic",
+                        blocks::SWITCH_RF_HAZARD * f.hazard,
+                    ));
                     if cfg.sched {
                         // Stalls actually observed only in (ST)/(SDT), §5.
                         components.push((
@@ -80,14 +86,22 @@ pub fn area_report_with_lists(core: CoreKind, preset: Preset, list_len: usize) -
                 ));
             }
             if cfg.preload {
-                components.push(("preload buffer + lockstep swap", blocks::PRELOAD * f.preload));
+                components.push((
+                    "preload buffer + lockstep swap",
+                    blocks::PRELOAD * f.preload,
+                ));
             }
             if cfg.hw_sync {
                 components.push(("hw semaphore unit (extension)", blocks::SEM_UNIT * f.sched));
             }
         }
     }
-    AreaReport { core, preset, base_um2: base_area_um2(core), components }
+    AreaReport {
+        core,
+        preset,
+        base_um2: base_area_um2(core),
+        components,
+    }
 }
 
 #[cfg(test)]
@@ -154,7 +168,10 @@ mod tests {
         // expensive reschedule-based SWITCH_RF handling.
         let s_nax = overhead(CoreKind::NaxRiscv, Preset::S);
         let sl_nax = overhead(CoreKind::NaxRiscv, Preset::Sl);
-        assert!(s_nax > sl_nax, "S ({s_nax}) must exceed SL ({sl_nax}) on NaxRiscv");
+        assert!(
+            s_nax > sl_nax,
+            "S ({s_nax}) must exceed SL ({sl_nax}) on NaxRiscv"
+        );
     }
 
     #[test]

@@ -35,7 +35,12 @@ pub fn fmax_report(core: CoreKind, preset: Preset) -> FmaxReport {
         Preset::Split if core == CoreKind::NaxRiscv => FMAX_SPLIT_NAX_PENALTY,
         _ => fmax_unit_penalty(core),
     };
-    FmaxReport { core, preset, fmax_mhz: base * (1.0 - drop), drop }
+    FmaxReport {
+        core,
+        preset,
+        fmax_mhz: base * (1.0 - drop),
+        drop,
+    }
 }
 
 #[cfg(test)]

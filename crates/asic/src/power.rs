@@ -9,8 +9,8 @@
 
 use crate::area::area_report;
 use crate::calibration::{
-    instr_energy_pj, CLOCK_MW_PER_UM2, DEDICATED_WORD_ENERGY_PJ, PORT_ENERGY_PJ,
-    POWER_FREQ_MHZ, STATIC_MW_PER_UM2, UNIT_WORD_ENERGY_PJ,
+    instr_energy_pj, CLOCK_MW_PER_UM2, DEDICATED_WORD_ENERGY_PJ, PORT_ENERGY_PJ, POWER_FREQ_MHZ,
+    STATIC_MW_PER_UM2, UNIT_WORD_ENERGY_PJ,
 };
 use rtosbench::{run_workload, workloads};
 use rtosunit::Preset;
@@ -67,7 +67,13 @@ pub fn power_report(core: CoreKind, preset: Preset) -> PowerReport {
         + pj_to_mw(dedicated_words, DEDICATED_WORD_ENERGY_PJ)
         + area.added_um2() * CLOCK_MW_PER_UM2;
 
-    PowerReport { core, preset, static_mw, core_dynamic_mw, unit_dynamic_mw }
+    PowerReport {
+        core,
+        preset,
+        static_mw,
+        core_dynamic_mw,
+        unit_dynamic_mw,
+    }
 }
 
 #[cfg(test)]
@@ -89,7 +95,10 @@ mod tests {
         let v = power_report(CoreKind::NaxRiscv, Preset::Vanilla);
         let t = power_report(CoreKind::NaxRiscv, Preset::T);
         let extra = t.total_mw() - v.total_mw();
-        assert!((0.0..2.0).contains(&extra), "T extra on NaxRiscv: {extra} mW");
+        assert!(
+            (0.0..2.0).contains(&extra),
+            "T extra on NaxRiscv: {extra} mW"
+        );
     }
 
     #[test]

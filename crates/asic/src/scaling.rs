@@ -26,10 +26,18 @@ pub fn scaling_sweep(lengths: &[usize]) -> Vec<ScalingPoint> {
         .map(|&n| {
             if n == 0 {
                 let base = crate::calibration::base_area_um2(CoreKind::Cv32e40p);
-                return ScalingPoint { list_len: 0, total_um2: base, overhead: 0.0 };
+                return ScalingPoint {
+                    list_len: 0,
+                    total_um2: base,
+                    overhead: 0.0,
+                };
             }
             let r = area_report_with_lists(CoreKind::Cv32e40p, Preset::T, n);
-            ScalingPoint { list_len: n, total_um2: r.total_um2(), overhead: r.overhead() }
+            ScalingPoint {
+                list_len: n,
+                total_um2: r.total_um2(),
+                overhead: r.overhead(),
+            }
         })
         .collect()
 }

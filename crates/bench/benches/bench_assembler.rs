@@ -1,10 +1,9 @@
 //! Assembler / kernel-generation throughput: building the full guest
 //! image for the heaviest configurations.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use freertos_lite::KernelBuilder;
 use rtosunit::Preset;
-use std::hint::black_box;
+use rtosunit_bench::harness::Bench;
 
 fn build_image(preset: Preset) -> usize {
     let mut k = KernelBuilder::new(preset);
@@ -21,17 +20,10 @@ fn build_image(preset: Preset) -> usize {
     k.build().expect("builds").text_words()
 }
 
-fn bench_build(c: &mut Criterion) {
-    let mut g = c.benchmark_group("kernel_build");
+fn main() {
+    let mut bench = Bench::new("assembler");
     for preset in [Preset::Vanilla, Preset::Slt, Preset::Split] {
-        g.bench_with_input(
-            BenchmarkId::new("image", preset.label()),
-            &preset,
-            |b, &p| b.iter(|| black_box(build_image(p))),
-        );
+        bench.measure(format!("image/{}", preset.label()), || build_image(preset));
     }
-    g.finish();
+    bench.finish();
 }
-
-criterion_group!(benches, bench_build);
-criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Campaign-layer throughput: the Fig. 9 matrix (cores × latency presets
+//! × suite workloads) executed three ways —
+//!
+//! 1. the seed's configuration: cycle-by-cycle stepping, one worker;
+//! 2. batched `run_until` stepping, one worker (batching speedup alone);
+//! 3. batched stepping across all host cores (batching × parallelism).
+//!
+//! The three artifacts must render identically (the determinism
+//! guarantee); the simulated-cycles-per-second figures quantify the
+//! speedup and land in `results/BENCH_campaign.json`.
+
+use rtosbench::{workloads, CampaignSpec};
+use rtosunit_bench::harness::Bench;
+use rvsim_cores::CoreKind;
+
+fn fig9_spec(stepwise: bool) -> CampaignSpec {
+    let presets = rtosunit_bench::latency_presets();
+    let mut spec = CampaignSpec::matrix("bench_fig9", &CoreKind::ALL, &presets, &workloads::ALL);
+    for run in &mut spec.runs {
+        run.stepwise = stepwise;
+    }
+    spec
+}
+
+fn main() {
+    let workers = rtosunit_bench::default_workers();
+    let mut bench = Bench::new("campaign");
+
+    let baseline = fig9_spec(true).run(1);
+    bench.record(
+        "fig9_matrix/stepwise_sequential",
+        u128::from(baseline.host_nanos),
+        Some((baseline.simulated_cycles() as f64, "cycles")),
+    );
+
+    let batched_seq = fig9_spec(false).run(1);
+    bench.record(
+        "fig9_matrix/batched_sequential",
+        u128::from(batched_seq.host_nanos),
+        Some((batched_seq.simulated_cycles() as f64, "cycles")),
+    );
+
+    let batched_par = fig9_spec(false).run(workers);
+    bench.record(
+        format!("fig9_matrix/batched_parallel_{workers}w"),
+        u128::from(batched_par.host_nanos),
+        Some((batched_par.simulated_cycles() as f64, "cycles")),
+    );
+
+    assert_eq!(
+        baseline.to_json().render(),
+        batched_par.to_json().render(),
+        "batched parallel execution must reproduce the stepwise artifact"
+    );
+
+    let base_rate = baseline.cycles_per_second();
+    println!(
+        "speedup over stepwise sequential: batched x{:.2}, batched+{}w x{:.2}",
+        batched_seq.cycles_per_second() / base_rate,
+        workers,
+        batched_par.cycles_per_second() / base_rate
+    );
+    bench.finish();
+}

@@ -2,12 +2,11 @@
 //! through the shared port under different processor loads (ablation for
 //! §4.2's idle-cycle stealing).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rtosunit::layout::DMEM_BASE;
 use rtosunit::{Platform, Preset, RtosUnit, RtosUnitConfig};
+use rtosunit_bench::harness::Bench;
 use rvsim_cores::{ArchState, Coprocessor, CoreKind, DataBus};
 use rvsim_mem::AccessSize;
-use std::hint::black_box;
 
 /// Simulates one interrupt entry plus a full store drain while the core
 /// issues a data access every `core_every` cycles. Returns drained cycles.
@@ -29,15 +28,14 @@ fn drain_cycles(core_every: u64) -> u64 {
     cycles
 }
 
-fn bench_fsm(c: &mut Criterion) {
-    let mut g = c.benchmark_group("context_fsm");
-    for (label, every) in [("idle_port", 0u64), ("core_every_4", 4), ("core_every_2", 2)] {
-        g.bench_with_input(BenchmarkId::new("store_drain", label), &every, |b, &every| {
-            b.iter(|| black_box(drain_cycles(every)));
-        });
+fn main() {
+    let mut bench = Bench::new("context_fsm");
+    for (label, every) in [
+        ("idle_port", 0u64),
+        ("core_every_4", 4),
+        ("core_every_2", 2),
+    ] {
+        bench.measure(format!("store_drain/{label}"), || drain_cycles(every));
     }
-    g.finish();
+    bench.finish();
 }
-
-criterion_group!(benches, bench_fsm);
-criterion_main!(benches);

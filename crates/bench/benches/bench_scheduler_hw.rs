@@ -2,38 +2,31 @@
 //! and tick handling across list lengths (motivates the paper's remark
 //! that larger lists may need faster sorting, §4.4).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rtosunit::HwScheduler;
+use rtosunit_bench::harness::Bench;
 use std::hint::black_box;
 
-fn bench_ops(c: &mut Criterion) {
-    let mut g = c.benchmark_group("hw_scheduler");
+fn main() {
+    let mut bench = Bench::new("scheduler_hw");
     for len in [8usize, 16, 64] {
-        g.bench_with_input(BenchmarkId::new("add_pop_cycle", len), &len, |b, &len| {
-            b.iter(|| {
-                let mut s = HwScheduler::new(len);
-                for i in 0..len {
-                    s.add_ready(i as u8, (i % 8) as u8);
-                }
-                for _ in 0..len {
-                    black_box(s.pop_rotate());
-                }
-            });
+        bench.measure(format!("add_pop_cycle/{len}"), || {
+            let mut s = HwScheduler::new(len);
+            for i in 0..len {
+                s.add_ready(i as u8, (i % 8) as u8);
+            }
+            for _ in 0..len {
+                black_box(s.pop_rotate());
+            }
         });
-        g.bench_with_input(BenchmarkId::new("tick_with_delays", len), &len, |b, &len| {
-            b.iter(|| {
-                let mut s = HwScheduler::new(len);
-                for i in 0..len {
-                    s.add_delay(i as u8, (i % 8) as u8, (i as u32 % 4) + 1);
-                }
-                for _ in 0..5 {
-                    black_box(s.tick());
-                }
-            });
+        bench.measure(format!("tick_with_delays/{len}"), || {
+            let mut s = HwScheduler::new(len);
+            for i in 0..len {
+                s.add_delay(i as u8, (i % 8) as u8, (i as u32 % 4) + 1);
+            }
+            for _ in 0..5 {
+                black_box(s.tick());
+            }
         });
     }
-    g.finish();
+    bench.finish();
 }
-
-criterion_group!(benches, bench_ops);
-criterion_main!(benches);

@@ -1,11 +1,10 @@
 //! Simulator throughput: host time to execute a fixed guest workload on
 //! each core timing model.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use rtosunit::{Preset, System};
+use rtosunit_bench::harness::Bench;
 use rvsim_cores::CoreKind;
 use rvsim_isa::{Asm, Reg};
-use std::hint::black_box;
 
 fn loop_program() -> rvsim_isa::Program {
     let mut a = Asm::new(rtosunit::layout::IMEM_BASE);
@@ -20,22 +19,26 @@ fn loop_program() -> rvsim_isa::Program {
     a.finish().expect("assembles")
 }
 
-fn bench_cores(c: &mut Criterion) {
-    let prog = loop_program();
-    let mut g = c.benchmark_group("simulator_throughput");
-    g.throughput(Throughput::Elements(80_000)); // ~4 instrs × 20k iters
-    for kind in CoreKind::ALL {
-        g.bench_with_input(BenchmarkId::new("run_loop", kind.name()), &kind, |b, &kind| {
-            b.iter(|| {
-                let mut sys = System::new(kind, Preset::Vanilla);
-                sys.load_program(&prog);
-                sys.run(1_000_000);
-                black_box(sys.core.retired())
-            });
-        });
-    }
-    g.finish();
+fn run_loop(kind: CoreKind, prog: &rvsim_isa::Program) -> (u64, u64) {
+    let mut sys = System::new(kind, Preset::Vanilla);
+    sys.load_program(prog);
+    sys.run(1_000_000);
+    (sys.platform.cycle(), sys.core.retired())
 }
 
-criterion_group!(benches, bench_cores);
-criterion_main!(benches);
+fn main() {
+    let prog = loop_program();
+    let mut bench = Bench::new("simulator");
+    for kind in CoreKind::ALL {
+        // Probe once for the exact simulated-cycle count so the report
+        // carries simulated cycles/second per core model.
+        let (cycles, _) = run_loop(kind, &prog);
+        bench.throughput(
+            format!("run_loop/{}", kind.name()),
+            cycles as f64,
+            "cycles",
+            || run_loop(kind, &prog),
+        );
+    }
+    bench.finish();
+}

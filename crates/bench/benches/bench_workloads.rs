@@ -1,24 +1,21 @@
 //! End-to-end workload runs (host time for one full RTOSBench-style run).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rtosbench::{run_workload, workloads};
 use rtosunit::Preset;
+use rtosunit_bench::harness::Bench;
 use rvsim_cores::CoreKind;
-use std::hint::black_box;
 
-fn bench_runs(c: &mut Criterion) {
+fn main() {
     let w = workloads::by_name("pingpong_semaphore").expect("exists");
-    let mut g = c.benchmark_group("workload_run");
-    g.sample_size(10);
+    let mut bench = Bench::new("workloads");
     for preset in [Preset::Vanilla, Preset::Slt] {
-        g.bench_with_input(
-            BenchmarkId::new("pingpong_cv32e40p", preset.label()),
-            &preset,
-            |b, &p| b.iter(|| black_box(run_workload(CoreKind::Cv32e40p, p, &w).latencies.len())),
+        let cycles = run_workload(CoreKind::Cv32e40p, preset, &w).cycles;
+        bench.throughput(
+            format!("pingpong_cv32e40p/{}", preset.label()),
+            cycles as f64,
+            "cycles",
+            || run_workload(CoreKind::Cv32e40p, preset, &w).latencies.len(),
         );
     }
-    g.finish();
+    bench.finish();
 }
-
-criterion_group!(benches, bench_runs);
-criterion_main!(benches);

@@ -8,19 +8,26 @@
 //!    unit share the cache (lower mean latency with warm contexts, more
 //!    hit/miss variability); bus-level arbitration bypasses the cache
 //!    (more predictable, slower on a high-latency memory core).
+//! 3. **Delay-list cost**: tick-switch latency vs periodic task count.
+//!
+//! All three studies are declared in one [`CampaignSpec`] (custom guest
+//! kernels, config overrides, non-standard episode filters) and executed
+//! in parallel; `results/ablations.json` holds the machine-readable data.
 
-use freertos_lite::KernelBuilder;
-use rtosbench::{run_workload_with, workloads};
+use freertos_lite::{GuestImage, KernelBuilder, KernelError};
+use rtosbench::{
+    workloads, CampaignSpec, ConfigOverride, FilterPolicy, RunSpec, SimOutcome, WorkloadSpec,
+};
 use rtosunit::layout::DMEM_BASE;
-use rtosunit::{LatencyStats, Preset, System};
+use rtosunit::Preset;
 use rvsim_cores::CoreKind;
 use rvsim_isa::Reg;
 
 /// Builds a cache-thrashing workload: each task streams over a 24 KiB
 /// buffer between yields, evicting the other tasks' context lines, so
 /// context restores actually miss and the ctxQueue's pipelining matters.
-fn thrash_run(configure: impl FnOnce(&mut System)) -> (LatencyStats, Option<(u64, u64)>) {
-    let mut k = KernelBuilder::new(Preset::Slt);
+fn thrash_kernel(_depth: u32, preset: Preset) -> Result<GuestImage, KernelError> {
+    let mut k = KernelBuilder::new(preset);
     k.tick_period(6000);
     for name in ["ta", "tb", "tc"] {
         k.task(name, 4, |t| {
@@ -35,36 +42,102 @@ fn thrash_run(configure: impl FnOnce(&mut System)) -> (LatencyStats, Option<(u64
             t.yield_now();
         });
     }
-    let image = k.build().expect("builds");
-    let mut sys = System::new(CoreKind::NaxRiscv, Preset::Slt);
-    configure(&mut sys);
-    image.install(&mut sys);
-    sys.run(500_000);
-    let lat: Vec<u64> = sys.records().iter().skip(4).map(|r| r.latency()).collect();
-    (
-        LatencyStats::from_latencies(&lat).expect("switches"),
-        sys.platform.ctx_queue_stats(),
-    )
+    k.build()
+}
+
+/// All tasks sleep on short periods, so every timer tick walks the
+/// delay list and wakes tasks — the task-count-dependent kernel path
+/// (the paper's WCET scenario assumes 8 such tasks, §6.2).
+fn tick_kernel(n: u32, preset: Preset) -> Result<GuestImage, KernelError> {
+    let mut k = KernelBuilder::new(preset);
+    k.tick_period(2500);
+    k.hw_list_len(16);
+    for i in 0..n as usize {
+        let period = (i % 3 + 1) as u32;
+        k.task(&format!("t{i}"), ((i % 6) + 1) as u8, move |t| {
+            t.compute(6);
+            t.delay(period);
+        });
+    }
+    k.build()
+}
+
+const DEPTHS: [usize; 5] = [1, 2, 4, 8, 16];
+const TASK_COUNTS: [u32; 5] = [2, 4, 8, 12, 15];
+
+fn spec() -> CampaignSpec {
+    let mut spec = CampaignSpec::new("ablations");
+    for depth in DEPTHS {
+        let mut run = RunSpec::new(
+            CoreKind::NaxRiscv,
+            Preset::Slt,
+            WorkloadSpec::Custom {
+                name: "ctx_thrash",
+                param: depth as u32,
+                build: thrash_kernel,
+                run_cycles: 500_000,
+                ext_irq_interval: 0,
+            },
+        );
+        run.label = Some(format!("ctx_queue/depth_{depth}"));
+        run.overrides.push(ConfigOverride::CtxQueueDepth(depth));
+        run.filter = FilterPolicy::WarmupOnly;
+        spec.runs.push(run);
+    }
+    let w = workloads::by_name("roundrobin_yield").expect("exists");
+    for (label, shares) in [("arbitration/bus", false), ("arbitration/lsu", true)] {
+        let mut run = RunSpec::new(CoreKind::Cva6, Preset::Slt, WorkloadSpec::Suite(w));
+        run.label = Some(label.to_string());
+        run.overrides.push(ConfigOverride::UnitArbitration(shares));
+        spec.runs.push(run);
+    }
+    for n in TASK_COUNTS {
+        for preset in [Preset::Vanilla, Preset::T] {
+            let mut run = RunSpec::new(
+                CoreKind::Cv32e40p,
+                preset,
+                WorkloadSpec::Custom {
+                    name: "tick_periodic",
+                    param: n,
+                    build: tick_kernel,
+                    run_cycles: 400_000,
+                    ext_irq_interval: 0,
+                },
+            );
+            run.label = Some(format!("tick/{}/tasks_{n}", preset.label()));
+            run.overrides.push(ConfigOverride::UnitListLen(16));
+            run.filter = FilterPolicy::WarmupTimerTicks;
+            spec.runs.push(run);
+        }
+    }
+    spec
 }
 
 fn main() {
-    let mut out = String::new();
-    let w = workloads::by_name("roundrobin_yield").expect("exists");
+    let campaign = spec().run(rtosunit_bench::default_workers());
+    let sim = |label: &str| -> &SimOutcome {
+        campaign
+            .find(label)
+            .and_then(|o| o.sim.as_ref())
+            .expect("ablation run is in the spec")
+    };
 
+    let mut out = String::new();
     out.push_str("## Ablation 1: ctxQueue depth (NaxRiscv, SLT, cache-thrashing tasks)\n\n");
     out.push_str(&format!(
         "{:>6} {:>8} {:>8} {:>8} {:>12}\n",
         "depth", "mean", "max", "jitter", "queue_stalls"
     ));
-    for depth in [1usize, 2, 4, 8, 16] {
-        let (s, q) = thrash_run(|sys| sys.platform.set_ctx_queue_depth(depth));
+    for depth in DEPTHS {
+        let r = sim(&format!("ctx_queue/depth_{depth}"));
+        let s = r.stats().expect("switches");
         out.push_str(&format!(
             "{:>6} {:>8.1} {:>8} {:>8} {:>12}\n",
             depth,
             s.mean,
             s.max,
             s.jitter(),
-            q.map(|(_, st)| st).unwrap_or(0)
+            r.ctx_queue.map(|(_, st)| st).unwrap_or(0)
         ));
     }
     out.push_str(
@@ -76,12 +149,15 @@ fn main() {
     );
 
     out.push_str("## Ablation 2: arbitration level (CVA6, SLT)\n\n");
-    out.push_str(&format!("{:<22} {:>8} {:>8} {:>8}\n", "arbitration", "mean", "max", "jitter"));
-    for (label, shares) in [("bus (bypass cache)", false), ("LSU (share cache)", true)] {
-        let r = run_workload_with(CoreKind::Cva6, Preset::Slt, &w, |sys| {
-            sys.platform.set_unit_arbitration(shares);
-        });
-        let s = r.stats().expect("switches");
+    out.push_str(&format!(
+        "{:<22} {:>8} {:>8} {:>8}\n",
+        "arbitration", "mean", "max", "jitter"
+    ));
+    for (label, key) in [
+        ("bus (bypass cache)", "arbitration/bus"),
+        ("LSU (share cache)", "arbitration/lsu"),
+    ] {
+        let s = sim(key).stats().expect("switches");
         out.push_str(&format!(
             "{:<22} {:>8.1} {:>8} {:>8}\n",
             label,
@@ -92,42 +168,17 @@ fn main() {
     }
     out.push_str("\n(§5: sharing the cache trades predictability for mean latency.)\n\n");
 
-    // ---- Ablation 3: delay-list cost vs task count ----------------------
-    // All tasks sleep on short periods, so every timer tick walks the
-    // delay list and wakes tasks — the task-count-dependent kernel path
-    // (the paper's WCET scenario assumes 8 such tasks, §6.2).
     out.push_str("## Ablation 3: tick-switch latency vs periodic task count (CV32E40P)\n\n");
     out.push_str(&format!(
         "{:>6} {:>16} {:>16}\n",
         "tasks", "(vanilla) tick µ", "(T) tick µ"
     ));
-    for n in [2usize, 4, 8, 12, 15] {
+    for n in TASK_COUNTS {
         let mean = |preset: Preset| {
-            let mut k = KernelBuilder::new(preset);
-            k.tick_period(2500);
-            k.hw_list_len(16);
-            for i in 0..n {
-                let period = (i % 3 + 1) as u32;
-                k.task(&format!("t{i}"), ((i % 6) + 1) as u8, move |t| {
-                    t.compute(6);
-                    t.delay(period);
-                });
-            }
-            let img = k.build().expect("builds");
-            let mut sys = System::new(CoreKind::Cv32e40p, preset);
-            if preset.has_sched() {
-                sys.set_unit_list_len(16);
-            }
-            img.install(&mut sys);
-            sys.run(400_000);
-            let lat: Vec<u64> = sys
-                .records()
-                .iter()
-                .skip(4)
-                .filter(|r| r.cause == rvsim_isa::csr::CAUSE_TIMER)
-                .map(|r| r.latency())
-                .collect();
-            LatencyStats::from_latencies(&lat).expect("tick switches").mean
+            sim(&format!("tick/{}/tasks_{n}", preset.label()))
+                .stats()
+                .expect("tick switches")
+                .mean
         };
         out.push_str(&format!(
             "{:>6} {:>16.1} {:>16.1}\n",
@@ -142,4 +193,10 @@ fn main() {
          hardware delay list handles expiry in parallel — §4.4/§6.2.)\n",
     );
     rtosunit_bench::emit("ablations.txt", &out);
+
+    match campaign.write_json("results") {
+        Ok(path) => println!("# campaign artifact: {}", path.display()),
+        Err(e) => eprintln!("# campaign artifact not written: {e}"),
+    }
+    println!("# {}", campaign.throughput_summary());
 }

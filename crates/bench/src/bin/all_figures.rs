@@ -4,7 +4,14 @@
 use std::process::Command;
 
 fn main() {
-    let bins = ["fig9", "wcet_table", "fig10_area", "fig11_fmax", "fig12_scaling", "fig13_power"];
+    let bins = [
+        "fig9",
+        "wcet_table",
+        "fig10_area",
+        "fig11_fmax",
+        "fig12_scaling",
+        "fig13_power",
+    ];
     let me = std::env::current_exe().expect("current exe path");
     let dir = me.parent().expect("bin dir");
     for bin in bins {

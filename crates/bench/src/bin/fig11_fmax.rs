@@ -9,7 +9,10 @@ fn main() {
     let mut out = String::new();
     for core in CoreKind::ALL {
         out.push_str(&format!("## {core}: f_max (MHz)\n\n"));
-        out.push_str(&format!("{:<10} {:>10} {:>8}\n", "config", "fmax_MHz", "drop"));
+        out.push_str(&format!(
+            "{:<10} {:>10} {:>8}\n",
+            "config", "fmax_MHz", "drop"
+        ));
         for preset in Preset::ASIC_SET {
             let r = fmax_report(core, preset);
             out.push_str(&format!(

@@ -1,16 +1,50 @@
 //! Regenerates Figure 9: context-switch latency (mean µ) and jitter (Δ)
 //! for every core × configuration over the RTOSBench-style suite.
+//!
+//! The full `cores × presets × workloads` matrix is declared as one
+//! [`CampaignSpec`] and executed in parallel; the human-readable tables
+//! are derived from the in-memory outcomes and the machine-readable
+//! artifact lands in `results/fig9.json`.
 
-use rtosbench::{report, run_suite, run_workload, workloads};
-use rtosunit::trace;
+use rtosbench::{report, workloads, Campaign, CampaignSpec, Fig9Row};
+use rtosunit::{trace, LatencyStats, Preset};
 use rvsim_cores::CoreKind;
 
+/// Pools a `(core, preset)` row from the campaign's per-workload
+/// outcomes, exactly as the sequential `run_suite` does.
+fn pool_row(campaign: &Campaign, core: CoreKind, preset: Preset) -> Fig9Row {
+    let mut pooled = Vec::new();
+    let mut per_workload = Vec::new();
+    for w in workloads::ALL {
+        let label = format!("{}/{}/{}", core.name(), preset.label(), w.name);
+        let sim = campaign
+            .find(&label)
+            .and_then(|o| o.sim.as_ref())
+            .expect("matrix covers every (core, preset, workload)");
+        if let Some(s) = sim.stats() {
+            per_workload.push((w.name, s));
+        }
+        pooled.extend_from_slice(&sim.latencies);
+    }
+    let stats = LatencyStats::from_latencies(&pooled).expect("suite produced no context switches");
+    Fig9Row {
+        core,
+        preset,
+        stats,
+        per_workload,
+    }
+}
+
 fn main() {
+    let presets = rtosunit_bench::latency_presets();
+    let spec = CampaignSpec::matrix("fig9", &CoreKind::ALL, &presets, &workloads::ALL);
+    let campaign = spec.run(rtosunit_bench::default_workers());
+
     let mut out = String::new();
     for core in CoreKind::ALL {
-        let rows: Vec<_> = rtosunit_bench::latency_presets()
-            .into_iter()
-            .map(|p| run_suite(core, p))
+        let rows: Vec<_> = presets
+            .iter()
+            .map(|&p| pool_row(&campaign, core, p))
             .collect();
         out.push_str(&report::fig9_table(core.name(), &rows));
         out.push('\n');
@@ -20,8 +54,11 @@ fn main() {
         // Per-cause breakdown for the paper's all-round configuration:
         // the cause-dispatch paths differ in length, which is where the
         // residual (SLT) jitter lives.
-        let w = workloads::by_name("interrupt_latency").expect("exists");
-        let slt = run_workload(core, rtosunit::Preset::Slt, &w);
+        let label = format!("{}/{}/interrupt_latency", core.name(), Preset::Slt.label());
+        let slt = campaign
+            .find(&label)
+            .and_then(|o| o.sim.as_ref())
+            .expect("SLT interrupt_latency is in the matrix");
         out.push_str(&format!("### {core} (SLT) per-cause (interrupt_latency)\n"));
         out.push_str(&trace::summary_table(&slt.records));
         out.push('\n');
@@ -35,4 +72,10 @@ fn main() {
         "SPLIT: lowest mean (bimodal: correct preloads save up to 31 cycles vs SLT)",
     ]));
     rtosunit_bench::emit("fig9.txt", &out);
+
+    match campaign.write_json("results") {
+        Ok(path) => println!("# campaign artifact: {}", path.display()),
+        Err(e) => eprintln!("# campaign artifact not written: {e}"),
+    }
+    println!("# {}", campaign.throughput_summary());
 }

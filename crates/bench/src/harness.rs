@@ -1,0 +1,186 @@
+//! A minimal, dependency-free benchmark harness.
+//!
+//! Replaces the Criterion benches so the suite builds fully offline: each
+//! `benches/*.rs` target (`harness = false`) builds a [`Bench`] group,
+//! measures named closures with auto-calibrated iteration counts, prints a
+//! table, and writes a machine-readable `results/BENCH_<group>.json`
+//! through the campaign layer's [`Json`] writer — the same artifact format
+//! the figure campaigns use, so BENCH trajectories and figure data are
+//! consumed identically.
+
+use rtosbench::Json;
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Target host time per measurement once calibrated.
+const TARGET_NANOS: u128 = 200_000_000;
+/// Iteration bounds after calibration.
+const MIN_ITERS: u64 = 3;
+const MAX_ITERS: u64 = 100_000;
+
+/// One measured benchmark.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// Benchmark name within the group.
+    pub name: String,
+    /// Iterations measured (after calibration).
+    pub iters: u64,
+    /// Total measured host nanoseconds.
+    pub total_nanos: u128,
+    /// Derived nanoseconds per iteration.
+    pub ns_per_iter: f64,
+    /// Optional throughput: `(units per iteration, unit name)` — e.g.
+    /// simulated cycles, instructions.
+    pub throughput: Option<(f64, &'static str)>,
+}
+
+impl Measurement {
+    /// Units per second, when a throughput was declared.
+    pub fn per_second(&self) -> Option<f64> {
+        let (units, _) = self.throughput?;
+        if self.total_nanos == 0 {
+            return None;
+        }
+        Some(units * self.iters as f64 / (self.total_nanos as f64 / 1e9))
+    }
+}
+
+/// A named group of benchmarks; construct, `measure`, then [`finish`](Bench::finish).
+pub struct Bench {
+    group: &'static str,
+    measurements: Vec<Measurement>,
+}
+
+impl Bench {
+    /// Creates an empty group.
+    pub fn new(group: &'static str) -> Bench {
+        Bench {
+            group,
+            measurements: Vec::new(),
+        }
+    }
+
+    /// Measures `f`, auto-calibrating the iteration count toward
+    /// ~0.2 s of host time (bounded to `[3, 100 000]` iterations).
+    pub fn measure<T>(&mut self, name: impl Into<String>, f: impl FnMut() -> T) {
+        self.measure_with_throughput(name, None, f);
+    }
+
+    /// As [`measure`](Self::measure), declaring that each iteration
+    /// processes `units` of `unit` (e.g. simulated cycles) so the report
+    /// includes a rate.
+    pub fn throughput<T>(
+        &mut self,
+        name: impl Into<String>,
+        units: f64,
+        unit: &'static str,
+        f: impl FnMut() -> T,
+    ) {
+        self.measure_with_throughput(name, Some((units, unit)), f);
+    }
+
+    fn measure_with_throughput<T>(
+        &mut self,
+        name: impl Into<String>,
+        throughput: Option<(f64, &'static str)>,
+        mut f: impl FnMut() -> T,
+    ) {
+        // Calibration: one untimed warm-up run sizes the measured batch.
+        let warmup = Instant::now();
+        black_box(f());
+        let once = warmup.elapsed().as_nanos().max(1);
+        let iters = u64::try_from(TARGET_NANOS / once)
+            .unwrap_or(MAX_ITERS)
+            .clamp(MIN_ITERS, MAX_ITERS);
+
+        let started = Instant::now();
+        for _ in 0..iters {
+            black_box(f());
+        }
+        let total_nanos = started.elapsed().as_nanos();
+        self.measurements.push(Measurement {
+            name: name.into(),
+            iters,
+            total_nanos,
+            ns_per_iter: total_nanos as f64 / iters as f64,
+            throughput,
+        });
+    }
+
+    /// Records an externally measured result (used when the benchmark
+    /// body manages its own timing, e.g. a whole campaign run).
+    pub fn record(
+        &mut self,
+        name: impl Into<String>,
+        total_nanos: u128,
+        throughput: Option<(f64, &'static str)>,
+    ) {
+        self.measurements.push(Measurement {
+            name: name.into(),
+            iters: 1,
+            total_nanos,
+            ns_per_iter: total_nanos as f64,
+            throughput,
+        });
+    }
+
+    /// The measurements so far.
+    pub fn measurements(&self) -> &[Measurement] {
+        &self.measurements
+    }
+
+    /// Prints the group table and writes `results/BENCH_<group>.json`.
+    pub fn finish(self) {
+        let mut table = format!("## BENCH {}\n\n", self.group);
+        table.push_str(&format!(
+            "{:<40} {:>10} {:>14} {:>16}\n",
+            "name", "iters", "ns/iter", "throughput"
+        ));
+        for m in &self.measurements {
+            let rate = match (m.per_second(), m.throughput) {
+                (Some(r), Some((_, unit))) => format!("{:.2} M{unit}/s", r / 1e6),
+                _ => "-".to_string(),
+            };
+            table.push_str(&format!(
+                "{:<40} {:>10} {:>14.1} {:>16}\n",
+                m.name, m.iters, m.ns_per_iter, rate
+            ));
+        }
+        println!("{table}");
+
+        let runs: Vec<Json> = self
+            .measurements
+            .iter()
+            .map(|m| {
+                let mut j = Json::object()
+                    .with("name", m.name.as_str())
+                    .with("iters", m.iters)
+                    .with("total_nanos", m.total_nanos as u64)
+                    .with("ns_per_iter", m.ns_per_iter);
+                match (m.per_second(), m.throughput) {
+                    (Some(r), Some((units, unit))) => {
+                        j.push("unit", unit);
+                        j.push("units_per_iter", units);
+                        j.push("units_per_second", r);
+                    }
+                    _ => {
+                        j.push("unit", Json::Null);
+                        j.push("units_per_iter", Json::Null);
+                        j.push("units_per_second", Json::Null);
+                    }
+                }
+                j
+            })
+            .collect();
+        let doc = Json::object()
+            .with("schema", "rtosunit-bench-v1")
+            .with("group", self.group)
+            .with("benchmarks", runs);
+        // `cargo bench` runs bench binaries from the package directory;
+        // anchor the artifact to the workspace's `results/` regardless.
+        let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../results");
+        if std::fs::create_dir_all(&dir).is_ok() {
+            let _ = std::fs::write(dir.join(format!("BENCH_{}.json", self.group)), doc.render());
+        }
+    }
+}

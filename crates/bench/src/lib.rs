@@ -4,6 +4,8 @@
 //! per-experiment index in `DESIGN.md` and the recorded results in
 //! `EXPERIMENTS.md`.
 
+pub mod harness;
+
 use rtosunit::Preset;
 
 /// Writes `content` to `results/<name>` (best effort) and echoes it to
@@ -29,4 +31,11 @@ pub fn paper_note(lines: &[&str]) -> String {
 /// Presets of the latency evaluation in Fig. 9 order.
 pub fn latency_presets() -> Vec<Preset> {
     Preset::LATENCY_SET.to_vec()
+}
+
+/// Worker-thread count for campaign execution: the host's available
+/// parallelism (the artifact is worker-count independent, so this only
+/// affects wall-clock time).
+pub fn default_workers() -> usize {
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
 }

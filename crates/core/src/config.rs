@@ -71,7 +71,9 @@ impl fmt::Display for ConfigError {
             ConfigError::LoadRequiresStore => "context loading (L) requires context storing (S)",
             ConfigError::OmissionRequiresLoad => "load omission (O) requires context loading (L)",
             ConfigError::PreloadRequiresSlt => "preloading (P) requires store, load and scheduling",
-            ConfigError::PreloadConflictsDirty => "preloading (P) is incompatible with dirty bits (D)",
+            ConfigError::PreloadConflictsDirty => {
+                "preloading (P) is incompatible with dirty bits (D)"
+            }
             ConfigError::EmptyLists => "hardware list length must be at least 1",
             ConfigError::ListTooLong => "hardware list length exceeds the context region capacity",
             ConfigError::HwSyncRequiresSched => {
@@ -298,7 +300,10 @@ mod tests {
 
     #[test]
     fn dependency_rules() {
-        let mut c = RtosUnitConfig { load: true, ..Default::default() };
+        let mut c = RtosUnitConfig {
+            load: true,
+            ..Default::default()
+        };
         assert_eq!(c.validate(), Err(ConfigError::LoadRequiresStore));
         c.store = true;
         assert_eq!(c.validate(), Ok(()));
@@ -312,7 +317,11 @@ mod tests {
 
     #[test]
     fn list_bounds() {
-        let mut c = RtosUnitConfig { sched: true, list_len: 0, ..Default::default() };
+        let mut c = RtosUnitConfig {
+            sched: true,
+            list_len: 0,
+            ..Default::default()
+        };
         assert_eq!(c.validate(), Err(ConfigError::EmptyLists));
         c.list_len = 1000;
         assert_eq!(c.validate(), Err(ConfigError::ListTooLong));

@@ -30,7 +30,10 @@ impl CtxQueue {
     /// store to the same address could coexist, which this model — like
     /// the paper's design — does not handle).
     pub fn new(capacity: usize) -> CtxQueue {
-        assert!((1..32).contains(&capacity), "ctxQueue depth must be in 1..32");
+        assert!(
+            (1..32).contains(&capacity),
+            "ctxQueue depth must be in 1..32"
+        );
         CtxQueue {
             capacity,
             inflight: VecDeque::with_capacity(capacity),

@@ -13,7 +13,6 @@
 //! invalidated — the paper reports this as the source of CV32RT's poor
 //! fit there (§6).
 
-
 use rvsim_cores::{ArchState, Coprocessor, CoreKind, DataBus};
 use rvsim_isa::{CustomOp, Reg};
 
@@ -144,6 +143,10 @@ impl Coprocessor for Cv32rtUnit {
             }
         }
         self.remaining -= 1;
+    }
+
+    fn is_idle(&self) -> bool {
+        self.remaining == 0
     }
 }
 

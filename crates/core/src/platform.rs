@@ -40,6 +40,10 @@ pub struct Mmio {
     pub timer_period: u32,
     /// Set when the guest writes the HALT register.
     pub halted: bool,
+    /// Attention latch: a guest MMIO write changed interrupt/halt state,
+    /// so any precomputed quiescence horizon is stale. Consumed (cleared)
+    /// by [`DataBus::take_attention`] during batched execution.
+    attention: bool,
     /// `(cycle, value)` pairs from TRACE writes.
     pub trace_marks: Vec<(u64, u32)>,
     /// Values written to the console register.
@@ -56,6 +60,7 @@ impl Mmio {
             auto_timer_reset: false,
             timer_period,
             halted: false,
+            attention: false,
             trace_marks: Vec::new(),
             console: Vec::new(),
         }
@@ -64,6 +69,17 @@ impl Mmio {
     fn timer_pending(&self) -> bool {
         // Modular comparison tolerates mtime wrap-around.
         self.mtime.wrapping_sub(self.mtimecmp) as i32 >= 0
+    }
+
+    /// Cycles until MTIP first rises, or `None` when it is already
+    /// pending — the line then only changes through an MMIO write, which
+    /// raises the attention latch. Used to bound quiescent batches.
+    pub fn cycles_until_timer_fire(&self) -> Option<u64> {
+        if self.timer_pending() {
+            None
+        } else {
+            Some(u64::from(self.mtimecmp.wrapping_sub(self.mtime)))
+        }
     }
 
     /// The `mip` bit mask implied by the current device state.
@@ -92,11 +108,23 @@ impl Mmio {
 
     fn write(&mut self, addr: u32, value: u32, cycle: u64) {
         match addr & !0x3 {
-            MMIO_MTIMECMP => self.mtimecmp = value,
-            MMIO_MSIP => self.msip = value & 1 != 0,
-            MMIO_EXT_ACK => self.ext_pending = false,
+            MMIO_MTIMECMP => {
+                self.mtimecmp = value;
+                self.attention = true;
+            }
+            MMIO_MSIP => {
+                self.msip = value & 1 != 0;
+                self.attention = true;
+            }
+            MMIO_EXT_ACK => {
+                self.ext_pending = false;
+                self.attention = true;
+            }
             MMIO_CONSOLE => self.console.push(value),
-            MMIO_HALT => self.halted = true,
+            MMIO_HALT => {
+                self.halted = true;
+                self.attention = true;
+            }
             MMIO_TRACE => self.trace_marks.push((cycle, value)),
             _ => {}
         }
@@ -213,9 +241,15 @@ impl DataBus for Platform {
             return match write {
                 Some(v) => {
                     self.mmio.write(addr, v, self.cycle);
-                    BusResponse { data: 0, extra_latency: 0 }
+                    BusResponse {
+                        data: 0,
+                        extra_latency: 0,
+                    }
                 }
-                None => BusResponse { data: self.mmio.read(addr), extra_latency: 1 },
+                None => BusResponse {
+                    data: self.mmio.read(addr),
+                    extra_latency: 1,
+                },
             };
         }
 
@@ -236,12 +270,18 @@ impl DataBus for Platform {
                 } else {
                     out.latency
                 };
-                BusResponse { data, extra_latency: extra }
+                BusResponse {
+                    data,
+                    extra_latency: extra,
+                }
             }
             None => {
                 // Tightly coupled single-cycle SRAM (§6.1).
                 let extra = if write.is_some() { 0 } else { 1 };
-                BusResponse { data, extra_latency: extra }
+                BusResponse {
+                    data,
+                    extra_latency: extra,
+                }
             }
         }
     }
@@ -304,6 +344,26 @@ impl DataBus for Platform {
             }
             None => 0,
         }
+    }
+
+    fn advance_cycles(&mut self, cycles: u64) {
+        if cycles == 0 {
+            return;
+        }
+        // First closure also settles the previous cycle's grant, exactly
+        // like `begin_cycle`; the remaining cycles are guaranteed idle.
+        self.arb.end_cycle();
+        self.arb.skip_idle_cycles(cycles - 1);
+        self.cycle += cycles;
+        self.mmio.mtime = self.mmio.mtime.wrapping_add(cycles as u32);
+        self.bus_busy = self
+            .bus_busy
+            .saturating_sub(cycles.min(u64::from(u32::MAX)) as u32);
+        self.core_used_this_cycle = false;
+    }
+
+    fn take_attention(&mut self) -> bool {
+        std::mem::take(&mut self.mmio.attention)
     }
 }
 
@@ -409,6 +469,33 @@ mod tests {
         assert!(p.mmio.halted);
         assert_eq!(p.mmio.console, vec![42]);
         assert_eq!(p.mmio.trace_marks, vec![(1, 7)]);
+    }
+
+    #[test]
+    fn bulk_advance_matches_per_cycle_begin() {
+        let mut a = Platform::new(CoreKind::Cv32e40p, 100);
+        let mut b = Platform::new(CoreKind::Cv32e40p, 100);
+        for _ in 0..73 {
+            a.begin_cycle();
+        }
+        b.advance_cycles(73);
+        assert_eq!(a.cycle(), b.cycle());
+        assert_eq!(a.mmio.mtime, b.mmio.mtime);
+        assert_eq!(a.port_occupancy(), b.port_occupancy());
+        assert_eq!(a.mmio.pending_mask(), b.mmio.pending_mask());
+        assert_eq!(a.mmio.cycles_until_timer_fire(), Some(27));
+    }
+
+    #[test]
+    fn mmio_writes_raise_attention() {
+        let mut p = Platform::new(CoreKind::Cv32e40p, 100);
+        assert!(!p.take_attention());
+        p.begin_cycle();
+        p.core_access(MMIO_MTIMECMP, AccessSize::Word, Some(500));
+        assert!(p.take_attention());
+        assert!(!p.take_attention(), "attention is consumed on read");
+        p.core_access(MMIO_CONSOLE, AccessSize::Word, Some(1));
+        assert!(!p.take_attention(), "console writes do not raise attention");
     }
 
     #[test]

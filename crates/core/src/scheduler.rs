@@ -109,13 +109,18 @@ impl HwScheduler {
 
     fn sort_ready(&mut self) {
         // Priority descending, then insertion order (stable round-robin).
-        self.ready.sort_by(|a, b| b.prio.cmp(&a.prio).then(a.seq.cmp(&b.seq)));
+        self.ready
+            .sort_by(|a, b| b.prio.cmp(&a.prio).then(a.seq.cmp(&b.seq)));
     }
 
     fn sort_delay(&mut self) {
         // Remaining delay ascending, ties broken by priority (Fig. 5 (f)).
-        self.delay
-            .sort_by(|a, b| a.delay.cmp(&b.delay).then(b.prio.cmp(&a.prio)).then(a.seq.cmp(&b.seq)));
+        self.delay.sort_by(|a, b| {
+            a.delay
+                .cmp(&b.delay)
+                .then(b.prio.cmp(&a.prio))
+                .then(a.seq.cmp(&b.seq))
+        });
     }
 
     /// `ADD_READY`: inserts a task into the ready list (Fig. 5 (a)).
@@ -128,7 +133,12 @@ impl HwScheduler {
             return false;
         }
         let seq = self.next_seq();
-        self.ready.push(SchedEntry { task_id, prio, delay: 0, seq });
+        self.ready.push(SchedEntry {
+            task_id,
+            prio,
+            delay: 0,
+            seq,
+        });
         self.sort_ready();
         self.charge_sort();
         true
@@ -142,7 +152,12 @@ impl HwScheduler {
             return false;
         }
         let seq = self.next_seq();
-        self.delay.push(SchedEntry { task_id, prio, delay: ticks, seq });
+        self.delay.push(SchedEntry {
+            task_id,
+            prio,
+            delay: ticks,
+            seq,
+        });
         self.sort_delay();
         self.charge_sort();
         true

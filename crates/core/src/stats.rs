@@ -54,7 +54,12 @@ impl LatencyStats {
         let min = *lat.iter().min().expect("non-empty");
         let max = *lat.iter().max().expect("non-empty");
         let mean = lat.iter().sum::<u64>() as f64 / lat.len() as f64;
-        Some(LatencyStats { count: lat.len(), min, max, mean })
+        Some(LatencyStats {
+            count: lat.len(),
+            min,
+            max,
+            mean,
+        })
     }
 
     /// Computes statistics from switch records.
@@ -93,7 +98,12 @@ mod tests {
 
     #[test]
     fn record_latency_spans_trigger_to_mret() {
-        let r = SwitchRecord { trigger_cycle: 100, entry_cycle: 105, mret_cycle: 170, cause: 7 };
+        let r = SwitchRecord {
+            trigger_cycle: 100,
+            entry_cycle: 105,
+            mret_cycle: 170,
+            cause: 7,
+        };
         assert_eq!(r.latency(), 70);
         assert_eq!(r.entry_latency(), 5);
     }

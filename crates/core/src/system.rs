@@ -7,7 +7,9 @@ use crate::layout::{IMEM_BASE, IMEM_SIZE};
 use crate::platform::Platform;
 use crate::stats::{LatencyStats, SwitchRecord};
 use crate::unit::{RtosUnit, UnitStats};
-use rvsim_cores::{make_engine, CoreEngine, CoreEvent, CoreKind, Coprocessor, NullCoprocessor};
+use rvsim_cores::{
+    make_engine, stop_events, Coprocessor, CoreEngine, CoreEvent, CoreKind, NullCoprocessor,
+};
 use rvsim_isa::{csr, Program};
 
 /// Default timer-tick period in cycles.
@@ -202,11 +204,7 @@ impl System {
         self.platform.begin_cycle();
         let now = self.platform.cycle();
 
-        while self
-            .ext_schedule
-            .last()
-            .is_some_and(|&c| c <= now)
-        {
+        while self.ext_schedule.last().is_some_and(|&c| c <= now) {
             self.ext_schedule.pop();
             self.platform.raise_external_irq();
         }
@@ -255,8 +253,103 @@ impl System {
             .step(&mut self.core.state, &mut self.platform);
     }
 
+    /// How many upcoming cycles are *quiescent*: the attached unit has no
+    /// background work, the interrupt lines already match what the core
+    /// sees, and no timer fire or scheduled external IRQ lands inside the
+    /// window. Over such a stretch the per-cycle `System` bookkeeping is
+    /// provably a no-op, so the engine may run batched. Guest actions that
+    /// could break the assumption mid-batch (MMIO writes to the interrupt
+    /// devices, custom unit instructions) stop the batch via the bus
+    /// attention latch and the engine's custom-instruction stop.
+    fn quiescent_budget(&mut self, now: u64, end: u64) -> u64 {
+        if !self.unit.as_coproc().is_idle() {
+            return 0;
+        }
+        let mask = self.platform.mmio.pending_mask();
+        if mask != self.prev_mask || self.core.state.csrs.mip != mask {
+            return 0;
+        }
+        let mut horizon = end;
+        if let Some(delta) = self.platform.mmio.cycles_until_timer_fire() {
+            // Stop one cycle short of the rising edge so the per-cycle
+            // path records the trigger timestamp exactly at the edge.
+            horizon = horizon.min((now + delta).saturating_sub(1));
+        }
+        if let Some(&next) = self.ext_schedule.last() {
+            horizon = horizon.min(next.saturating_sub(1));
+        }
+        horizon.saturating_sub(now)
+    }
+
     /// Runs until the guest halts or `max_cycles` elapse.
+    ///
+    /// Quiescent stretches execute through the engine's batched
+    /// [`run_until`](CoreEngine::run_until) — cycle-exact with
+    /// [`run_stepwise`](Self::run_stepwise) (the differential tests assert
+    /// identical records and counters) but without one dynamic dispatch
+    /// per cycle.
     pub fn run(&mut self, max_cycles: u64) -> RunExit {
+        let end = self.platform.cycle() + max_cycles;
+        loop {
+            if self.halted() {
+                return RunExit::Halted;
+            }
+            let now = self.platform.cycle();
+            if now >= end {
+                return RunExit::CyclesExhausted;
+            }
+
+            let budget = self.quiescent_budget(now, end);
+            if budget == 0 {
+                self.step();
+                continue;
+            }
+
+            let exit = self.core.run_until(
+                &mut self.platform,
+                self.unit.as_coproc(),
+                stop_events::ALL,
+                budget,
+            );
+            let now = self.platform.cycle();
+            match exit.event {
+                Some(CoreEvent::InterruptEntered { cause }) => {
+                    let trigger = self.pending_triggers[cause_slot(cause)]
+                        .take()
+                        .unwrap_or(now);
+                    self.open_episode = Some((trigger, now, cause));
+                    if cause == csr::CAUSE_TIMER && self.platform.mmio.auto_timer_reset {
+                        self.platform.auto_reset_timer();
+                    }
+                }
+                Some(CoreEvent::MretRetired) => {
+                    if let Some((trigger, entry, cause)) = self.open_episode.take() {
+                        self.records.push(SwitchRecord {
+                            trigger_cycle: trigger,
+                            entry_cycle: entry,
+                            mret_cycle: now,
+                            cause,
+                        });
+                    }
+                }
+                _ => {}
+            }
+            // The exit cycle's unit step: a no-op unless the final cycle
+            // entered an interrupt or executed a custom instruction —
+            // exactly the cycles where the per-cycle path steps a
+            // newly-active unit.
+            if exit.cycles > 0 {
+                self.unit
+                    .as_coproc()
+                    .step(&mut self.core.state, &mut self.platform);
+            }
+        }
+    }
+
+    /// Cycle-by-cycle reference path: semantically identical to
+    /// [`run`](Self::run) but calls [`step`](Self::step) once per cycle.
+    /// Kept for differential testing and throughput comparisons.
+    pub fn run_stepwise(&mut self, max_cycles: u64) -> RunExit {
         for _ in 0..max_cycles {
             if self.halted() {
                 return RunExit::Halted;
@@ -326,7 +419,11 @@ mod tests {
         assert_eq!(sys.records().len(), 3);
         for r in sys.records() {
             assert_eq!(r.cause, csr::CAUSE_TIMER);
-            assert!(r.latency() > 0 && r.latency() < 200, "latency {}", r.latency());
+            assert!(
+                r.latency() > 0 && r.latency() < 200,
+                "latency {}",
+                r.latency()
+            );
         }
         // A deterministic core and identical episodes: zero jitter.
         let stats = sys.latency_stats().expect("records");

@@ -97,7 +97,12 @@ mod tests {
     use super::*;
 
     fn rec(trigger: u64, entry: u64, mret: u64, cause: u32) -> SwitchRecord {
-        SwitchRecord { trigger_cycle: trigger, entry_cycle: entry, mret_cycle: mret, cause }
+        SwitchRecord {
+            trigger_cycle: trigger,
+            entry_cycle: entry,
+            mret_cycle: mret,
+            cause,
+        }
     }
 
     #[test]
@@ -118,7 +123,10 @@ mod tests {
 
     #[test]
     fn overhead_fraction() {
-        let records = vec![rec(0, 10, 60, csr::CAUSE_TIMER), rec(100, 110, 160, csr::CAUSE_TIMER)];
+        let records = vec![
+            rec(0, 10, 60, csr::CAUSE_TIMER),
+            rec(100, 110, 160, csr::CAUSE_TIMER),
+        ];
         let ov = isr_overhead(&records, 1000);
         assert!((ov - 0.1).abs() < 1e-9);
         assert_eq!(isr_overhead(&records, 0), 0.0);

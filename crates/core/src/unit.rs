@@ -264,8 +264,7 @@ impl RtosUnit {
     /// be requested before or after the store finishes, depending on how
     /// long the scheduler runs).
     fn maybe_start_restore(&mut self) {
-        if !self.store_busy() && self.restore_pending && self.restore_mode == RestoreMode::Memory
-        {
+        if !self.store_busy() && self.restore_pending && self.restore_mode == RestoreMode::Memory {
             self.restore_pending = false;
             self.restore_active = true;
             self.restore_word = 0;
@@ -340,9 +339,7 @@ impl Coprocessor for RtosUnit {
             // including while issued stores drain from the ctxQueue (§5.3).
             CustomOp::SwitchRf => self.store_busy(),
             // The head is only trustworthy once iterative sorting settled.
-            CustomOp::GetHwSched => {
-                self.sched.as_ref().is_some_and(|s| s.sort_busy() > 0)
-            }
+            CustomOp::GetHwSched => self.sched.as_ref().is_some_and(|s| s.sort_busy() > 0),
             _ => false,
         }
     }
@@ -393,7 +390,10 @@ impl Coprocessor for RtosUnit {
                 u32::from(id)
             }
             CustomOp::SwitchRf => {
-                debug_assert!(!self.store_active, "SWITCH_RF executed while store FSM busy");
+                debug_assert!(
+                    !self.store_active,
+                    "SWITCH_RF executed while store FSM busy"
+                );
                 state.set_active_bank(Bank::App);
                 0
             }
@@ -457,9 +457,17 @@ impl Coprocessor for RtosUnit {
         // register file directly from the preload buffer, trailing the
         // store FSM (§4.7).
         if self.restore_mode == RestoreMode::Lockstep && self.restore_word < CTX_WORDS {
-            let store_pos = if self.store_active { self.store_word } else { CTX_WORDS };
+            let store_pos = if self.store_active {
+                self.store_word
+            } else {
+                CTX_WORDS
+            };
             if self.restore_word < store_pos {
-                Self::write_ctx_word(state, self.restore_word, self.preload_buf[self.restore_word]);
+                Self::write_ctx_word(
+                    state,
+                    self.restore_word,
+                    self.preload_buf[self.restore_word],
+                );
                 self.restore_word += 1;
             }
         }
@@ -514,6 +522,22 @@ impl Coprocessor for RtosUnit {
             }
         }
     }
+
+    fn is_idle(&self) -> bool {
+        // Every branch of `step` must be a no-op for the batched run to
+        // skip the per-cycle polling: no store/restore FSM activity, no
+        // scheduler sort in flight, and no preload wanting port cycles.
+        let preload_wants_port = self.cfg.preload
+            && !self.in_isr
+            && self.preload_id.is_some()
+            && self.preload_word < CTX_WORDS;
+        !self.store_busy()
+            && !self.restore_busy()
+            && !self.store_draining
+            && !self.restore_draining
+            && self.sched.as_ref().is_none_or(|s| s.sort_busy() == 0)
+            && !preload_wants_port
+    }
 }
 
 #[cfg(test)]
@@ -533,9 +557,15 @@ mod tests {
             match write {
                 Some(v) => {
                     self.mem.write(addr, size, v);
-                    BusResponse { data: 0, extra_latency: 0 }
+                    BusResponse {
+                        data: 0,
+                        extra_latency: 0,
+                    }
                 }
-                None => BusResponse { data: self.mem.read(addr, size), extra_latency: 1 },
+                None => BusResponse {
+                    data: self.mem.read(addr, size),
+                    extra_latency: 1,
+                },
             }
         }
 
@@ -551,7 +581,9 @@ mod tests {
     }
 
     fn idle_bus() -> IdleBus {
-        IdleBus { mem: Mem::new(crate::layout::DMEM_BASE, crate::layout::DMEM_SIZE) }
+        IdleBus {
+            mem: Mem::new(crate::layout::DMEM_BASE, crate::layout::DMEM_SIZE),
+        }
     }
 
     fn unit(preset: Preset) -> RtosUnit {
@@ -732,7 +764,10 @@ mod tests {
         assert_eq!(u.stats.load_words, 0);
         u.on_mret(&mut state);
         assert_eq!(state.read_reg(rvsim_isa::Reg::Ra), 0x7000);
-        assert!(cycles <= CTX_WORDS + 2, "lockstep should track the store: {cycles}");
+        assert!(
+            cycles <= CTX_WORDS + 2,
+            "lockstep should track the store: {cycles}"
+        );
     }
 
     #[test]

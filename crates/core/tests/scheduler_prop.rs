@@ -1,6 +1,10 @@
 //! Property tests: the hardware scheduler against an executable
 //! reference model of FreeRTOS's scheduling rules (Fig. 2 / Fig. 5).
 
+#![cfg(feature = "proptest")]
+// Default-off: requires the external `proptest` crate (network). See the
+// crate's Cargo.toml for how to enable.
+
 use proptest::prelude::*;
 use rtosunit::HwScheduler;
 
@@ -14,7 +18,10 @@ struct RefSched {
 
 impl RefSched {
     fn new() -> RefSched {
-        RefSched { ready: vec![Vec::new(); 256], delay: Vec::new() }
+        RefSched {
+            ready: vec![Vec::new(); 256],
+            delay: Vec::new(),
+        }
     }
 
     fn add_ready(&mut self, id: u8, prio: u8) {

@@ -34,7 +34,10 @@ fn store_traffic_scales_with_dirty_bits() {
     let d = dirty.unit_stats().expect("unit");
     let full_rate = f.store_words as f64 / f.interrupts as f64;
     let dirty_rate = d.store_words as f64 / d.interrupts as f64;
-    assert!((30.9..=31.1).contains(&full_rate), "SL must store 31 words: {full_rate}");
+    assert!(
+        (30.9..=31.1).contains(&full_rate),
+        "SL must store 31 words: {full_rate}"
+    );
     assert!(
         dirty_rate < 25.0,
         "dirty bits should cut store traffic: {dirty_rate} words/interrupt"
@@ -55,7 +58,11 @@ fn t_only_never_touches_the_port() {
     let sys = yield_pair(Preset::T, CoreKind::Cv32e40p, 200_000);
     let u = sys.unit_stats().expect("unit");
     assert_eq!(u.store_words + u.load_words + u.preload_words, 0);
-    assert_eq!(sys.platform.port_occupancy().2, 0, "no unit port cycles in (T)");
+    assert_eq!(
+        sys.platform.port_occupancy().2,
+        0,
+        "no unit port cycles in (T)"
+    );
     assert!(u.custom_instrs > 10, "GET_HW_SCHED must run");
 }
 

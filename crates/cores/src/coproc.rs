@@ -36,6 +36,16 @@ pub trait Coprocessor {
     /// One background cycle: FSMs may use an idle data-port cycle via
     /// [`DataBus::unit_access`].
     fn step(&mut self, state: &mut ArchState, bus: &mut dyn DataBus);
+
+    /// Whether the unit has no background work in flight — no store or
+    /// restore FSM activity, no pending scheduler sort, no preload to run —
+    /// so that skipping its per-cycle [`step`](Self::step) calls is
+    /// observationally equivalent to making them. Batched execution
+    /// ([`CoreEngine::run_until`](crate::engine::CoreEngine::run_until)) is
+    /// only entered while this holds. Default: `false` (always poll).
+    fn is_idle(&self) -> bool {
+        false
+    }
 }
 
 /// The "no RTOSUnit attached" coprocessor: every hook is a no-op and
@@ -61,4 +71,8 @@ impl Coprocessor for NullCoprocessor {
     }
 
     fn step(&mut self, _state: &mut ArchState, _bus: &mut dyn DataBus) {}
+
+    fn is_idle(&self) -> bool {
+        true
+    }
 }

@@ -138,7 +138,10 @@ mod tests {
 
     #[test]
     fn masked_interrupts_do_not_fire() {
-        let mut c = Csrs { mip: csr::MIP_MTIP, ..Csrs::default() };
+        let mut c = Csrs {
+            mip: csr::MIP_MTIP,
+            ..Csrs::default()
+        };
         assert_eq!(c.pending_interrupt(), None);
         c.mie = csr::MIP_MTIP;
         assert_eq!(c.pending_interrupt(), Some(csr::CAUSE_TIMER));

@@ -61,6 +61,25 @@ pub trait DataBus {
     fn unit_pending(&self) -> u32 {
         0
     }
+
+    /// Advances the bus-side clock by `cycles` at once — the bulk
+    /// equivalent of that many per-cycle housekeeping steps with no port
+    /// activity in between. [`CoreEngine::run_until`] calls this before
+    /// simulating each stretch of cycles so timers, busy counters and
+    /// occupancy statistics stay cycle-exact without a call per cycle.
+    /// Default: no-op (timer-less test buses).
+    fn advance_cycles(&mut self, cycles: u64) {
+        let _ = cycles;
+    }
+
+    /// Returns and clears the bus attention flag: set when a bus-side
+    /// write may have changed interrupt or halt state (e.g. an MMIO store
+    /// to a timer comparator), invalidating any precomputed quiescence
+    /// horizon. [`CoreEngine::run_until`] polls it after every issue cycle
+    /// and stops the batch when raised. Default: never raised.
+    fn take_attention(&mut self) -> bool {
+        false
+    }
 }
 
 /// Externally visible per-cycle events.
@@ -82,6 +101,53 @@ pub enum CoreEvent {
 pub struct StepOutput {
     /// Event raised this cycle, if any.
     pub event: Option<CoreEvent>,
+    /// A coprocessor custom instruction executed this cycle (the
+    /// coprocessor's state may have changed — batched runs stop here).
+    pub custom: bool,
+}
+
+/// Bit mask of [`CoreEvent`]s that stop [`CoreEngine::run_until`].
+pub mod stop_events {
+    /// Stop when an interrupt is taken.
+    pub const INTERRUPT_ENTERED: u32 = 1 << 0;
+    /// Stop when `mret` retires.
+    pub const MRET_RETIRED: u32 = 1 << 1;
+    /// Stop when the guest halts.
+    pub const HALTED: u32 = 1 << 2;
+    /// Stop on every event.
+    pub const ALL: u32 = INTERRUPT_ENTERED | MRET_RETIRED | HALTED;
+}
+
+fn event_bit(ev: CoreEvent) -> u32 {
+    match ev {
+        CoreEvent::InterruptEntered { .. } => stop_events::INTERRUPT_ENTERED,
+        CoreEvent::MretRetired => stop_events::MRET_RETIRED,
+        CoreEvent::Halted => stop_events::HALTED,
+    }
+}
+
+/// Why [`CoreEngine::run_until`] returned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StopReason {
+    /// An event matching the stop mask fired on the final cycle.
+    Event,
+    /// A coprocessor custom instruction executed on the final cycle.
+    CustomExecuted,
+    /// The bus raised its attention flag on the final cycle.
+    Attention,
+    /// The cycle budget ran out (or the core was already halted).
+    Budget,
+}
+
+/// Result of one [`CoreEngine::run_until`] batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchExit {
+    /// Cycles consumed by the batch.
+    pub cycles: u64,
+    /// Event raised on the final cycle, if any.
+    pub event: Option<CoreEvent>,
+    /// Why the batch ended.
+    pub reason: StopReason,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -151,6 +217,27 @@ impl CoreEngine {
             *w = None;
         }
         self.state.pc = program.base;
+    }
+
+    /// Drops the cached decode of the instruction word containing `addr`.
+    /// Callers that rewrite a single IMEM word (loaders, test harnesses,
+    /// self-modifying guests) must invalidate it here instead of paying a
+    /// full [`load_program`](Self::load_program)-style flush.
+    pub fn invalidate_decoded(&mut self, addr: u32) {
+        if !self.imem.contains(addr) {
+            return;
+        }
+        let idx = ((addr - self.imem.base()) / 4) as usize;
+        if let Some(slot) = self.decoded.get_mut(idx) {
+            *slot = None;
+        }
+    }
+
+    /// Rewrites one instruction-memory word and invalidates its cached
+    /// decode, keeping fetch coherent with the new bytes.
+    pub fn write_imem_word(&mut self, addr: u32, word: u32) {
+        self.imem.write_word(addr, word);
+        self.invalidate_decoded(addr);
     }
 
     /// Current cycle count.
@@ -339,7 +426,12 @@ impl CoreEngine {
             };
 
             match outcome.mem {
-                Some(MemRequest::Load { addr, size, signed, rd }) => {
+                Some(MemRequest::Load {
+                    addr,
+                    size,
+                    signed,
+                    rd,
+                }) => {
                     let resp = bus.core_access(addr, size, None);
                     let value = match (size, signed) {
                         (AccessSize::Byte, true) => resp.data as u8 as i8 as i32 as u32,
@@ -363,6 +455,7 @@ impl CoreEngine {
                 if op.writes_rd() {
                     self.state.write_reg(rd, result);
                 }
+                out.custom = true;
             }
 
             if outcome.halt {
@@ -423,6 +516,105 @@ impl CoreEngine {
         self.cycle - start
     }
 
+    /// Runs a quiescent batch of up to `max_cycles` cycles without a
+    /// per-cycle call from the platform.
+    ///
+    /// The caller guarantees that, for the whole budget, nothing *outside*
+    /// the core can change `state.csrs.mip` or wants per-cycle polling:
+    /// no timer/software/external interrupt edge lands inside the window
+    /// and the coprocessor is idle (guest-initiated changes are caught via
+    /// [`DataBus::take_attention`] and the `custom` stop). Under that
+    /// contract this is cycle-exact with calling [`step`](Self::step) in a
+    /// loop, but burns through multi-cycle stalls and `wfi` stretches in
+    /// bulk, advancing the bus clock via [`DataBus::advance_cycles`].
+    ///
+    /// Stops at the first of: an event matching `event_mask`, a custom
+    /// (coprocessor) instruction executing, the bus raising attention, or
+    /// the budget running out.
+    pub fn run_until(
+        &mut self,
+        bus: &mut dyn DataBus,
+        coproc: &mut dyn Coprocessor,
+        event_mask: u32,
+        max_cycles: u64,
+    ) -> BatchExit {
+        let start = self.cycle;
+        loop {
+            let used = self.cycle - start;
+            if self.halted || used >= max_cycles {
+                return BatchExit {
+                    cycles: used,
+                    event: None,
+                    reason: StopReason::Budget,
+                };
+            }
+            let remaining = max_cycles - used;
+
+            // Bulk-drain a multi-cycle instruction. The cycle where `busy`
+            // reaches zero may complete an `mret`, exactly as in `step`.
+            if self.busy > 0 {
+                let skip = u64::from(self.busy).min(remaining);
+                bus.advance_cycles(skip);
+                self.cycle += skip;
+                self.busy -= skip as u32;
+                self.state.csrs.mcycle = self.cycle as u32;
+                if self.busy == 0 && self.completing == Completing::Mret {
+                    self.completing = Completing::Plain;
+                    coproc.on_mret(&mut self.state);
+                    if event_mask & stop_events::MRET_RETIRED != 0 {
+                        return BatchExit {
+                            cycles: self.cycle - start,
+                            event: Some(CoreEvent::MretRetired),
+                            reason: StopReason::Event,
+                        };
+                    }
+                }
+                continue;
+            }
+
+            // `wfi` park: `mip` is constant for the whole batch, so with no
+            // pending-and-enabled interrupt the core sleeps out the budget.
+            if self.wfi_wait && self.state.csrs.mip & self.state.csrs.mie == 0 {
+                bus.advance_cycles(remaining);
+                self.cycle += remaining;
+                self.state.csrs.mcycle = self.cycle as u32;
+                return BatchExit {
+                    cycles: max_cycles,
+                    event: None,
+                    reason: StopReason::Budget,
+                };
+            }
+
+            // One active cycle, identical to the per-cycle path.
+            bus.advance_cycles(1);
+            let out = self.step(bus, coproc);
+            let attention = bus.take_attention();
+            if let Some(ev) = out.event {
+                if event_bit(ev) & event_mask != 0 {
+                    return BatchExit {
+                        cycles: self.cycle - start,
+                        event: Some(ev),
+                        reason: StopReason::Event,
+                    };
+                }
+            }
+            if out.custom {
+                return BatchExit {
+                    cycles: self.cycle - start,
+                    event: out.event,
+                    reason: StopReason::CustomExecuted,
+                };
+            }
+            if attention {
+                return BatchExit {
+                    cycles: self.cycle - start,
+                    event: out.event,
+                    reason: StopReason::Attention,
+                };
+            }
+        }
+    }
+
     /// Disassembles the instruction at `pc` (debug aid).
     pub fn disassemble_at(&mut self, pc: u32) -> Option<String> {
         self.peek(pc).map(|i| disassemble(&i, pc))
@@ -445,9 +637,15 @@ mod tests {
             match write {
                 Some(v) => {
                     self.mem.write(addr, size, v);
-                    BusResponse { data: 0, extra_latency: 0 }
+                    BusResponse {
+                        data: 0,
+                        extra_latency: 0,
+                    }
                 }
-                None => BusResponse { data: self.mem.read(addr, size), extra_latency: 1 },
+                None => BusResponse {
+                    data: self.mem.read(addr, size),
+                    extra_latency: 1,
+                },
             }
         }
 
@@ -460,7 +658,9 @@ mod tests {
         let prog = asm.finish().expect("assembly");
         let mut engine = CoreEngine::new(TimingParams::cv32e40p(), 0x0, 0x1_0000);
         engine.load_program(&prog);
-        let mut bus = SramBus { mem: Mem::new(0x2000_0000, 0x1_0000) };
+        let mut bus = SramBus {
+            mem: Mem::new(0x2000_0000, 0x1_0000),
+        };
         let mut co = NullCoprocessor;
         engine.run_with(&mut bus, &mut co, 1_000_000, |_, _| {});
         assert!(engine.halted(), "program did not halt");
@@ -538,7 +738,9 @@ mod tests {
         let run = |params: TimingParams| {
             let mut e = CoreEngine::new(params, 0, 0x1_0000);
             e.load_program(&p);
-            let mut bus = SramBus { mem: Mem::new(0x2000_0000, 0x100) };
+            let mut bus = SramBus {
+                mem: Mem::new(0x2000_0000, 0x100),
+            };
             let mut co = NullCoprocessor;
             e.run_with(&mut bus, &mut co, 10_000, |_, _| {});
             e.cycle()
@@ -561,10 +763,16 @@ mod tests {
         let p = prog.finish().unwrap();
         let mut e = CoreEngine::new(TimingParams::naxriscv(), 0, 0x1_0000);
         e.load_program(&p);
-        let mut bus = SramBus { mem: Mem::new(0x2000_0000, 0x100) };
+        let mut bus = SramBus {
+            mem: Mem::new(0x2000_0000, 0x100),
+        };
         let mut co = NullCoprocessor;
         e.run_with(&mut bus, &mut co, 10_000, |_, _| {});
-        assert!(e.cycle() >= 100, "RAW pair incorrectly dual-issued: {}", e.cycle());
+        assert!(
+            e.cycle() >= 100,
+            "RAW pair incorrectly dual-issued: {}",
+            e.cycle()
+        );
     }
 
     #[test]
@@ -577,7 +785,9 @@ mod tests {
         let p = a.finish().unwrap();
         let mut e = CoreEngine::new(TimingParams::cv32e40p(), 0, 0x1_0000);
         e.load_program(&p);
-        let mut bus = SramBus { mem: Mem::new(0x2000_0000, 0x100) };
+        let mut bus = SramBus {
+            mem: Mem::new(0x2000_0000, 0x100),
+        };
         let mut co = NullCoprocessor;
         for _ in 0..100 {
             e.step(&mut bus, &mut co);
@@ -590,6 +800,143 @@ mod tests {
         for _ in 0..10 {
             e.step(&mut bus, &mut co);
         }
+        assert!(e.halted());
+    }
+
+    #[test]
+    fn stale_decode_cannot_survive_imem_rewrite() {
+        // addi a0, a0, 1 ; ebreak — execute once so the decode caches.
+        let mut a = Asm::new(0);
+        a.addi(Reg::A0, Reg::A0, 1);
+        a.ebreak();
+        let p = a.finish().unwrap();
+        let mut e = CoreEngine::new(TimingParams::cv32e40p(), 0, 0x1_0000);
+        e.load_program(&p);
+        let mut bus = SramBus {
+            mem: Mem::new(0x2000_0000, 0x100),
+        };
+        let mut co = NullCoprocessor;
+        e.run_with(&mut bus, &mut co, 100, |_, _| {});
+        assert!(e.halted());
+        assert_eq!(e.state.read_reg(Reg::A0), 1);
+
+        // Rewrite word 0 to `addi a0, a0, 7` and rerun from pc 0. Without
+        // invalidation the stale cached decode (`addi a0, a0, 1`) would
+        // execute instead of the new bytes.
+        let mut b = Asm::new(0);
+        b.addi(Reg::A0, Reg::A0, 7);
+        let new_word = b.finish().unwrap().words[0];
+        e.write_imem_word(0, new_word);
+        e.halted = false;
+        e.state.pc = 0;
+        e.state.write_reg(Reg::A0, 0);
+        e.run_with(&mut bus, &mut co, 100, |_, _| {});
+        assert!(e.halted());
+        assert_eq!(
+            e.state.read_reg(Reg::A0),
+            7,
+            "stale decoded Instr survived IMEM rewrite"
+        );
+    }
+
+    #[test]
+    fn invalidate_decoded_ignores_foreign_addresses() {
+        let mut e = CoreEngine::new(TimingParams::cv32e40p(), 0x1000, 0x100);
+        // Outside IMEM: must be a no-op, not a panic or bogus index.
+        e.invalidate_decoded(0x2000_0000);
+        e.invalidate_decoded(0);
+    }
+
+    #[test]
+    fn run_until_matches_per_cycle_stepping() {
+        use rvsim_isa::csr;
+        // A program with branches, loads/stores, a div stall and a final
+        // wfi park — enough variety to exercise every batching path.
+        let build = || {
+            let mut a = Asm::new(0);
+            a.li(Reg::T0, 0x2000_0000u32 as i32);
+            a.li(Reg::T1, 40);
+            a.label("loop");
+            a.sw(Reg::T1, 0, Reg::T0);
+            a.lw(Reg::T2, 0, Reg::T0);
+            a.div(Reg::T2, Reg::T2, Reg::T1);
+            a.addi(Reg::T1, Reg::T1, -1);
+            a.bnez(Reg::T1, "loop");
+            a.li(Reg::T0, csr::MIP_MTIP as i32);
+            a.csrw(csr::MIE, Reg::T0);
+            a.wfi();
+            a.ebreak();
+            a.finish().unwrap()
+        };
+        let p = build();
+
+        let mut slow = CoreEngine::new(TimingParams::cv32e40p(), 0, 0x1_0000);
+        slow.load_program(&p);
+        let mut slow_bus = SramBus {
+            mem: Mem::new(0x2000_0000, 0x100),
+        };
+        let mut co = NullCoprocessor;
+        let slow_cycles = slow.run_with(&mut slow_bus, &mut co, 5_000, |_, _| {});
+
+        let mut fast = CoreEngine::new(TimingParams::cv32e40p(), 0, 0x1_0000);
+        fast.load_program(&p);
+        let mut fast_bus = SramBus {
+            mem: Mem::new(0x2000_0000, 0x100),
+        };
+        let exit = fast.run_until(&mut fast_bus, &mut co, stop_events::ALL, 5_000);
+
+        // Both park in wfi with identical architectural outcomes: the
+        // batched run consumes the full budget (wfi bulk-skip) just like
+        // 5 000 per-cycle steps do.
+        assert_eq!(exit.reason, StopReason::Budget);
+        assert_eq!(exit.cycles, slow_cycles);
+        assert_eq!(fast.cycle(), slow.cycle());
+        assert_eq!(fast.retired(), slow.retired());
+        assert_eq!(fast.state.pc, slow.state.pc);
+        assert!(fast.waiting_for_interrupt() && slow.waiting_for_interrupt());
+        for r in [Reg::T0, Reg::T1, Reg::T2] {
+            assert_eq!(fast.state.read_reg(r), slow.state.read_reg(r));
+        }
+    }
+
+    #[test]
+    fn run_until_stops_on_masked_events_only() {
+        use rvsim_isa::csr;
+        let mut a = Asm::new(0);
+        a.la(Reg::T0, "handler");
+        a.csrw(csr::MTVEC, Reg::T0);
+        a.li(Reg::T0, csr::MIP_MTIP as i32);
+        a.csrw(csr::MIE, Reg::T0);
+        a.enable_interrupts();
+        a.label("spin");
+        a.j("spin");
+        a.label("handler");
+        a.ebreak();
+        let p = a.finish().unwrap();
+        let mut e = CoreEngine::new(TimingParams::cv32e40p(), 0, 0x1_0000);
+        e.load_program(&p);
+        let mut bus = SramBus {
+            mem: Mem::new(0x2000_0000, 0x100),
+        };
+        let mut co = NullCoprocessor;
+        // No interrupt pending: spins to the budget.
+        let exit = e.run_until(&mut bus, &mut co, stop_events::ALL, 200);
+        assert_eq!(exit.reason, StopReason::Budget);
+        assert_eq!(exit.cycles, 200);
+        // Raise MTIP: next batch must stop at the entry event, then run to
+        // the halt inside the handler.
+        e.state.csrs.mip = csr::MIP_MTIP;
+        let exit = e.run_until(&mut bus, &mut co, stop_events::ALL, 200);
+        assert_eq!(exit.reason, StopReason::Event);
+        assert_eq!(
+            exit.event,
+            Some(CoreEvent::InterruptEntered {
+                cause: csr::CAUSE_TIMER
+            })
+        );
+        let exit = e.run_until(&mut bus, &mut co, stop_events::ALL, 200);
+        assert_eq!(exit.reason, StopReason::Event);
+        assert_eq!(exit.event, Some(CoreEvent::Halted));
         assert!(e.halted());
     }
 
@@ -612,7 +959,9 @@ mod tests {
         let p = a.finish().unwrap();
         let mut e = CoreEngine::new(TimingParams::cv32e40p(), 0, 0x1_0000);
         e.load_program(&p);
-        let mut bus = SramBus { mem: Mem::new(0x2000_0000, 0x100) };
+        let mut bus = SramBus {
+            mem: Mem::new(0x2000_0000, 0x100),
+        };
         let mut co = NullCoprocessor;
         let mut entered = None;
         for _ in 0..50 {
@@ -632,6 +981,9 @@ mod tests {
         assert_eq!(entered, Some(csr::CAUSE_TIMER));
         assert_eq!(e.state.read_reg(Reg::A1), 99);
         assert_eq!(e.state.csrs.mcause, csr::CAUSE_TIMER);
-        assert!(!e.state.csrs.mie_enabled(), "MIE must be cleared in the ISR");
+        assert!(
+            !e.state.csrs.mie_enabled(),
+            "MIE must be cleared in the ISR"
+        );
     }
 }

@@ -14,9 +14,18 @@ use rvsim_mem::AccessSize;
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum MemRequest {
     /// Load into `rd`. `signed` selects sign extension of sub-word data.
-    Load { addr: u32, size: AccessSize, signed: bool, rd: Reg },
+    Load {
+        addr: u32,
+        size: AccessSize,
+        signed: bool,
+        rd: Reg,
+    },
     /// Store `value`.
-    Store { addr: u32, size: AccessSize, value: u32 },
+    Store {
+        addr: u32,
+        size: AccessSize,
+        value: u32,
+    },
 }
 
 /// Non-memory outcome of functionally executing one instruction.
@@ -69,7 +78,11 @@ fn alu(op: AluOp, a: u32, b: u32) -> u32 {
     }
 }
 
-#[allow(clippy::manual_div_ceil, clippy::if_then_some_else_none, clippy::manual_ok_err)]
+#[allow(
+    clippy::manual_div_ceil,
+    clippy::if_then_some_else_none,
+    clippy::manual_ok_err
+)]
 #[allow(clippy::collapsible_else_if)]
 #[allow(clippy::manual_unwrap_or_default)]
 #[allow(clippy::manual_checked_ops)]
@@ -143,13 +156,23 @@ pub fn execute(state: &mut ArchState, instr: &Instr, pc: u32) -> Outcome {
             state.write_reg(rd, pc.wrapping_add(4));
             out.next_pc = target;
         }
-        Instr::Branch { op, rs1, rs2, offset } => {
+        Instr::Branch {
+            op,
+            rs1,
+            rs2,
+            offset,
+        } => {
             if branch_taken(op, state.read_reg(rs1), state.read_reg(rs2)) {
                 out.next_pc = pc.wrapping_add(offset as u32);
                 out.taken_branch = true;
             }
         }
-        Instr::Load { op, rd, rs1, offset } => {
+        Instr::Load {
+            op,
+            rd,
+            rs1,
+            offset,
+        } => {
             let addr = state.read_reg(rs1).wrapping_add(offset as u32);
             let (size, signed) = match op {
                 LoadOp::Lb => (AccessSize::Byte, true),
@@ -158,16 +181,30 @@ pub fn execute(state: &mut ArchState, instr: &Instr, pc: u32) -> Outcome {
                 LoadOp::Lhu => (AccessSize::Half, false),
                 LoadOp::Lw => (AccessSize::Word, false),
             };
-            out.mem = Some(MemRequest::Load { addr, size, signed, rd });
+            out.mem = Some(MemRequest::Load {
+                addr,
+                size,
+                signed,
+                rd,
+            });
         }
-        Instr::Store { op, rs1, rs2, offset } => {
+        Instr::Store {
+            op,
+            rs1,
+            rs2,
+            offset,
+        } => {
             let addr = state.read_reg(rs1).wrapping_add(offset as u32);
             let size = match op {
                 StoreOp::Sb => AccessSize::Byte,
                 StoreOp::Sh => AccessSize::Half,
                 StoreOp::Sw => AccessSize::Word,
             };
-            out.mem = Some(MemRequest::Store { addr, size, value: state.read_reg(rs2) });
+            out.mem = Some(MemRequest::Store {
+                addr,
+                size,
+                value: state.read_reg(rs2),
+            });
         }
         Instr::OpImm { op, rd, rs1, imm } => {
             state.write_reg(rd, alu(op, state.read_reg(rs1), imm as u32));
@@ -226,11 +263,25 @@ mod tests {
     fn alu_basics() {
         let mut s = fresh();
         s.write_reg(Reg::A1, 7);
-        execute(&mut s, &Instr::OpImm { op: AluOp::Add, rd: Reg::A0, rs1: Reg::A1, imm: -3 }, 0);
+        execute(
+            &mut s,
+            &Instr::OpImm {
+                op: AluOp::Add,
+                rd: Reg::A0,
+                rs1: Reg::A1,
+                imm: -3,
+            },
+            0,
+        );
         assert_eq!(s.read_reg(Reg::A0), 4);
         execute(
             &mut s,
-            &Instr::Op { op: AluOp::Sub, rd: Reg::A2, rs1: Reg::A0, rs2: Reg::A1 },
+            &Instr::Op {
+                op: AluOp::Sub,
+                rd: Reg::A2,
+                rs1: Reg::A0,
+                rs2: Reg::A1,
+            },
             0,
         );
         assert_eq!(s.read_reg(Reg::A2) as i32, -3);
@@ -240,13 +291,49 @@ mod tests {
     fn shifts_and_compares() {
         let mut s = fresh();
         s.write_reg(Reg::A0, 0x8000_0000);
-        execute(&mut s, &Instr::OpImm { op: AluOp::Sra, rd: Reg::A1, rs1: Reg::A0, imm: 4 }, 0);
+        execute(
+            &mut s,
+            &Instr::OpImm {
+                op: AluOp::Sra,
+                rd: Reg::A1,
+                rs1: Reg::A0,
+                imm: 4,
+            },
+            0,
+        );
         assert_eq!(s.read_reg(Reg::A1), 0xF800_0000);
-        execute(&mut s, &Instr::OpImm { op: AluOp::Srl, rd: Reg::A2, rs1: Reg::A0, imm: 4 }, 0);
+        execute(
+            &mut s,
+            &Instr::OpImm {
+                op: AluOp::Srl,
+                rd: Reg::A2,
+                rs1: Reg::A0,
+                imm: 4,
+            },
+            0,
+        );
         assert_eq!(s.read_reg(Reg::A2), 0x0800_0000);
-        execute(&mut s, &Instr::OpImm { op: AluOp::Slt, rd: Reg::A3, rs1: Reg::A0, imm: 0 }, 0);
+        execute(
+            &mut s,
+            &Instr::OpImm {
+                op: AluOp::Slt,
+                rd: Reg::A3,
+                rs1: Reg::A0,
+                imm: 0,
+            },
+            0,
+        );
         assert_eq!(s.read_reg(Reg::A3), 1); // negative < 0
-        execute(&mut s, &Instr::OpImm { op: AluOp::Sltu, rd: Reg::A4, rs1: Reg::A0, imm: 0 }, 0);
+        execute(
+            &mut s,
+            &Instr::OpImm {
+                op: AluOp::Sltu,
+                rd: Reg::A4,
+                rs1: Reg::A0,
+                imm: 0,
+            },
+            0,
+        );
         assert_eq!(s.read_reg(Reg::A4), 0);
     }
 
@@ -263,7 +350,14 @@ mod tests {
     #[test]
     fn jal_links_and_jumps() {
         let mut s = fresh();
-        let out = execute(&mut s, &Instr::Jal { rd: Reg::Ra, offset: 0x40 }, 0x1000);
+        let out = execute(
+            &mut s,
+            &Instr::Jal {
+                rd: Reg::Ra,
+                offset: 0x40,
+            },
+            0x1000,
+        );
         assert_eq!(s.read_reg(Reg::Ra), 0x1004);
         assert_eq!(out.next_pc, 0x1040);
     }
@@ -272,7 +366,15 @@ mod tests {
     fn jalr_clears_low_bit() {
         let mut s = fresh();
         s.write_reg(Reg::A0, 0x2001);
-        let out = execute(&mut s, &Instr::Jalr { rd: Reg::Zero, rs1: Reg::A0, offset: 0 }, 0);
+        let out = execute(
+            &mut s,
+            &Instr::Jalr {
+                rd: Reg::Zero,
+                rs1: Reg::A0,
+                offset: 0,
+            },
+            0,
+        );
         assert_eq!(out.next_pc, 0x2000);
     }
 
@@ -282,14 +384,24 @@ mod tests {
         s.write_reg(Reg::A0, 1);
         let t = execute(
             &mut s,
-            &Instr::Branch { op: BranchOp::Ne, rs1: Reg::A0, rs2: Reg::Zero, offset: -16 },
+            &Instr::Branch {
+                op: BranchOp::Ne,
+                rs1: Reg::A0,
+                rs2: Reg::Zero,
+                offset: -16,
+            },
             0x1000,
         );
         assert!(t.taken_branch);
         assert_eq!(t.next_pc, 0x0FF0);
         let n = execute(
             &mut s,
-            &Instr::Branch { op: BranchOp::Eq, rs1: Reg::A0, rs2: Reg::Zero, offset: -16 },
+            &Instr::Branch {
+                op: BranchOp::Eq,
+                rs1: Reg::A0,
+                rs2: Reg::Zero,
+                offset: -16,
+            },
             0x1000,
         );
         assert!(!n.taken_branch);
@@ -302,7 +414,12 @@ mod tests {
         s.write_reg(Reg::Sp, 0x2000_0100);
         let out = execute(
             &mut s,
-            &Instr::Load { op: LoadOp::Lw, rd: Reg::A0, rs1: Reg::Sp, offset: 8 },
+            &Instr::Load {
+                op: LoadOp::Lw,
+                rd: Reg::A0,
+                rs1: Reg::Sp,
+                offset: 8,
+            },
             0,
         );
         assert_eq!(
@@ -324,7 +441,12 @@ mod tests {
         s.write_reg(Reg::A0, 0xAB);
         execute(
             &mut s,
-            &Instr::Csr { op: CsrOp::Rw, rd: Reg::A1, csr: csr::MSCRATCH, src: Reg::A0.number() },
+            &Instr::Csr {
+                op: CsrOp::Rw,
+                rd: Reg::A1,
+                csr: csr::MSCRATCH,
+                src: Reg::A0.number(),
+            },
             0,
         );
         assert_eq!(s.csrs.mscratch, 0xAB);
@@ -333,7 +455,12 @@ mod tests {
         s.csrs.mscratch = 0x55;
         execute(
             &mut s,
-            &Instr::Csr { op: CsrOp::Rs, rd: Reg::A2, csr: csr::MSCRATCH, src: 0 },
+            &Instr::Csr {
+                op: CsrOp::Rs,
+                rd: Reg::A2,
+                csr: csr::MSCRATCH,
+                src: 0,
+            },
             0,
         );
         assert_eq!(s.read_reg(Reg::A2), 0x55);
@@ -357,7 +484,12 @@ mod tests {
         s.write_reg(Reg::A1, 9);
         let out = execute(
             &mut s,
-            &Instr::Custom { op: CustomOp::AddReady, rd: Reg::Zero, rs1: Reg::A0, rs2: Reg::A1 },
+            &Instr::Custom {
+                op: CustomOp::AddReady,
+                rd: Reg::Zero,
+                rs1: Reg::A0,
+                rs2: Reg::A1,
+            },
             0,
         );
         assert_eq!(out.custom, Some((CustomOp::AddReady, 3, 9, Reg::Zero)));

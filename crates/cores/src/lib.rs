@@ -31,7 +31,7 @@ pub mod timing;
 
 pub use coproc::{Coprocessor, NullCoprocessor};
 pub use csrs::Csrs;
-pub use engine::{CoreEngine, CoreEvent, DataBus, StepOutput};
-pub use models::{CoreKind, make_engine};
+pub use engine::{stop_events, BatchExit, CoreEngine, CoreEvent, DataBus, StepOutput, StopReason};
+pub use models::{make_engine, CoreKind};
 pub use state::{ArchState, Bank};
 pub use timing::TimingParams;

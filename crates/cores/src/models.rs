@@ -89,8 +89,14 @@ mod tests {
 
     #[test]
     fn arbitration_levels_match_paper() {
-        assert!(!CoreKind::Cva6.unit_shares_cache(), "CVA6 arbitrates at bus level");
-        assert!(CoreKind::NaxRiscv.unit_shares_cache(), "NaxRiscv arbitrates in the LSU");
+        assert!(
+            !CoreKind::Cva6.unit_shares_cache(),
+            "CVA6 arbitrates at bus level"
+        );
+        assert!(
+            CoreKind::NaxRiscv.unit_shares_cache(),
+            "NaxRiscv arbitrates in the LSU"
+        );
     }
 
     #[test]

@@ -4,7 +4,7 @@
 
 use rvsim_cores::engine::{BusResponse, DataBus};
 use rvsim_cores::{
-    make_engine, ArchState, Bank, CoreEvent, CoreKind, Coprocessor, NullCoprocessor,
+    make_engine, ArchState, Bank, Coprocessor, CoreEvent, CoreKind, NullCoprocessor,
 };
 use rvsim_isa::{csr, Asm, CustomOp, Reg};
 use rvsim_mem::{AccessSize, Mem};
@@ -18,9 +18,15 @@ impl DataBus for SramBus {
         match write {
             Some(v) => {
                 self.mem.write(addr, size, v);
-                BusResponse { data: 0, extra_latency: 0 }
+                BusResponse {
+                    data: 0,
+                    extra_latency: 0,
+                }
             }
-            None => BusResponse { data: self.mem.read(addr, size), extra_latency: 1 },
+            None => BusResponse {
+                data: self.mem.read(addr, size),
+                extra_latency: 1,
+            },
         }
     }
 
@@ -30,7 +36,9 @@ impl DataBus for SramBus {
 }
 
 fn bus() -> SramBus {
-    SramBus { mem: Mem::new(0x2000_0000, 0x1000) }
+    SramBus {
+        mem: Mem::new(0x2000_0000, 0x1000),
+    }
 }
 
 fn run(asm: Asm, kind: CoreKind) -> rvsim_cores::CoreEngine {
@@ -104,7 +112,10 @@ fn predictor_learns_a_regular_loop_on_cva6() {
     let cv32 = run(a, CoreKind::Cv32e40p).cycle();
     // CV32E40P pays 3 cycles per taken branch; CVA6's predictor converges
     // to ~1, so despite the higher mispredict penalty it ends up cheaper.
-    assert!(cva6 < cv32, "predictor should win on a hot loop: cva6={cva6} cv32={cv32}");
+    assert!(
+        cva6 < cv32,
+        "predictor should win on a hot loop: cva6={cva6} cv32={cv32}"
+    );
 }
 
 /// A coprocessor that stalls `SWITCH_RF` a fixed number of cycles and
@@ -134,13 +145,7 @@ impl Coprocessor for StallingCoproc {
         op == CustomOp::SwitchRf && self.stall_left > 0
     }
 
-    fn exec_custom(
-        &mut self,
-        op: CustomOp,
-        _rs1: u32,
-        _rs2: u32,
-        state: &mut ArchState,
-    ) -> u32 {
+    fn exec_custom(&mut self, op: CustomOp, _rs1: u32, _rs2: u32, state: &mut ArchState) -> u32 {
         assert_eq!(op, CustomOp::SwitchRf);
         state.set_active_bank(Bank::App);
         self.switches += 1;
@@ -231,7 +236,11 @@ fn auipc_and_jalr_form_long_calls() {
     a.ebreak();
     let e = run(a, CoreKind::NaxRiscv);
     assert_eq!(e.state.read_reg(Reg::A0), 77);
-    assert_eq!(e.state.read_reg(Reg::Ra), 8, "link register holds return address");
+    assert_eq!(
+        e.state.read_reg(Reg::Ra),
+        8,
+        "link register holds return address"
+    );
 }
 
 #[test]
@@ -244,5 +253,9 @@ fn recent_pc_trace_covers_last_instructions() {
     let e = run(a, CoreKind::Cv32e40p);
     let pcs: Vec<u32> = e.recent_pcs().map(|(_, pc)| pc).collect();
     assert_eq!(pcs.len(), 64, "trace ring keeps the last 64 entries");
-    assert_eq!(*pcs.last().expect("non-empty"), 100 * 4, "last pc is the ebreak");
+    assert_eq!(
+        *pcs.last().expect("non-empty"),
+        100 * 4,
+        "last pc is the ebreak"
+    );
 }

@@ -149,11 +149,7 @@ impl Asm {
 
     /// Defines `label` at the current position.
     pub fn label(&mut self, label: &str) {
-        if self
-            .labels
-            .insert(label.to_string(), self.here())
-            .is_some()
-            && self.duplicate.is_none()
+        if self.labels.insert(label.to_string(), self.here()).is_some() && self.duplicate.is_none()
         {
             self.duplicate = Some(label.to_string());
         }
@@ -176,7 +172,8 @@ impl Asm {
     }
     /// `jal rd, label`.
     pub fn jal(&mut self, rd: Reg, label: &str) {
-        self.fixups.push((self.instrs.len(), Fixup::Jal(label.to_string())));
+        self.fixups
+            .push((self.instrs.len(), Fixup::Jal(label.to_string())));
         self.emit(Instr::Jal { rd, offset: 0 });
     }
     /// `jalr rd, offset(rs1)`.
@@ -187,7 +184,12 @@ impl Asm {
     fn branch(&mut self, op: BranchOp, rs1: Reg, rs2: Reg, label: &str) {
         self.fixups
             .push((self.instrs.len(), Fixup::Branch(label.to_string())));
-        self.emit(Instr::Branch { op, rs1, rs2, offset: 0 });
+        self.emit(Instr::Branch {
+            op,
+            rs1,
+            rs2,
+            offset: 0,
+        });
     }
 
     /// `beq rs1, rs2, label`.
@@ -225,153 +227,333 @@ impl Asm {
 
     /// `lw rd, offset(rs1)`.
     pub fn lw(&mut self, rd: Reg, offset: i32, rs1: Reg) {
-        self.emit(Instr::Load { op: LoadOp::Lw, rd, rs1, offset });
+        self.emit(Instr::Load {
+            op: LoadOp::Lw,
+            rd,
+            rs1,
+            offset,
+        });
     }
     /// `lb rd, offset(rs1)`.
     pub fn lb(&mut self, rd: Reg, offset: i32, rs1: Reg) {
-        self.emit(Instr::Load { op: LoadOp::Lb, rd, rs1, offset });
+        self.emit(Instr::Load {
+            op: LoadOp::Lb,
+            rd,
+            rs1,
+            offset,
+        });
     }
     /// `lbu rd, offset(rs1)`.
     pub fn lbu(&mut self, rd: Reg, offset: i32, rs1: Reg) {
-        self.emit(Instr::Load { op: LoadOp::Lbu, rd, rs1, offset });
+        self.emit(Instr::Load {
+            op: LoadOp::Lbu,
+            rd,
+            rs1,
+            offset,
+        });
     }
     /// `lh rd, offset(rs1)`.
     pub fn lh(&mut self, rd: Reg, offset: i32, rs1: Reg) {
-        self.emit(Instr::Load { op: LoadOp::Lh, rd, rs1, offset });
+        self.emit(Instr::Load {
+            op: LoadOp::Lh,
+            rd,
+            rs1,
+            offset,
+        });
     }
     /// `lhu rd, offset(rs1)`.
     pub fn lhu(&mut self, rd: Reg, offset: i32, rs1: Reg) {
-        self.emit(Instr::Load { op: LoadOp::Lhu, rd, rs1, offset });
+        self.emit(Instr::Load {
+            op: LoadOp::Lhu,
+            rd,
+            rs1,
+            offset,
+        });
     }
     /// `sw rs2, offset(rs1)`.
     pub fn sw(&mut self, rs2: Reg, offset: i32, rs1: Reg) {
-        self.emit(Instr::Store { op: StoreOp::Sw, rs1, rs2, offset });
+        self.emit(Instr::Store {
+            op: StoreOp::Sw,
+            rs1,
+            rs2,
+            offset,
+        });
     }
     /// `sb rs2, offset(rs1)`.
     pub fn sb(&mut self, rs2: Reg, offset: i32, rs1: Reg) {
-        self.emit(Instr::Store { op: StoreOp::Sb, rs1, rs2, offset });
+        self.emit(Instr::Store {
+            op: StoreOp::Sb,
+            rs1,
+            rs2,
+            offset,
+        });
     }
     /// `sh rs2, offset(rs1)`.
     pub fn sh(&mut self, rs2: Reg, offset: i32, rs1: Reg) {
-        self.emit(Instr::Store { op: StoreOp::Sh, rs1, rs2, offset });
+        self.emit(Instr::Store {
+            op: StoreOp::Sh,
+            rs1,
+            rs2,
+            offset,
+        });
     }
 
     /// `addi rd, rs1, imm`.
     pub fn addi(&mut self, rd: Reg, rs1: Reg, imm: i32) {
-        self.emit(Instr::OpImm { op: AluOp::Add, rd, rs1, imm });
+        self.emit(Instr::OpImm {
+            op: AluOp::Add,
+            rd,
+            rs1,
+            imm,
+        });
     }
     /// `andi rd, rs1, imm`.
     pub fn andi(&mut self, rd: Reg, rs1: Reg, imm: i32) {
-        self.emit(Instr::OpImm { op: AluOp::And, rd, rs1, imm });
+        self.emit(Instr::OpImm {
+            op: AluOp::And,
+            rd,
+            rs1,
+            imm,
+        });
     }
     /// `ori rd, rs1, imm`.
     pub fn ori(&mut self, rd: Reg, rs1: Reg, imm: i32) {
-        self.emit(Instr::OpImm { op: AluOp::Or, rd, rs1, imm });
+        self.emit(Instr::OpImm {
+            op: AluOp::Or,
+            rd,
+            rs1,
+            imm,
+        });
     }
     /// `xori rd, rs1, imm`.
     pub fn xori(&mut self, rd: Reg, rs1: Reg, imm: i32) {
-        self.emit(Instr::OpImm { op: AluOp::Xor, rd, rs1, imm });
+        self.emit(Instr::OpImm {
+            op: AluOp::Xor,
+            rd,
+            rs1,
+            imm,
+        });
     }
     /// `slti rd, rs1, imm`.
     pub fn slti(&mut self, rd: Reg, rs1: Reg, imm: i32) {
-        self.emit(Instr::OpImm { op: AluOp::Slt, rd, rs1, imm });
+        self.emit(Instr::OpImm {
+            op: AluOp::Slt,
+            rd,
+            rs1,
+            imm,
+        });
     }
     /// `sltiu rd, rs1, imm`.
     pub fn sltiu(&mut self, rd: Reg, rs1: Reg, imm: i32) {
-        self.emit(Instr::OpImm { op: AluOp::Sltu, rd, rs1, imm });
+        self.emit(Instr::OpImm {
+            op: AluOp::Sltu,
+            rd,
+            rs1,
+            imm,
+        });
     }
     /// `slli rd, rs1, shamt`.
     pub fn slli(&mut self, rd: Reg, rs1: Reg, shamt: i32) {
-        self.emit(Instr::OpImm { op: AluOp::Sll, rd, rs1, imm: shamt });
+        self.emit(Instr::OpImm {
+            op: AluOp::Sll,
+            rd,
+            rs1,
+            imm: shamt,
+        });
     }
     /// `srli rd, rs1, shamt`.
     pub fn srli(&mut self, rd: Reg, rs1: Reg, shamt: i32) {
-        self.emit(Instr::OpImm { op: AluOp::Srl, rd, rs1, imm: shamt });
+        self.emit(Instr::OpImm {
+            op: AluOp::Srl,
+            rd,
+            rs1,
+            imm: shamt,
+        });
     }
     /// `srai rd, rs1, shamt`.
     pub fn srai(&mut self, rd: Reg, rs1: Reg, shamt: i32) {
-        self.emit(Instr::OpImm { op: AluOp::Sra, rd, rs1, imm: shamt });
+        self.emit(Instr::OpImm {
+            op: AluOp::Sra,
+            rd,
+            rs1,
+            imm: shamt,
+        });
     }
 
     /// `add rd, rs1, rs2`.
     pub fn add(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
-        self.emit(Instr::Op { op: AluOp::Add, rd, rs1, rs2 });
+        self.emit(Instr::Op {
+            op: AluOp::Add,
+            rd,
+            rs1,
+            rs2,
+        });
     }
     /// `sub rd, rs1, rs2`.
     pub fn sub(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
-        self.emit(Instr::Op { op: AluOp::Sub, rd, rs1, rs2 });
+        self.emit(Instr::Op {
+            op: AluOp::Sub,
+            rd,
+            rs1,
+            rs2,
+        });
     }
     /// `and rd, rs1, rs2`.
     pub fn and(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
-        self.emit(Instr::Op { op: AluOp::And, rd, rs1, rs2 });
+        self.emit(Instr::Op {
+            op: AluOp::And,
+            rd,
+            rs1,
+            rs2,
+        });
     }
     /// `or rd, rs1, rs2`.
     pub fn or(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
-        self.emit(Instr::Op { op: AluOp::Or, rd, rs1, rs2 });
+        self.emit(Instr::Op {
+            op: AluOp::Or,
+            rd,
+            rs1,
+            rs2,
+        });
     }
     /// `xor rd, rs1, rs2`.
     pub fn xor(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
-        self.emit(Instr::Op { op: AluOp::Xor, rd, rs1, rs2 });
+        self.emit(Instr::Op {
+            op: AluOp::Xor,
+            rd,
+            rs1,
+            rs2,
+        });
     }
     /// `sll rd, rs1, rs2`.
     pub fn sll(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
-        self.emit(Instr::Op { op: AluOp::Sll, rd, rs1, rs2 });
+        self.emit(Instr::Op {
+            op: AluOp::Sll,
+            rd,
+            rs1,
+            rs2,
+        });
     }
     /// `srl rd, rs1, rs2`.
     pub fn srl(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
-        self.emit(Instr::Op { op: AluOp::Srl, rd, rs1, rs2 });
+        self.emit(Instr::Op {
+            op: AluOp::Srl,
+            rd,
+            rs1,
+            rs2,
+        });
     }
     /// `sltu rd, rs1, rs2`.
     pub fn sltu(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
-        self.emit(Instr::Op { op: AluOp::Sltu, rd, rs1, rs2 });
+        self.emit(Instr::Op {
+            op: AluOp::Sltu,
+            rd,
+            rs1,
+            rs2,
+        });
     }
     /// `slt rd, rs1, rs2`.
     pub fn slt(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
-        self.emit(Instr::Op { op: AluOp::Slt, rd, rs1, rs2 });
+        self.emit(Instr::Op {
+            op: AluOp::Slt,
+            rd,
+            rs1,
+            rs2,
+        });
     }
 
     /// `mul rd, rs1, rs2`.
     pub fn mul(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
-        self.emit(Instr::MulDiv { op: MulDivOp::Mul, rd, rs1, rs2 });
+        self.emit(Instr::MulDiv {
+            op: MulDivOp::Mul,
+            rd,
+            rs1,
+            rs2,
+        });
     }
     /// `div rd, rs1, rs2`.
     pub fn div(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
-        self.emit(Instr::MulDiv { op: MulDivOp::Div, rd, rs1, rs2 });
+        self.emit(Instr::MulDiv {
+            op: MulDivOp::Div,
+            rd,
+            rs1,
+            rs2,
+        });
     }
     /// `divu rd, rs1, rs2`.
     pub fn divu(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
-        self.emit(Instr::MulDiv { op: MulDivOp::Divu, rd, rs1, rs2 });
+        self.emit(Instr::MulDiv {
+            op: MulDivOp::Divu,
+            rd,
+            rs1,
+            rs2,
+        });
     }
     /// `rem rd, rs1, rs2`.
     pub fn rem(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
-        self.emit(Instr::MulDiv { op: MulDivOp::Rem, rd, rs1, rs2 });
+        self.emit(Instr::MulDiv {
+            op: MulDivOp::Rem,
+            rd,
+            rs1,
+            rs2,
+        });
     }
     /// `remu rd, rs1, rs2`.
     pub fn remu(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
-        self.emit(Instr::MulDiv { op: MulDivOp::Remu, rd, rs1, rs2 });
+        self.emit(Instr::MulDiv {
+            op: MulDivOp::Remu,
+            rd,
+            rs1,
+            rs2,
+        });
     }
 
     // ---- Zicsr ---------------------------------------------------------
 
     /// `csrrw rd, csr, rs1`.
     pub fn csrrw(&mut self, rd: Reg, csr: u16, rs1: Reg) {
-        self.emit(Instr::Csr { op: CsrOp::Rw, rd, csr, src: rs1.number() });
+        self.emit(Instr::Csr {
+            op: CsrOp::Rw,
+            rd,
+            csr,
+            src: rs1.number(),
+        });
     }
     /// `csrrs rd, csr, rs1`.
     pub fn csrrs(&mut self, rd: Reg, csr: u16, rs1: Reg) {
-        self.emit(Instr::Csr { op: CsrOp::Rs, rd, csr, src: rs1.number() });
+        self.emit(Instr::Csr {
+            op: CsrOp::Rs,
+            rd,
+            csr,
+            src: rs1.number(),
+        });
     }
     /// `csrrc rd, csr, rs1`.
     pub fn csrrc(&mut self, rd: Reg, csr: u16, rs1: Reg) {
-        self.emit(Instr::Csr { op: CsrOp::Rc, rd, csr, src: rs1.number() });
+        self.emit(Instr::Csr {
+            op: CsrOp::Rc,
+            rd,
+            csr,
+            src: rs1.number(),
+        });
     }
     /// `csrrsi rd, csr, uimm5`.
     pub fn csrrsi(&mut self, rd: Reg, csr: u16, uimm: u8) {
-        self.emit(Instr::Csr { op: CsrOp::Rsi, rd, csr, src: uimm & 0x1f });
+        self.emit(Instr::Csr {
+            op: CsrOp::Rsi,
+            rd,
+            csr,
+            src: uimm & 0x1f,
+        });
     }
     /// `csrrci rd, csr, uimm5`.
     pub fn csrrci(&mut self, rd: Reg, csr: u16, uimm: u8) {
-        self.emit(Instr::Csr { op: CsrOp::Rci, rd, csr, src: uimm & 0x1f });
+        self.emit(Instr::Csr {
+            op: CsrOp::Rci,
+            rd,
+            csr,
+            src: uimm & 0x1f,
+        });
     }
     /// `csrr rd, csr` (pseudo: `csrrs rd, csr, x0`).
     pub fn csrr(&mut self, rd: Reg, csr: u16) {
@@ -459,11 +641,21 @@ impl Asm {
     }
     /// `sem_take rd, rs1=sem_id, rs2=priority` (extension, paper §7).
     pub fn hw_sem_take(&mut self, rd: Reg, sem_id: Reg, priority: Reg) {
-        self.emit(Instr::Custom { op: CustomOp::SemTake, rd, rs1: sem_id, rs2: priority });
+        self.emit(Instr::Custom {
+            op: CustomOp::SemTake,
+            rd,
+            rs1: sem_id,
+            rs2: priority,
+        });
     }
     /// `sem_give rd, rs1=sem_id` (extension, paper §7).
     pub fn hw_sem_give(&mut self, rd: Reg, sem_id: Reg) {
-        self.emit(Instr::Custom { op: CustomOp::SemGive, rd, rs1: sem_id, rs2: Reg::Zero });
+        self.emit(Instr::Custom {
+            op: CustomOp::SemGive,
+            rd,
+            rs1: sem_id,
+            rs2: Reg::Zero,
+        });
     }
 
     // ---- pseudo-instructions ---------------------------------------------
@@ -493,9 +685,11 @@ impl Asm {
     /// `la rd, label` — always two instructions (`lui`+`addi`) so the
     /// length is independent of where the label ends up.
     pub fn la(&mut self, rd: Reg, label: &str) {
-        self.fixups.push((self.instrs.len(), Fixup::Hi(label.to_string())));
+        self.fixups
+            .push((self.instrs.len(), Fixup::Hi(label.to_string())));
         self.lui(rd, 0);
-        self.fixups.push((self.instrs.len(), Fixup::Lo(label.to_string())));
+        self.fixups
+            .push((self.instrs.len(), Fixup::Lo(label.to_string())));
         self.addi(rd, rd, 0);
     }
     /// `j label` (pseudo: `jal x0, label`).
@@ -548,7 +742,10 @@ impl Asm {
                     let target = resolve(label)?;
                     let off = i64::from(target) - i64::from(pc);
                     if !(-4096..=4094).contains(&off) {
-                        return Err(AsmError::BranchOutOfRange { label: label.clone(), offset: off });
+                        return Err(AsmError::BranchOutOfRange {
+                            label: label.clone(),
+                            offset: off,
+                        });
                     }
                     if let Instr::Branch { offset, .. } = &mut self.instrs[*idx] {
                         *offset = off as i32;
@@ -560,7 +757,10 @@ impl Asm {
                     let target = resolve(label)?;
                     let off = i64::from(target) - i64::from(pc);
                     if !(-(1 << 20)..(1 << 20)).contains(&off) {
-                        return Err(AsmError::JumpOutOfRange { label: label.clone(), offset: off });
+                        return Err(AsmError::JumpOutOfRange {
+                            label: label.clone(),
+                            offset: off,
+                        });
                     }
                     if let Instr::Jal { offset, .. } = &mut self.instrs[*idx] {
                         *offset = off as i32;
@@ -615,9 +815,23 @@ mod tests {
         let p = a.finish().unwrap();
         assert_eq!(p.words.len(), 4);
         let b = decode(p.words[0]).unwrap();
-        assert_eq!(b, Instr::Branch { op: BranchOp::Eq, rs1: Reg::A0, rs2: Reg::A1, offset: 12 });
+        assert_eq!(
+            b,
+            Instr::Branch {
+                op: BranchOp::Eq,
+                rs1: Reg::A0,
+                rs2: Reg::A1,
+                offset: 12
+            }
+        );
         let j = decode(p.words[2]).unwrap();
-        assert_eq!(j, Instr::Jal { rd: Reg::Zero, offset: -8 });
+        assert_eq!(
+            j,
+            Instr::Jal {
+                rd: Reg::Zero,
+                offset: -8
+            }
+        );
     }
 
     #[test]
@@ -665,7 +879,10 @@ mod tests {
         a.label("x");
         a.nop();
         a.label("x");
-        assert_eq!(a.finish().unwrap_err(), AsmError::DuplicateLabel("x".into()));
+        assert_eq!(
+            a.finish().unwrap_err(),
+            AsmError::DuplicateLabel("x".into())
+        );
     }
 
     #[test]

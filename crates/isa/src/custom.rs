@@ -95,7 +95,10 @@ impl CustomOp {
 
     /// Whether the instruction produces a result in `rd`.
     pub fn writes_rd(self) -> bool {
-        matches!(self, CustomOp::GetHwSched | CustomOp::SemTake | CustomOp::SemGive)
+        matches!(
+            self,
+            CustomOp::GetHwSched | CustomOp::SemTake | CustomOp::SemGive
+        )
     }
 }
 

@@ -44,12 +44,16 @@ fn imm_s(w: u32) -> i32 {
     ((w & 0xfe00_0000) as i32 >> 20) | (w >> 7 & 0x1f) as i32
 }
 fn imm_b(w: u32) -> i32 {
-    let imm = ((w >> 31 & 1) << 12) | ((w >> 7 & 1) << 11) | ((w >> 25 & 0x3f) << 5)
+    let imm = ((w >> 31 & 1) << 12)
+        | ((w >> 7 & 1) << 11)
+        | ((w >> 25 & 0x3f) << 5)
         | ((w >> 8 & 0xf) << 1);
     ((imm as i32) << 19) >> 19
 }
 fn imm_j(w: u32) -> i32 {
-    let imm = ((w >> 31 & 1) << 20) | ((w >> 12 & 0xff) << 12) | ((w >> 20 & 1) << 11)
+    let imm = ((w >> 31 & 1) << 20)
+        | ((w >> 12 & 0xff) << 12)
+        | ((w >> 20 & 1) << 11)
         | ((w >> 21 & 0x3ff) << 1);
     ((imm as i32) << 11) >> 11
 }
@@ -69,14 +73,27 @@ fn imm_j(w: u32) -> i32 {
 pub fn decode(w: u32) -> Result<Instr, DecodeError> {
     let err = Err(DecodeError { word: w });
     let instr = match w & 0x7f {
-        0b0110111 => Instr::Lui { rd: rd(w), imm: w & 0xfffff000 },
-        0b0010111 => Instr::Auipc { rd: rd(w), imm: w & 0xfffff000 },
-        0b1101111 => Instr::Jal { rd: rd(w), offset: imm_j(w) },
+        0b0110111 => Instr::Lui {
+            rd: rd(w),
+            imm: w & 0xfffff000,
+        },
+        0b0010111 => Instr::Auipc {
+            rd: rd(w),
+            imm: w & 0xfffff000,
+        },
+        0b1101111 => Instr::Jal {
+            rd: rd(w),
+            offset: imm_j(w),
+        },
         0b1100111 => {
             if funct3(w) != 0 {
                 return err;
             }
-            Instr::Jalr { rd: rd(w), rs1: rs1(w), offset: imm_i(w) }
+            Instr::Jalr {
+                rd: rd(w),
+                rs1: rs1(w),
+                offset: imm_i(w),
+            }
         }
         0b1100011 => {
             let op = match funct3(w) {
@@ -88,7 +105,12 @@ pub fn decode(w: u32) -> Result<Instr, DecodeError> {
                 0b111 => BranchOp::Geu,
                 _ => return err,
             };
-            Instr::Branch { op, rs1: rs1(w), rs2: rs2(w), offset: imm_b(w) }
+            Instr::Branch {
+                op,
+                rs1: rs1(w),
+                rs2: rs2(w),
+                offset: imm_b(w),
+            }
         }
         0b0000011 => {
             let op = match funct3(w) {
@@ -99,7 +121,12 @@ pub fn decode(w: u32) -> Result<Instr, DecodeError> {
                 0b101 => LoadOp::Lhu,
                 _ => return err,
             };
-            Instr::Load { op, rd: rd(w), rs1: rs1(w), offset: imm_i(w) }
+            Instr::Load {
+                op,
+                rd: rd(w),
+                rs1: rs1(w),
+                offset: imm_i(w),
+            }
         }
         0b0100011 => {
             let op = match funct3(w) {
@@ -108,7 +135,12 @@ pub fn decode(w: u32) -> Result<Instr, DecodeError> {
                 0b010 => StoreOp::Sw,
                 _ => return err,
             };
-            Instr::Store { op, rs1: rs1(w), rs2: rs2(w), offset: imm_s(w) }
+            Instr::Store {
+                op,
+                rs1: rs1(w),
+                rs2: rs2(w),
+                offset: imm_s(w),
+            }
         }
         0b0010011 => {
             let (op, imm) = match funct3(w) {
@@ -131,7 +163,12 @@ pub fn decode(w: u32) -> Result<Instr, DecodeError> {
                 0b111 => (AluOp::And, imm_i(w)),
                 _ => unreachable!(),
             };
-            Instr::OpImm { op, rd: rd(w), rs1: rs1(w), imm }
+            Instr::OpImm {
+                op,
+                rd: rd(w),
+                rs1: rs1(w),
+                imm,
+            }
         }
         0b0110011 => match funct7(w) {
             0x00 => {
@@ -146,7 +183,12 @@ pub fn decode(w: u32) -> Result<Instr, DecodeError> {
                     0b111 => AluOp::And,
                     _ => unreachable!(),
                 };
-                Instr::Op { op, rd: rd(w), rs1: rs1(w), rs2: rs2(w) }
+                Instr::Op {
+                    op,
+                    rd: rd(w),
+                    rs1: rs1(w),
+                    rs2: rs2(w),
+                }
             }
             0x20 => {
                 let op = match funct3(w) {
@@ -154,7 +196,12 @@ pub fn decode(w: u32) -> Result<Instr, DecodeError> {
                     0b101 => AluOp::Sra,
                     _ => return err,
                 };
-                Instr::Op { op, rd: rd(w), rs1: rs1(w), rs2: rs2(w) }
+                Instr::Op {
+                    op,
+                    rd: rd(w),
+                    rs1: rs1(w),
+                    rs2: rs2(w),
+                }
             }
             0x01 => {
                 let op = match funct3(w) {
@@ -168,7 +215,12 @@ pub fn decode(w: u32) -> Result<Instr, DecodeError> {
                     0b111 => MulDivOp::Remu,
                     _ => unreachable!(),
                 };
-                Instr::MulDiv { op, rd: rd(w), rs1: rs1(w), rs2: rs2(w) }
+                Instr::MulDiv {
+                    op,
+                    rd: rd(w),
+                    rs1: rs1(w),
+                    rs2: rs2(w),
+                }
             }
             _ => return err,
         },
@@ -206,7 +258,12 @@ pub fn decode(w: u32) -> Result<Instr, DecodeError> {
             let Some(op) = CustomOp::from_funct7(funct7(w)) else {
                 return err;
             };
-            Instr::Custom { op, rd: rd(w), rs1: rs1(w), rs2: rs2(w) }
+            Instr::Custom {
+                op,
+                rd: rd(w),
+                rs1: rs1(w),
+                rs2: rs2(w),
+            }
         }
         _ => return err,
     };
@@ -226,25 +283,48 @@ mod tests {
 
     #[test]
     fn branch_offset_sign_extension() {
-        let b = Instr::Branch { op: BranchOp::Lt, rs1: Reg::T0, rs2: Reg::T1, offset: -4096 };
+        let b = Instr::Branch {
+            op: BranchOp::Lt,
+            rs1: Reg::T0,
+            rs2: Reg::T1,
+            offset: -4096,
+        };
         assert_eq!(decode(encode(&b)).unwrap(), b);
-        let b2 = Instr::Branch { op: BranchOp::Geu, rs1: Reg::T0, rs2: Reg::T1, offset: 4094 };
+        let b2 = Instr::Branch {
+            op: BranchOp::Geu,
+            rs1: Reg::T0,
+            rs2: Reg::T1,
+            offset: 4094,
+        };
         assert_eq!(decode(encode(&b2)).unwrap(), b2);
     }
 
     #[test]
     fn jal_offset_extremes() {
         for off in [-(1 << 20), (1 << 20) - 2, 0, 2, -2] {
-            let j = Instr::Jal { rd: Reg::Ra, offset: off };
+            let j = Instr::Jal {
+                rd: Reg::Ra,
+                offset: off,
+            };
             assert_eq!(decode(encode(&j)).unwrap(), j);
         }
     }
 
     #[test]
     fn csr_roundtrip() {
-        let c = Instr::Csr { op: CsrOp::Rw, rd: Reg::A0, csr: crate::csr::MEPC, src: 11 };
+        let c = Instr::Csr {
+            op: CsrOp::Rw,
+            rd: Reg::A0,
+            csr: crate::csr::MEPC,
+            src: 11,
+        };
         assert_eq!(decode(encode(&c)).unwrap(), c);
-        let ci = Instr::Csr { op: CsrOp::Rsi, rd: Reg::Zero, csr: crate::csr::MSTATUS, src: 8 };
+        let ci = Instr::Csr {
+            op: CsrOp::Rsi,
+            rd: Reg::Zero,
+            csr: crate::csr::MSTATUS,
+            src: 8,
+        };
         assert_eq!(decode(encode(&ci)).unwrap(), ci);
     }
 }

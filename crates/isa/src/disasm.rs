@@ -45,7 +45,12 @@ pub fn disassemble(instr: &Instr, pc: u32) -> String {
             format!("jal {rd}, {target:#x}")
         }
         Instr::Jalr { rd, rs1, offset } => format!("jalr {rd}, {offset}({rs1})"),
-        Instr::Branch { op, rs1, rs2, offset } => {
+        Instr::Branch {
+            op,
+            rs1,
+            rs2,
+            offset,
+        } => {
             let name = match op {
                 BranchOp::Eq => "beq",
                 BranchOp::Ne => "bne",
@@ -57,7 +62,12 @@ pub fn disassemble(instr: &Instr, pc: u32) -> String {
             let target = pc.wrapping_add(offset as u32);
             format!("{name} {rs1}, {rs2}, {target:#x}")
         }
-        Instr::Load { op, rd, rs1, offset } => {
+        Instr::Load {
+            op,
+            rd,
+            rs1,
+            offset,
+        } => {
             let name = match op {
                 LoadOp::Lb => "lb",
                 LoadOp::Lh => "lh",
@@ -67,7 +77,12 @@ pub fn disassemble(instr: &Instr, pc: u32) -> String {
             };
             format!("{name} {rd}, {offset}({rs1})")
         }
-        Instr::Store { op, rs1, rs2, offset } => {
+        Instr::Store {
+            op,
+            rs1,
+            rs2,
+            offset,
+        } => {
             let name = match op {
                 StoreOp::Sb => "sb",
                 StoreOp::Sh => "sh",
@@ -109,7 +124,10 @@ pub fn disassemble(instr: &Instr, pc: u32) -> String {
             if op.is_immediate() {
                 format!("{name} {rd}, {csr_s}, {src}")
             } else {
-                format!("{name} {rd}, {csr_s}, {}", crate::reg::Reg::from_number(src))
+                format!(
+                    "{name} {rd}, {csr_s}, {}",
+                    crate::reg::Reg::from_number(src)
+                )
             }
         }
         Instr::Mret => "mret".to_string(),
@@ -135,7 +153,12 @@ mod tests {
 
     #[test]
     fn renders_branch_target_absolute() {
-        let b = Instr::Branch { op: BranchOp::Ne, rs1: Reg::A0, rs2: Reg::Zero, offset: -8 };
+        let b = Instr::Branch {
+            op: BranchOp::Ne,
+            rs1: Reg::A0,
+            rs2: Reg::Zero,
+            offset: -8,
+        };
         assert_eq!(disassemble(&b, 0x100), "bne a0, zero, 0xf8");
     }
 
@@ -159,7 +182,12 @@ mod tests {
 
     #[test]
     fn renders_csr_by_name() {
-        let c = Instr::Csr { op: CsrOp::Rw, rd: Reg::Zero, csr: crate::csr::MEPC, src: 10 };
+        let c = Instr::Csr {
+            op: CsrOp::Rw,
+            rd: Reg::Zero,
+            csr: crate::csr::MEPC,
+            src: 10,
+        };
         assert_eq!(disassemble(&c, 0), "csrrw zero, mepc, a0");
     }
 }

@@ -26,7 +26,10 @@ fn r_type(opcode: u32, rd: Reg, funct3: u32, rs1: Reg, rs2: Reg, funct7: u32) ->
 }
 
 fn i_type(opcode: u32, rd: Reg, funct3: u32, rs1: Reg, imm: i32) -> u32 {
-    debug_assert!((-2048..=2047).contains(&imm), "I-immediate out of range: {imm}");
+    debug_assert!(
+        (-2048..=2047).contains(&imm),
+        "I-immediate out of range: {imm}"
+    );
     opcode
         | (u32::from(rd.number()) << 7)
         | (funct3 << 12)
@@ -35,7 +38,10 @@ fn i_type(opcode: u32, rd: Reg, funct3: u32, rs1: Reg, imm: i32) -> u32 {
 }
 
 fn s_type(opcode: u32, funct3: u32, rs1: Reg, rs2: Reg, imm: i32) -> u32 {
-    debug_assert!((-2048..=2047).contains(&imm), "S-immediate out of range: {imm}");
+    debug_assert!(
+        (-2048..=2047).contains(&imm),
+        "S-immediate out of range: {imm}"
+    );
     let imm = imm as u32;
     opcode
         | ((imm & 0x1f) << 7)
@@ -156,16 +162,27 @@ fn csr_funct3(op: CsrOp) -> u32 {
 pub fn encode(instr: &Instr) -> u32 {
     match *instr {
         Instr::Lui { rd, imm } => OPC_LUI | (u32::from(rd.number()) << 7) | (imm & 0xfffff000),
-        Instr::Auipc { rd, imm } => {
-            OPC_AUIPC | (u32::from(rd.number()) << 7) | (imm & 0xfffff000)
-        }
+        Instr::Auipc { rd, imm } => OPC_AUIPC | (u32::from(rd.number()) << 7) | (imm & 0xfffff000),
         Instr::Jal { rd, offset } => j_type(rd, offset),
         Instr::Jalr { rd, rs1, offset } => i_type(OPC_JALR, rd, 0, rs1, offset),
-        Instr::Branch { op, rs1, rs2, offset } => b_type(branch_funct3(op), rs1, rs2, offset),
-        Instr::Load { op, rd, rs1, offset } => i_type(OPC_LOAD, rd, load_funct3(op), rs1, offset),
-        Instr::Store { op, rs1, rs2, offset } => {
-            s_type(OPC_STORE, store_funct3(op), rs1, rs2, offset)
-        }
+        Instr::Branch {
+            op,
+            rs1,
+            rs2,
+            offset,
+        } => b_type(branch_funct3(op), rs1, rs2, offset),
+        Instr::Load {
+            op,
+            rd,
+            rs1,
+            offset,
+        } => i_type(OPC_LOAD, rd, load_funct3(op), rs1, offset),
+        Instr::Store {
+            op,
+            rs1,
+            rs2,
+            offset,
+        } => s_type(OPC_STORE, store_funct3(op), rs1, rs2, offset),
         Instr::OpImm { op, rd, rs1, imm } => {
             debug_assert!(op != AluOp::Sub, "subi does not exist; use addi with -imm");
             match op {
@@ -187,9 +204,7 @@ pub fn encode(instr: &Instr) -> u32 {
             };
             r_type(OPC_OP, rd, alu_funct3(op), rs1, rs2, funct7)
         }
-        Instr::MulDiv { op, rd, rs1, rs2 } => {
-            r_type(OPC_OP, rd, muldiv_funct3(op), rs1, rs2, 0x01)
-        }
+        Instr::MulDiv { op, rd, rs1, rs2 } => r_type(OPC_OP, rd, muldiv_funct3(op), rs1, rs2, 0x01),
         Instr::Csr { op, rd, csr, src } => {
             OPC_SYSTEM
                 | (u32::from(rd.number()) << 7)
@@ -202,9 +217,7 @@ pub fn encode(instr: &Instr) -> u32 {
         Instr::Ecall => 0x0000_0073,
         Instr::Ebreak => 0x0010_0073,
         Instr::Fence => 0x0000_000f,
-        Instr::Custom { op, rd, rs1, rs2 } => {
-            r_type(OPC_CUSTOM0, rd, 0, rs1, rs2, op.funct7())
-        }
+        Instr::Custom { op, rd, rs1, rs2 } => r_type(OPC_CUSTOM0, rd, 0, rs1, rs2, op.funct7()),
     }
 }
 
@@ -216,31 +229,64 @@ mod tests {
     #[test]
     fn known_encodings() {
         // addi a0, a0, 1  => 0x00150513
-        let addi = Instr::OpImm { op: AluOp::Add, rd: Reg::A0, rs1: Reg::A0, imm: 1 };
+        let addi = Instr::OpImm {
+            op: AluOp::Add,
+            rd: Reg::A0,
+            rs1: Reg::A0,
+            imm: 1,
+        };
         assert_eq!(encode(&addi), 0x0015_0513);
         // add a0, a1, a2 => 0x00c58533
-        let add = Instr::Op { op: AluOp::Add, rd: Reg::A0, rs1: Reg::A1, rs2: Reg::A2 };
+        let add = Instr::Op {
+            op: AluOp::Add,
+            rd: Reg::A0,
+            rs1: Reg::A1,
+            rs2: Reg::A2,
+        };
         assert_eq!(encode(&add), 0x00c5_8533);
         // lw a0, 8(sp) => 0x00812503
-        let lw = Instr::Load { op: LoadOp::Lw, rd: Reg::A0, rs1: Reg::Sp, offset: 8 };
+        let lw = Instr::Load {
+            op: LoadOp::Lw,
+            rd: Reg::A0,
+            rs1: Reg::Sp,
+            offset: 8,
+        };
         assert_eq!(encode(&lw), 0x0081_2503);
         // sw a0, 8(sp) => 0x00a12423
-        let sw = Instr::Store { op: StoreOp::Sw, rs1: Reg::Sp, rs2: Reg::A0, offset: 8 };
+        let sw = Instr::Store {
+            op: StoreOp::Sw,
+            rs1: Reg::Sp,
+            rs2: Reg::A0,
+            offset: 8,
+        };
         assert_eq!(encode(&sw), 0x00a1_2423);
         // jal ra, +8 => 0x008000ef
-        let jal = Instr::Jal { rd: Reg::Ra, offset: 8 };
+        let jal = Instr::Jal {
+            rd: Reg::Ra,
+            offset: 8,
+        };
         assert_eq!(encode(&jal), 0x0080_00ef);
         // mret
         assert_eq!(encode(&Instr::Mret), 0x3020_0073);
         // mul a0, a1, a2 => 0x02c58533
-        let mul = Instr::MulDiv { op: MulDivOp::Mul, rd: Reg::A0, rs1: Reg::A1, rs2: Reg::A2 };
+        let mul = Instr::MulDiv {
+            op: MulDivOp::Mul,
+            rd: Reg::A0,
+            rs1: Reg::A1,
+            rs2: Reg::A2,
+        };
         assert_eq!(encode(&mul), 0x02c5_8533);
     }
 
     #[test]
     fn custom_opcode_space() {
         for op in CustomOp::ALL {
-            let w = encode(&Instr::Custom { op, rd: Reg::A0, rs1: Reg::A1, rs2: Reg::A2 });
+            let w = encode(&Instr::Custom {
+                op,
+                rd: Reg::A0,
+                rs1: Reg::A1,
+                rs2: Reg::A2,
+            });
             assert_eq!(w & 0x7f, OPC_CUSTOM0);
             assert_eq!(w >> 25, op.funct7());
         }
@@ -248,7 +294,12 @@ mod tests {
 
     #[test]
     fn negative_branch_offset() {
-        let b = Instr::Branch { op: BranchOp::Ne, rs1: Reg::A0, rs2: Reg::Zero, offset: -8 };
+        let b = Instr::Branch {
+            op: BranchOp::Ne,
+            rs1: Reg::A0,
+            rs2: Reg::Zero,
+            offset: -8,
+        };
         let w = encode(&b);
         assert_eq!(w & 0x7f, OPC_BRANCH);
         assert_eq!(crate::decode::decode(w).unwrap(), b);

@@ -133,20 +133,55 @@ pub enum Instr {
     /// Indirect jump and link.
     Jalr { rd: Reg, rs1: Reg, offset: i32 },
     /// Conditional branch; `offset` is relative to the instruction address.
-    Branch { op: BranchOp, rs1: Reg, rs2: Reg, offset: i32 },
+    Branch {
+        op: BranchOp,
+        rs1: Reg,
+        rs2: Reg,
+        offset: i32,
+    },
     /// Memory load.
-    Load { op: LoadOp, rd: Reg, rs1: Reg, offset: i32 },
+    Load {
+        op: LoadOp,
+        rd: Reg,
+        rs1: Reg,
+        offset: i32,
+    },
     /// Memory store.
-    Store { op: StoreOp, rs1: Reg, rs2: Reg, offset: i32 },
+    Store {
+        op: StoreOp,
+        rs1: Reg,
+        rs2: Reg,
+        offset: i32,
+    },
     /// ALU with immediate (no `Sub`; shifts use the low 5 bits of `imm`).
-    OpImm { op: AluOp, rd: Reg, rs1: Reg, imm: i32 },
+    OpImm {
+        op: AluOp,
+        rd: Reg,
+        rs1: Reg,
+        imm: i32,
+    },
     /// ALU register-register.
-    Op { op: AluOp, rd: Reg, rs1: Reg, rs2: Reg },
+    Op {
+        op: AluOp,
+        rd: Reg,
+        rs1: Reg,
+        rs2: Reg,
+    },
     /// M-extension multiply/divide.
-    MulDiv { op: MulDivOp, rd: Reg, rs1: Reg, rs2: Reg },
+    MulDiv {
+        op: MulDivOp,
+        rd: Reg,
+        rs1: Reg,
+        rs2: Reg,
+    },
     /// Zicsr access. For immediate forms `src` holds the 5-bit immediate,
     /// otherwise the source register number.
-    Csr { op: CsrOp, rd: Reg, csr: u16, src: u8 },
+    Csr {
+        op: CsrOp,
+        rd: Reg,
+        csr: u16,
+        src: u8,
+    },
     /// Return from machine trap.
     Mret,
     /// Wait for interrupt.
@@ -158,7 +193,12 @@ pub enum Instr {
     /// Memory fence (a timing no-op in this model).
     Fence,
     /// RTOSUnit custom instruction (paper Table 1).
-    Custom { op: CustomOp, rd: Reg, rs1: Reg, rs2: Reg },
+    Custom {
+        op: CustomOp,
+        rd: Reg,
+        rs1: Reg,
+        rs2: Reg,
+    },
 }
 
 impl Instr {
@@ -192,9 +232,7 @@ impl Instr {
             | Instr::Op { rs1, rs2, .. }
             | Instr::MulDiv { rs1, rs2, .. }
             | Instr::Custom { rs1, rs2, .. } => [Some(rs1), Some(rs2)],
-            Instr::Csr { op, src, .. } if !op.is_immediate() => {
-                [Some(Reg::from_number(src)), None]
-            }
+            Instr::Csr { op, src, .. } if !op.is_immediate() => [Some(Reg::from_number(src)), None],
             _ => [None, None],
         }
     }
@@ -219,7 +257,12 @@ mod tests {
 
     #[test]
     fn rd_of_x0_is_none() {
-        let i = Instr::OpImm { op: AluOp::Add, rd: Reg::Zero, rs1: Reg::A0, imm: 1 };
+        let i = Instr::OpImm {
+            op: AluOp::Add,
+            rd: Reg::Zero,
+            rs1: Reg::A0,
+            imm: 1,
+        };
         assert_eq!(i.rd(), None);
     }
 
@@ -243,14 +286,23 @@ mod tests {
 
     #[test]
     fn sources_of_store() {
-        let s = Instr::Store { op: StoreOp::Sw, rs1: Reg::Sp, rs2: Reg::A0, offset: 4 };
+        let s = Instr::Store {
+            op: StoreOp::Sw,
+            rs1: Reg::Sp,
+            rs2: Reg::A0,
+            offset: 4,
+        };
         assert_eq!(s.sources(), [Some(Reg::Sp), Some(Reg::A0)]);
     }
 
     #[test]
     fn control_flow_classification() {
         assert!(Instr::Mret.is_control_flow());
-        assert!(Instr::Jal { rd: Reg::Zero, offset: 8 }.is_control_flow());
+        assert!(Instr::Jal {
+            rd: Reg::Zero,
+            offset: 8
+        }
+        .is_control_flow());
         assert!(!Instr::Fence.is_control_flow());
     }
 }

@@ -1,6 +1,10 @@
 //! Property tests: every constructible instruction encodes and decodes
 //! losslessly, and decode never panics on arbitrary words.
 
+#![cfg(feature = "proptest")]
+// Default-off: requires the external `proptest` crate (network). See the
+// crate's Cargo.toml for how to enable.
+
 use proptest::prelude::*;
 use rvsim_isa::{
     decode, encode, AluOp, BranchOp, CsrOp, CustomOp, Instr, LoadOp, MulDivOp, Reg, StoreOp,
@@ -28,10 +32,12 @@ fn arb_instr() -> impl Strategy<Value = Instr> {
     prop_oneof![
         (arb_reg(), 0u32..(1 << 20)).prop_map(|(rd, i)| Instr::Lui { rd, imm: i << 12 }),
         (arb_reg(), 0u32..(1 << 20)).prop_map(|(rd, i)| Instr::Auipc { rd, imm: i << 12 }),
-        (arb_reg(), -(1i32 << 19)..(1 << 19))
-            .prop_map(|(rd, o)| Instr::Jal { rd, offset: o * 2 }),
-        (arb_reg(), arb_reg(), -2048i32..2048)
-            .prop_map(|(rd, rs1, o)| Instr::Jalr { rd, rs1, offset: o }),
+        (arb_reg(), -(1i32 << 19)..(1 << 19)).prop_map(|(rd, o)| Instr::Jal { rd, offset: o * 2 }),
+        (arb_reg(), arb_reg(), -2048i32..2048).prop_map(|(rd, rs1, o)| Instr::Jalr {
+            rd,
+            rs1,
+            offset: o
+        }),
         (
             prop_oneof![
                 Just(BranchOp::Eq),
@@ -45,7 +51,12 @@ fn arb_instr() -> impl Strategy<Value = Instr> {
             arb_reg(),
             -2048i32..2048
         )
-            .prop_map(|(op, rs1, rs2, o)| Instr::Branch { op, rs1, rs2, offset: o * 2 }),
+            .prop_map(|(op, rs1, rs2, o)| Instr::Branch {
+                op,
+                rs1,
+                rs2,
+                offset: o * 2
+            }),
         (
             prop_oneof![
                 Just(LoadOp::Lb),
@@ -58,14 +69,24 @@ fn arb_instr() -> impl Strategy<Value = Instr> {
             arb_reg(),
             -2048i32..2048
         )
-            .prop_map(|(op, rd, rs1, o)| Instr::Load { op, rd, rs1, offset: o }),
+            .prop_map(|(op, rd, rs1, o)| Instr::Load {
+                op,
+                rd,
+                rs1,
+                offset: o
+            }),
         (
             prop_oneof![Just(StoreOp::Sb), Just(StoreOp::Sh), Just(StoreOp::Sw)],
             arb_reg(),
             arb_reg(),
             -2048i32..2048
         )
-            .prop_map(|(op, rs1, rs2, o)| Instr::Store { op, rs1, rs2, offset: o }),
+            .prop_map(|(op, rs1, rs2, o)| Instr::Store {
+                op,
+                rs1,
+                rs2,
+                offset: o
+            }),
         (arb_alu(), arb_reg(), arb_reg(), -2048i32..2048).prop_map(|(op, rd, rs1, imm)| {
             let imm = match op {
                 AluOp::Sll | AluOp::Srl | AluOp::Sra => imm.rem_euclid(32),

@@ -6,8 +6,8 @@ use crate::isr::{gen_isr, IsrSpec};
 use crate::klayout::{tcb, KernelLayout, NUM_PRIOS};
 use crate::syscalls::gen_syscalls;
 use rtosunit::layout::{
-    ctx_index_of, ctx_word_addr, CTX_MEPC_IDX, CTX_MSTATUS_IDX, IMEM_BASE, MMIO_CONSOLE,
-    MMIO_HALT, MMIO_TRACE,
+    ctx_index_of, ctx_word_addr, CTX_MEPC_IDX, CTX_MSTATUS_IDX, IMEM_BASE, MMIO_CONSOLE, MMIO_HALT,
+    MMIO_TRACE,
 };
 use rtosunit::{Preset, System};
 use rvsim_isa::{csr, Asm, AsmError, Program, Reg};
@@ -39,7 +39,11 @@ impl fmt::Display for KernelError {
             KernelError::Asm(e) => write!(f, "assembly failed: {e}"),
             KernelError::DuplicateName(n) => write!(f, "duplicate name `{n}`"),
             KernelError::BadPriority(n, p) => {
-                write!(f, "task `{n}` has priority {p}; expected 1..={}", NUM_PRIOS - 1)
+                write!(
+                    f,
+                    "task `{n}` has priority {p}; expected 1..={}",
+                    NUM_PRIOS - 1
+                )
             }
             KernelError::TooManyTasks(n) => write!(f, "{n} tasks exceed the capacity"),
             KernelError::NoTasks => write!(f, "at least one task is required"),
@@ -235,7 +239,11 @@ impl KernelBuilder {
         prio: u8,
         body: impl FnOnce(&mut TaskCtx) + 'static,
     ) -> &mut Self {
-        self.tasks.push(TaskSpec { name: name.to_string(), prio, body: Box::new(body) });
+        self.tasks.push(TaskSpec {
+            name: name.to_string(),
+            prio,
+            body: Box::new(body),
+        });
         self
     }
 
@@ -296,9 +304,7 @@ impl KernelBuilder {
                 }
             }
         }
-        if n > crate::klayout::MAX_TASKS
-            || (self.preset.has_sched() && n > self.hw_list_len)
-        {
+        if n > crate::klayout::MAX_TASKS || (self.preset.has_sched() && n > self.hw_list_len) {
             return Err(KernelError::TooManyTasks(n));
         }
 
@@ -309,14 +315,17 @@ impl KernelBuilder {
             .enumerate()
             .map(|(i, (s, _))| (s.clone(), i))
             .collect();
-        let hw_sync = rtosunit::RtosUnitConfig::from_preset(self.preset)
-            .is_some_and(|c| c.hw_sync);
+        let hw_sync = rtosunit::RtosUnitConfig::from_preset(self.preset).is_some_and(|c| c.hw_sync);
         let ext_sem_addr = match &self.ext_sem {
             Some(name) => {
                 let idx = *sem_map.get(name).ok_or_else(|| {
                     KernelError::DuplicateName(format!("unknown ext-irq semaphore {name}"))
                 })?;
-                Some(if hw_sync { idx as u32 } else { layout.sem_addr(idx) })
+                Some(if hw_sync {
+                    idx as u32
+                } else {
+                    layout.sem_addr(idx)
+                })
             }
             None => None,
         };
@@ -352,7 +361,10 @@ impl KernelBuilder {
                 }
             }
         }
-        a.li(Reg::T0, (csr::MIP_MTIP | csr::MIP_MSIP | csr::MIP_MEIP) as i32);
+        a.li(
+            Reg::T0,
+            (csr::MIP_MTIP | csr::MIP_MSIP | csr::MIP_MEIP) as i32,
+        );
         a.csrw(csr::MIE, Reg::T0);
         a.enable_interrupts();
         a.j(&format!("task_{}", self.tasks[0].name));
@@ -361,7 +373,11 @@ impl KernelBuilder {
         gen_isr(
             &mut a,
             &mut lg,
-            &IsrSpec { preset: self.preset, tick_period: self.tick_period, ext_sem_addr },
+            &IsrSpec {
+                preset: self.preset,
+                tick_period: self.tick_period,
+                ext_sem_addr,
+            },
         );
         gen_syscalls(&mut a, &mut lg, self.preset);
 
@@ -371,8 +387,13 @@ impl KernelBuilder {
         for spec in specs {
             let label = format!("task_{}", spec.name);
             a.label(&label);
-            let mut ctx =
-                TaskCtx { asm: &mut a, lg: &mut lg, layout, sem_map: &sem_map, hw_sync };
+            let mut ctx = TaskCtx {
+                asm: &mut a,
+                lg: &mut lg,
+                layout,
+                sem_map: &sem_map,
+                hw_sync,
+            };
             (spec.body)(&mut ctx);
             a.j(&label);
             task_names.push((spec.name, spec.prio));

@@ -16,8 +16,8 @@
 use crate::emit::{self, LabelGen};
 use crate::klayout::{tcb, KernelLayout, FRAME_BYTES};
 use rtosunit::layout::{
-    ctx_index_of, ctx_reg, CTX_MEPC_IDX, CTX_MSTATUS_IDX, CTX_REGION_BASE, CTX_SHIFT,
-    MMIO_EXT_ACK, MMIO_MSIP, MMIO_MTIME, MMIO_MTIMECMP,
+    ctx_index_of, ctx_reg, CTX_MEPC_IDX, CTX_MSTATUS_IDX, CTX_REGION_BASE, CTX_SHIFT, MMIO_EXT_ACK,
+    MMIO_MSIP, MMIO_MTIME, MMIO_MTIMECMP,
 };
 use rtosunit::Preset;
 use rvsim_isa::{csr, Asm, Reg};
@@ -97,7 +97,11 @@ fn emit_save_frame(a: &mut Asm, cv32rt: bool) {
     }
     // Original sp = sp + frame size (t0's old value is already saved).
     a.addi(Reg::T0, Reg::Sp, size);
-    a.sw(Reg::T0, frame_word_off(ctx_index_of(Reg::Sp), cv32rt), Reg::Sp);
+    a.sw(
+        Reg::T0,
+        frame_word_off(ctx_index_of(Reg::Sp), cv32rt),
+        Reg::Sp,
+    );
     a.csrr(Reg::T0, csr::MSTATUS);
     a.sw(Reg::T0, frame_word_off(CTX_MSTATUS_IDX, cv32rt), Reg::Sp);
     a.csrr(Reg::T0, csr::MEPC);
@@ -122,7 +126,11 @@ fn emit_restore_frame(a: &mut Asm, cv32rt: bool) {
         }
         a.lw(r, frame_word_off(w, cv32rt), Reg::Sp);
     }
-    a.lw(Reg::Sp, frame_word_off(ctx_index_of(Reg::Sp), cv32rt), Reg::Sp);
+    a.lw(
+        Reg::Sp,
+        frame_word_off(ctx_index_of(Reg::Sp), cv32rt),
+        Reg::Sp,
+    );
 }
 
 /// Emits the software restore from the fixed context region, entered on
@@ -273,7 +281,11 @@ mod tests {
     use super::*;
 
     fn spec(p: Preset) -> IsrSpec {
-        IsrSpec { preset: p, tick_period: 2000, ext_sem_addr: Some(KernelLayout::SEMS) }
+        IsrSpec {
+            preset: p,
+            tick_period: 2000,
+            ext_sem_addr: Some(KernelLayout::SEMS),
+        }
     }
 
     fn isr_len(p: Preset) -> usize {

@@ -95,7 +95,10 @@ impl KernelLayout {
     ///
     /// Panics if the counts exceed the static capacity.
     pub fn new(n_tasks: usize, n_sems: usize) -> KernelLayout {
-        assert!(n_tasks <= MAX_TASKS, "too many tasks ({n_tasks} > {MAX_TASKS})");
+        assert!(
+            n_tasks <= MAX_TASKS,
+            "too many tasks ({n_tasks} > {MAX_TASKS})"
+        );
         assert!(
             (n_sems as u32) * SEM_BYTES <= Self::TCBS - Self::SEMS,
             "too many semaphores"

@@ -30,7 +30,13 @@ fn pingpong(preset: Preset, cycles: u64) -> System {
 #[test]
 fn hw_semaphores_preserve_pingpong_semantics() {
     let sys = pingpong(Preset::SltHs, 300_000);
-    let marks: Vec<u32> = sys.platform.mmio.trace_marks.iter().map(|(_, v)| *v).collect();
+    let marks: Vec<u32> = sys
+        .platform
+        .mmio
+        .trace_marks
+        .iter()
+        .map(|(_, v)| *v)
+        .collect();
     assert!(marks.len() > 20, "only {} handoffs", marks.len());
     for w in marks.windows(2) {
         assert_ne!(w[0], w[1], "handoffs must alternate strictly: {marks:?}");
@@ -44,8 +50,16 @@ fn hw_semaphores_preserve_pingpong_semantics() {
 fn hw_semaphores_increase_throughput_over_slt() {
     // Same workload, same cycle budget: the hardware path eliminates the
     // software event-list manipulation, so more handoffs complete.
-    let sw = pingpong(Preset::Slt, 300_000).platform.mmio.trace_marks.len();
-    let hw = pingpong(Preset::SltHs, 300_000).platform.mmio.trace_marks.len();
+    let sw = pingpong(Preset::Slt, 300_000)
+        .platform
+        .mmio
+        .trace_marks
+        .len();
+    let hw = pingpong(Preset::SltHs, 300_000)
+        .platform
+        .mmio
+        .trace_marks
+        .len();
     assert!(
         hw as f64 > sw as f64 * 1.05,
         "hardware semaphores should raise throughput: sw={sw} hw={hw}"

@@ -61,8 +61,14 @@ fn yield_pair_makes_progress_on_every_preset_and_core() {
 
 #[test]
 fn semaphore_ping_pong_alternates_strictly() {
-    for preset in [Preset::Vanilla, Preset::S, Preset::Sl, Preset::T, Preset::Slt, Preset::Split]
-    {
+    for preset in [
+        Preset::Vanilla,
+        Preset::S,
+        Preset::Sl,
+        Preset::T,
+        Preset::Slt,
+        Preset::Split,
+    ] {
         let mut k = KernelBuilder::new(preset);
         k.semaphore("ping", 0);
         k.semaphore("pong", 0);
@@ -80,11 +86,19 @@ fn semaphore_ping_pong_alternates_strictly() {
         let mut sys = System::new(CoreKind::Cv32e40p, preset);
         img.install(&mut sys);
         sys.run(400_000);
-        let marks: Vec<u32> =
-            sys.platform.mmio.trace_marks.iter().map(|(_, v)| *v).collect();
+        let marks: Vec<u32> = sys
+            .platform
+            .mmio
+            .trace_marks
+            .iter()
+            .map(|(_, v)| *v)
+            .collect();
         assert!(marks.len() >= 10, "{preset}: only {} marks", marks.len());
         for (i, w) in marks.windows(2).enumerate() {
-            assert_ne!(w[0], w[1], "{preset}: marks not alternating at {i}: {marks:?}");
+            assert_ne!(
+                w[0], w[1],
+                "{preset}: marks not alternating at {i}: {marks:?}"
+            );
         }
         assert_eq!(marks[0], 1, "{preset}: producer must mark first");
     }
@@ -172,8 +186,14 @@ fn priorities_starve_lower_tasks() {
     sys.run(200_000);
     let high = sys.platform.dmem.read_word(SCRATCH);
     let low = sys.platform.dmem.read_word(SCRATCH + 4);
-    assert!(high > 50, "high-priority task must run constantly (ran {high})");
-    assert_eq!(low, 0, "low-priority task must never run while high yields+runs");
+    assert!(
+        high > 50,
+        "high-priority task must run constantly (ran {high})"
+    );
+    assert_eq!(
+        low, 0,
+        "low-priority task must never run while high yields+runs"
+    );
 }
 
 #[test]

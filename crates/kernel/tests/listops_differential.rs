@@ -3,6 +3,10 @@
 //! CV32E40P engine, and the resulting in-memory lists are compared
 //! against a host-side reference model.
 
+#![cfg(feature = "proptest")]
+// Default-off: requires the external `proptest` crate (network). See the
+// crate's Cargo.toml for how to enable.
+
 use freertos_lite::emit::{self, LabelGen};
 use freertos_lite::klayout::{sem, tcb, KernelLayout, NUM_PRIOS};
 use proptest::prelude::*;
@@ -22,9 +26,15 @@ impl DataBus for SramBus {
         match write {
             Some(v) => {
                 self.mem.write(addr, size, v);
-                BusResponse { data: 0, extra_latency: 0 }
+                BusResponse {
+                    data: 0,
+                    extra_latency: 0,
+                }
             }
-            None => BusResponse { data: self.mem.read(addr, size), extra_latency: 1 },
+            None => BusResponse {
+                data: self.mem.read(addr, size),
+                extra_latency: 1,
+            },
         }
     }
 
@@ -184,9 +194,7 @@ fn run_sequence(prios: &[u8; N_TASKS], ops: &[ListOp]) -> Result<(), TestCaseErr
                 emit::delay_tick(&mut a, &mut lg);
                 reference.delay_tick();
                 for t in 0..N_TASKS {
-                    if place[t] == Where::Delayed
-                        && !reference.delay.iter().any(|&(x, _)| x == t)
-                    {
+                    if place[t] == Where::Delayed && !reference.delay.iter().any(|&(x, _)| x == t) {
                         place[t] = Where::Ready;
                     }
                 }
@@ -216,10 +224,13 @@ fn run_sequence(prios: &[u8; N_TASKS], ops: &[ListOp]) -> Result<(), TestCaseErr
     let prog = a.finish().expect("sequence assembles");
 
     // Prepare guest memory: TCBs only (lists start empty).
-    let mut bus = SramBus { mem: Mem::new(rtosunit::layout::DMEM_BASE, 0x1_0000) };
+    let mut bus = SramBus {
+        mem: Mem::new(rtosunit::layout::DMEM_BASE, 0x1_0000),
+    };
     for t in 0..N_TASKS {
         let addr = layout.tcb_addr(t);
-        bus.mem.write_word(addr.wrapping_add(tcb::ID as u32), t as u32);
+        bus.mem
+            .write_word(addr.wrapping_add(tcb::ID as u32), t as u32);
         bus.mem
             .write_word(addr.wrapping_add(tcb::PRIO as u32), u32::from(prios[t]));
     }
@@ -245,8 +256,10 @@ fn run_sequence(prios: &[u8; N_TASKS], ops: &[ListOp]) -> Result<(), TestCaseErr
         let head = bus.mem.read_word(KernelLayout::ready_head_addr(p));
         let got = read_chain(head)?;
         prop_assert_eq!(
-            &got, &reference.ready[p],
-            "ready[{}] diverged (guest vs reference)", p
+            &got,
+            &reference.ready[p],
+            "ready[{}] diverged (guest vs reference)",
+            p
         );
         // Tail pointer must match the last element.
         let tail = bus.mem.read_word(KernelLayout::READY_TAIL + (p as u32) * 4);

@@ -87,6 +87,21 @@ impl Arbiter {
         self.grant = None;
     }
 
+    /// Accounts for `n` consecutive cycles in which neither client touched
+    /// the port — the bulk equivalent of `n` grant-free [`end_cycle`]
+    /// calls, used by batched execution to skip quiescent stretches.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a grant is open: the current cycle must be closed with
+    /// [`end_cycle`] before idle cycles can be skipped.
+    ///
+    /// [`end_cycle`]: Self::end_cycle
+    pub fn skip_idle_cycles(&mut self, n: u64) {
+        assert_eq!(self.grant, None, "skip_idle_cycles with an open grant");
+        self.cycles += n;
+    }
+
     /// `(total, core, unit)` cycle counts since construction.
     pub fn occupancy(&self) -> (u64, u64, u64) {
         (self.cycles, self.core_cycles, self.unit_cycles)
@@ -131,6 +146,16 @@ mod tests {
         let mut arb = Arbiter::new();
         arb.unit_try_acquire();
         arb.core_request();
+    }
+
+    #[test]
+    fn skipped_idle_cycles_count_toward_occupancy() {
+        let mut arb = Arbiter::new();
+        arb.core_request();
+        arb.end_cycle();
+        arb.skip_idle_cycles(3);
+        assert_eq!(arb.occupancy(), (4, 1, 0));
+        assert!((arb.idle_fraction() - 0.75).abs() < 1e-9);
     }
 
     #[test]

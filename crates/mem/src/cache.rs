@@ -168,7 +168,12 @@ impl Cache {
                 }
             };
             self.hits += 1;
-            return CacheOutcome { hit: true, writeback: false, latency, bus_cycles };
+            return CacheOutcome {
+                hit: true,
+                writeback: false,
+                latency,
+                bus_cycles,
+            };
         }
 
         self.misses += 1;

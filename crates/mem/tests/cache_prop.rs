@@ -1,6 +1,10 @@
 //! Property tests for the cache model against a reference residency
 //! simulator, plus arbiter accounting invariants.
 
+#![cfg(feature = "proptest")]
+// Default-off: requires the external `proptest` crate (network). See the
+// crate's Cargo.toml for how to enable.
+
 use proptest::prelude::*;
 use rvsim_mem::{Arbiter, Cache, CacheConfig, WritePolicy};
 use std::collections::HashMap;
@@ -14,7 +18,10 @@ struct RefCache {
 
 impl RefCache {
     fn new(cfg: CacheConfig) -> RefCache {
-        RefCache { cfg, sets: HashMap::new() }
+        RefCache {
+            cfg,
+            sets: HashMap::new(),
+        }
     }
 
     fn set_and_tag(&self, addr: u32) -> (u32, u32) {
@@ -59,7 +66,10 @@ fn arb_cfg() -> impl Strategy<Value = CacheConfig> {
         prop_oneof![Just(2u32), Just(4), Just(8)],
         1u32..4,
         prop_oneof![Just(4u32), Just(8), Just(16)],
-        prop_oneof![Just(WritePolicy::WriteThrough), Just(WritePolicy::WriteBack)],
+        prop_oneof![
+            Just(WritePolicy::WriteThrough),
+            Just(WritePolicy::WriteBack)
+        ],
     )
         .prop_map(|(sets, ways, line_words, policy)| CacheConfig {
             sets,

@@ -1,0 +1,684 @@
+//! The parallel experiment-campaign layer.
+//!
+//! A [`CampaignSpec`] declares a full experiment matrix — every
+//! `(core, preset, workload)` run a figure needs, including kernel-builder
+//! customisations and platform overrides — and [`CampaignSpec::run`] fans
+//! the runs out across `std::thread` workers with a shared atomic work
+//! index (work stealing without any external dependency: each worker
+//! claims the next undone index). Every [`System`] is self-contained, so
+//! runs parallelise perfectly; outcomes are placed back by spec index, so
+//! the aggregated [`Campaign`] — and the JSON artifact it renders — is
+//! byte-identical regardless of worker count or completion order.
+//!
+//! The figure binaries (`fig9`, `ablations`, `extension_sync`,
+//! `fig12_scaling`, `wcet_table`) are thin declarations over this layer:
+//! they build a spec, run it, derive their human-readable tables from the
+//! in-memory outcomes, and write the machine-readable campaign artifact to
+//! `results/<name>.json` via [`Campaign::write_json`].
+
+use crate::json::Json;
+use crate::runner;
+use crate::workloads::{self, Workload};
+use freertos_lite::{GuestImage, KernelError};
+use rtosunit::cv32rt::Cv32rtStats;
+use rtosunit::{LatencyStats, Preset, SwitchRecord, System, UnitStats};
+use rvsim_cores::CoreKind;
+use rvsim_isa::csr;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+use std::time::Instant;
+
+/// How a run's raw switch episodes are reduced to measured latencies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FilterPolicy {
+    /// The runner's standard filtering: skip
+    /// [`WARMUP_SWITCHES`](runner::WARMUP_SWITCHES) cold switches, then
+    /// drop critical-section-delayed episodes via
+    /// [`entry_threshold`](runner::entry_threshold).
+    #[default]
+    Standard,
+    /// Only skip the warm-up switches.
+    WarmupOnly,
+    /// Skip the warm-up switches, then keep only timer-tick episodes.
+    WarmupTimerTicks,
+    /// Keep every episode.
+    All,
+}
+
+impl FilterPolicy {
+    fn apply(self, core: CoreKind, records: &[SwitchRecord]) -> Vec<SwitchRecord> {
+        match self {
+            FilterPolicy::Standard => runner::filter_episodes(core, records),
+            FilterPolicy::WarmupOnly => records
+                .iter()
+                .skip(runner::WARMUP_SWITCHES)
+                .copied()
+                .collect(),
+            FilterPolicy::WarmupTimerTicks => records
+                .iter()
+                .skip(runner::WARMUP_SWITCHES)
+                .filter(|r| r.cause == csr::CAUSE_TIMER)
+                .copied()
+                .collect(),
+            FilterPolicy::All => records.to_vec(),
+        }
+    }
+
+    fn label(self) -> &'static str {
+        match self {
+            FilterPolicy::Standard => "standard",
+            FilterPolicy::WarmupOnly => "warmup_only",
+            FilterPolicy::WarmupTimerTicks => "warmup_timer_ticks",
+            FilterPolicy::All => "all",
+        }
+    }
+}
+
+/// A pre-boot platform/system reconfiguration (the ablation knobs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConfigOverride {
+    /// ctxQueue depth (paper §5.3); only meaningful on LSU-arbitrated
+    /// cores.
+    CtxQueueDepth(usize),
+    /// Arbitration level (§5): `true` = LSU (share cache), `false` = bus.
+    UnitArbitration(bool),
+    /// Hardware scheduler list capacity; applied only when the preset has
+    /// hardware scheduling.
+    UnitListLen(usize),
+    /// Timer-tick period in cycles.
+    TimerPeriod(u32),
+}
+
+impl ConfigOverride {
+    fn apply(self, sys: &mut System) {
+        match self {
+            ConfigOverride::CtxQueueDepth(d) => sys.platform.set_ctx_queue_depth(d),
+            ConfigOverride::UnitArbitration(shares) => sys.platform.set_unit_arbitration(shares),
+            ConfigOverride::UnitListLen(len) => {
+                if sys.preset().has_sched() {
+                    sys.set_unit_list_len(len);
+                }
+            }
+            ConfigOverride::TimerPeriod(p) => sys.set_timer_period(p),
+        }
+    }
+
+    fn to_json(self) -> Json {
+        match self {
+            ConfigOverride::CtxQueueDepth(d) => Json::object().with("ctx_queue_depth", d),
+            ConfigOverride::UnitArbitration(s) => Json::object().with("unit_shares_cache", s),
+            ConfigOverride::UnitListLen(l) => Json::object().with("unit_list_len", l),
+            ConfigOverride::TimerPeriod(p) => Json::object().with("timer_period", p),
+        }
+    }
+}
+
+/// The workload a [`RunSpec`] executes.
+#[derive(Debug, Clone, Copy)]
+pub enum WorkloadSpec {
+    /// One of the suite workloads ([`workloads::ALL`]).
+    Suite(Workload),
+    /// A custom guest kernel built by a function of `(param, preset)` —
+    /// plain `fn` pointers so specs stay `Send + Sync` for the executor.
+    Custom {
+        /// Display name.
+        name: &'static str,
+        /// Free parameter forwarded to `build` (e.g. a task count).
+        param: u32,
+        /// Kernel builder.
+        build: fn(u32, Preset) -> Result<GuestImage, KernelError>,
+        /// Cycle budget for the run.
+        run_cycles: u64,
+        /// Interval of injected external interrupts (0 = none).
+        ext_irq_interval: u64,
+    },
+    /// A closed-form model evaluation (no simulation) — area scaling,
+    /// WCET analysis. The result lands in [`RunOutcome::analytic`].
+    Analytic {
+        /// Display name.
+        name: &'static str,
+        /// Free parameter forwarded to `eval` (e.g. a list length).
+        param: u32,
+        /// Model evaluator.
+        eval: fn(u32, CoreKind, Preset) -> Json,
+    },
+}
+
+impl WorkloadSpec {
+    /// The workload's display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            WorkloadSpec::Suite(w) => w.name,
+            WorkloadSpec::Custom { name, .. } | WorkloadSpec::Analytic { name, .. } => name,
+        }
+    }
+
+    fn param(&self) -> u32 {
+        match self {
+            WorkloadSpec::Suite(_) => 0,
+            WorkloadSpec::Custom { param, .. } | WorkloadSpec::Analytic { param, .. } => *param,
+        }
+    }
+}
+
+/// One run of the experiment matrix.
+#[derive(Debug, Clone)]
+pub struct RunSpec {
+    /// Explicit label; defaults to `core/preset/workload[@param]`.
+    pub label: Option<String>,
+    /// Core model.
+    pub core: CoreKind,
+    /// Unit configuration.
+    pub preset: Preset,
+    /// What to execute.
+    pub workload: WorkloadSpec,
+    /// Pre-boot reconfigurations, applied in order before the image
+    /// installs.
+    pub overrides: Vec<ConfigOverride>,
+    /// Episode filtering for the measured latencies.
+    pub filter: FilterPolicy,
+    /// Use the cycle-by-cycle reference loop instead of batched stepping
+    /// (differential testing and throughput baselines).
+    pub stepwise: bool,
+}
+
+impl RunSpec {
+    /// A standard run: no overrides, standard filtering, batched stepping.
+    pub fn new(core: CoreKind, preset: Preset, workload: WorkloadSpec) -> RunSpec {
+        RunSpec {
+            label: None,
+            core,
+            preset,
+            workload,
+            overrides: Vec::new(),
+            filter: FilterPolicy::Standard,
+            stepwise: false,
+        }
+    }
+
+    /// The effective label of this run.
+    pub fn label(&self) -> String {
+        if let Some(l) = &self.label {
+            return l.clone();
+        }
+        let mut l = format!(
+            "{}/{}/{}",
+            self.core.name(),
+            self.preset.label(),
+            self.workload.name()
+        );
+        if self.workload.param() != 0 {
+            l.push_str(&format!("@{}", self.workload.param()));
+        }
+        l
+    }
+}
+
+/// Simulation measurements of one run (absent for analytic runs).
+#[derive(Debug, Clone)]
+pub struct SimOutcome {
+    /// Every completed switch episode, unfiltered.
+    pub raw_records: Vec<SwitchRecord>,
+    /// Episodes after the spec's [`FilterPolicy`].
+    pub records: Vec<SwitchRecord>,
+    /// Latencies of the filtered episodes, in cycles.
+    pub latencies: Vec<u64>,
+    /// Cycles simulated.
+    pub cycles: u64,
+    /// Instructions retired.
+    pub retired: u64,
+    /// RTOSUnit activity counters, if a unit was attached.
+    pub unit: Option<UnitStats>,
+    /// CV32RT activity counters, if the comparison unit was attached.
+    pub cv32rt: Option<Cv32rtStats>,
+    /// Data-port occupancy `(total, core, unit)` cycles.
+    pub port: (u64, u64, u64),
+    /// `(cycle, value)` pairs from guest TRACE writes.
+    pub trace_marks: Vec<(u64, u32)>,
+    /// `(issued, full-stall)` ctxQueue counters, if present.
+    pub ctx_queue: Option<(u64, u64)>,
+}
+
+impl SimOutcome {
+    /// Latency statistics of the filtered episodes.
+    pub fn stats(&self) -> Option<LatencyStats> {
+        LatencyStats::from_latencies(&self.latencies)
+    }
+}
+
+/// The result of one executed [`RunSpec`], in spec order.
+#[derive(Debug, Clone)]
+pub struct RunOutcome {
+    /// Index into [`CampaignSpec::runs`].
+    pub index: usize,
+    /// Effective label.
+    pub label: String,
+    /// Core model.
+    pub core: CoreKind,
+    /// Unit configuration.
+    pub preset: Preset,
+    /// Workload name.
+    pub workload: &'static str,
+    /// Workload parameter (0 when unused).
+    pub param: u32,
+    /// Simulation measurements (None for analytic runs).
+    pub sim: Option<SimOutcome>,
+    /// Analytic model output (None for simulated runs).
+    pub analytic: Option<Json>,
+    /// Host wall-clock time of this run, nanoseconds. Excluded from the
+    /// deterministic JSON artifact.
+    pub host_nanos: u64,
+}
+
+impl RunOutcome {
+    /// Latency statistics, if this run simulated and measured switches.
+    pub fn stats(&self) -> Option<LatencyStats> {
+        self.sim.as_ref().and_then(SimOutcome::stats)
+    }
+}
+
+/// A declarative experiment matrix. Build with [`CampaignSpec::new`] /
+/// [`CampaignSpec::matrix`], then execute with [`CampaignSpec::run`].
+#[derive(Debug, Clone)]
+pub struct CampaignSpec {
+    /// Campaign name — also the `results/<name>.json` artifact stem.
+    pub name: &'static str,
+    /// The runs, executed in any order, aggregated in this order.
+    pub runs: Vec<RunSpec>,
+}
+
+impl CampaignSpec {
+    /// An empty campaign.
+    pub fn new(name: &'static str) -> CampaignSpec {
+        CampaignSpec {
+            name,
+            runs: Vec::new(),
+        }
+    }
+
+    /// The full `cores × presets × workloads` cross product with standard
+    /// settings (the Fig. 9 shape).
+    pub fn matrix(
+        name: &'static str,
+        cores: &[CoreKind],
+        presets: &[Preset],
+        suite: &[Workload],
+    ) -> CampaignSpec {
+        let mut spec = CampaignSpec::new(name);
+        for &core in cores {
+            for &preset in presets {
+                for &w in suite {
+                    spec.runs
+                        .push(RunSpec::new(core, preset, WorkloadSpec::Suite(w)));
+                }
+            }
+        }
+        spec
+    }
+
+    /// Adds a run and returns `self` for chaining.
+    pub fn with(mut self, run: RunSpec) -> CampaignSpec {
+        self.runs.push(run);
+        self
+    }
+
+    /// Executes every run across `workers` threads (clamped to the run
+    /// count; 1 = sequential). Outcomes are aggregated in spec order, so
+    /// the result — including its JSON rendering — is identical for every
+    /// worker count.
+    pub fn run(&self, workers: usize) -> Campaign {
+        let started = Instant::now();
+        let n = self.runs.len();
+        let workers = workers.clamp(1, n.max(1));
+        let mut outcomes: Vec<Option<RunOutcome>> = (0..n).map(|_| None).collect();
+        let next = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            let (tx, rx) = mpsc::channel();
+            for _ in 0..workers {
+                let tx = tx.clone();
+                let next = &next;
+                let runs = &self.runs;
+                scope.spawn(move || loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= runs.len() {
+                        break;
+                    }
+                    if tx.send((i, execute_run(i, &runs[i]))).is_err() {
+                        break;
+                    }
+                });
+            }
+            drop(tx);
+            for (i, outcome) in rx {
+                outcomes[i] = Some(outcome);
+            }
+        });
+        Campaign {
+            name: self.name,
+            workers,
+            outcomes: outcomes
+                .into_iter()
+                .map(|o| o.expect("worker delivered every claimed run"))
+                .collect(),
+            host_nanos: started.elapsed().as_nanos() as u64,
+        }
+    }
+}
+
+/// The deterministic aggregation of an executed [`CampaignSpec`].
+#[derive(Debug, Clone)]
+pub struct Campaign {
+    /// Campaign name.
+    pub name: &'static str,
+    /// Worker threads used (does not affect the results).
+    pub workers: usize,
+    /// One outcome per spec run, in spec order.
+    pub outcomes: Vec<RunOutcome>,
+    /// Host wall-clock time of the whole campaign, nanoseconds.
+    pub host_nanos: u64,
+}
+
+impl Campaign {
+    /// Total simulated cycles across all runs.
+    pub fn simulated_cycles(&self) -> u64 {
+        self.outcomes
+            .iter()
+            .filter_map(|o| o.sim.as_ref())
+            .map(|s| s.cycles)
+            .sum()
+    }
+
+    /// Aggregate simulation throughput in simulated cycles per host
+    /// second (the campaign self-report for the batching speedup).
+    pub fn cycles_per_second(&self) -> f64 {
+        if self.host_nanos == 0 {
+            return 0.0;
+        }
+        self.simulated_cycles() as f64 / (self.host_nanos as f64 / 1e9)
+    }
+
+    /// One-line host-side throughput summary (non-deterministic — kept
+    /// out of the JSON artifact).
+    pub fn throughput_summary(&self) -> String {
+        format!(
+            "campaign `{}`: {} runs, {} simulated cycles in {:.2}s on {} workers ({:.2} Mcycles/s)",
+            self.name,
+            self.outcomes.len(),
+            self.simulated_cycles(),
+            self.host_nanos as f64 / 1e9,
+            self.workers,
+            self.cycles_per_second() / 1e6,
+        )
+    }
+
+    /// The outcome with the given label, if any.
+    pub fn find(&self, label: &str) -> Option<&RunOutcome> {
+        self.outcomes.iter().find(|o| o.label == label)
+    }
+
+    /// The deterministic machine-readable artifact: everything measured,
+    /// nothing host-dependent (no wall-clock, no worker count).
+    pub fn to_json(&self) -> Json {
+        let runs = self
+            .outcomes
+            .iter()
+            .map(|o| {
+                let mut run = Json::object()
+                    .with("label", o.label.as_str())
+                    .with("core", o.core.name())
+                    .with("preset", o.preset.label())
+                    .with("workload", o.workload)
+                    .with("param", o.param);
+                match &o.sim {
+                    Some(sim) => {
+                        let mut j = Json::object()
+                            .with("cycles", sim.cycles)
+                            .with("retired", sim.retired)
+                            .with("raw_switches", sim.raw_records.len())
+                            .with("switches", sim.latencies.len());
+                        match sim.stats() {
+                            Some(s) => {
+                                j.push("mean", s.mean);
+                                j.push("min", s.min);
+                                j.push("max", s.max);
+                                j.push("jitter", s.jitter());
+                            }
+                            None => {
+                                j.push("mean", Json::Null);
+                                j.push("min", Json::Null);
+                                j.push("max", Json::Null);
+                                j.push("jitter", Json::Null);
+                            }
+                        }
+                        j.push("latencies", sim.latencies.as_slice());
+                        j.push(
+                            "port",
+                            Json::object()
+                                .with("total", sim.port.0)
+                                .with("core", sim.port.1)
+                                .with("unit", sim.port.2),
+                        );
+                        j.push("trace_marks", sim.trace_marks.len());
+                        j.push(
+                            "ctx_queue",
+                            match sim.ctx_queue {
+                                Some((issued, stalls)) => Json::object()
+                                    .with("issued", issued)
+                                    .with("full_stalls", stalls),
+                                None => Json::Null,
+                            },
+                        );
+                        run.push("sim", j);
+                    }
+                    None => run.push("sim", Json::Null),
+                }
+                run.push("analytic", o.analytic.clone().unwrap_or(Json::Null));
+                run
+            })
+            .collect::<Vec<_>>();
+        Json::object()
+            .with("schema", "rtosunit-campaign-v1")
+            .with("campaign", self.name)
+            .with("runs", runs)
+    }
+
+    /// Writes `dir/<name>.json` and returns its path.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors from creating `dir` or writing the
+    /// file.
+    pub fn write_json(
+        &self,
+        dir: impl AsRef<std::path::Path>,
+    ) -> std::io::Result<std::path::PathBuf> {
+        let dir = dir.as_ref();
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(format!("{}.json", self.name));
+        std::fs::write(&path, self.to_json().render())?;
+        Ok(path)
+    }
+}
+
+fn execute_run(index: usize, spec: &RunSpec) -> RunOutcome {
+    let started = Instant::now();
+    let (sim, analytic) = match spec.workload {
+        WorkloadSpec::Analytic { param, eval, .. } => {
+            (None, Some(eval(param, spec.core, spec.preset)))
+        }
+        WorkloadSpec::Suite(w) => {
+            let image = workloads::build(&w, spec.preset).expect("suite workload builds");
+            (
+                Some(simulate(spec, &image, w.run_cycles, w.ext_irq_interval)),
+                None,
+            )
+        }
+        WorkloadSpec::Custom {
+            param,
+            build,
+            run_cycles,
+            ext_irq_interval,
+            ..
+        } => {
+            let image = build(param, spec.preset).expect("custom workload builds");
+            (
+                Some(simulate(spec, &image, run_cycles, ext_irq_interval)),
+                None,
+            )
+        }
+    };
+    RunOutcome {
+        index,
+        label: spec.label(),
+        core: spec.core,
+        preset: spec.preset,
+        workload: spec.workload.name(),
+        param: spec.workload.param(),
+        sim,
+        analytic,
+        host_nanos: started.elapsed().as_nanos() as u64,
+    }
+}
+
+fn simulate(
+    spec: &RunSpec,
+    image: &GuestImage,
+    run_cycles: u64,
+    ext_irq_interval: u64,
+) -> SimOutcome {
+    let mut sys = System::new(spec.core, spec.preset);
+    for o in &spec.overrides {
+        o.apply(&mut sys);
+    }
+    image.install(&mut sys);
+    if ext_irq_interval > 0 {
+        let mut at = ext_irq_interval;
+        while at < run_cycles {
+            sys.schedule_external_irq(at);
+            at += ext_irq_interval;
+        }
+    }
+    if spec.stepwise {
+        sys.run_stepwise(run_cycles);
+    } else {
+        sys.run(run_cycles);
+    }
+    let raw_records = sys.take_records();
+    let records = spec.filter.apply(spec.core, &raw_records);
+    let latencies: Vec<u64> = records.iter().map(SwitchRecord::latency).collect();
+    SimOutcome {
+        raw_records,
+        records,
+        latencies,
+        cycles: sys.platform.cycle(),
+        retired: sys.core.retired(),
+        unit: sys.unit_stats(),
+        cv32rt: sys.cv32rt_unit().map(|u| u.stats),
+        port: sys.platform.port_occupancy(),
+        trace_marks: sys.platform.mmio.trace_marks.clone(),
+        ctx_queue: sys.platform.ctx_queue_stats(),
+    }
+}
+
+/// Renders the spec itself (shape, not results) — a debugging aid kept
+/// deterministic like everything else in this module.
+pub fn spec_to_json(spec: &CampaignSpec) -> Json {
+    Json::object().with("campaign", spec.name).with(
+        "runs",
+        spec.runs
+            .iter()
+            .map(|r| {
+                Json::object()
+                    .with("label", r.label())
+                    .with("filter", r.filter.label())
+                    .with("stepwise", r.stepwise)
+                    .with(
+                        "overrides",
+                        r.overrides.iter().map(|o| o.to_json()).collect::<Vec<_>>(),
+                    )
+            })
+            .collect::<Vec<_>>(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_spec() -> CampaignSpec {
+        let w = workloads::by_name("pingpong_semaphore").expect("exists");
+        CampaignSpec::new("test_tiny")
+            .with(RunSpec::new(
+                CoreKind::Cv32e40p,
+                Preset::Vanilla,
+                WorkloadSpec::Suite(w),
+            ))
+            .with(RunSpec::new(
+                CoreKind::Cv32e40p,
+                Preset::Slt,
+                WorkloadSpec::Suite(w),
+            ))
+            .with(RunSpec::new(
+                CoreKind::Cva6,
+                Preset::S,
+                WorkloadSpec::Suite(w),
+            ))
+    }
+
+    #[test]
+    fn outcomes_arrive_in_spec_order() {
+        let c = tiny_spec().run(3);
+        assert_eq!(c.outcomes.len(), 3);
+        for (i, o) in c.outcomes.iter().enumerate() {
+            assert_eq!(o.index, i);
+            assert!(o.sim.as_ref().is_some_and(|s| !s.latencies.is_empty()));
+        }
+        assert_eq!(c.outcomes[0].preset, Preset::Vanilla);
+        assert_eq!(c.outcomes[2].core, CoreKind::Cva6);
+    }
+
+    #[test]
+    fn worker_count_does_not_change_the_artifact() {
+        let spec = tiny_spec();
+        let sequential = spec.run(1).to_json().render();
+        let parallel = spec.run(3).to_json().render();
+        assert_eq!(sequential, parallel);
+    }
+
+    #[test]
+    fn analytic_runs_skip_simulation() {
+        let spec = CampaignSpec::new("test_analytic").with(RunSpec::new(
+            CoreKind::Cv32e40p,
+            Preset::T,
+            WorkloadSpec::Analytic {
+                name: "square",
+                param: 12,
+                eval: |p, _, _| Json::object().with("square", u64::from(p) * u64::from(p)),
+            },
+        ));
+        let c = spec.run(2);
+        assert!(c.outcomes[0].sim.is_none());
+        let rendered = c.to_json().render();
+        assert!(rendered.contains("\"square\": 144"));
+    }
+
+    #[test]
+    fn stepwise_and_batched_produce_identical_measurements() {
+        let w = workloads::by_name("roundrobin_yield").expect("exists");
+        let mut batched = RunSpec::new(CoreKind::Cv32e40p, Preset::Slt, WorkloadSpec::Suite(w));
+        batched.label = Some("x".into());
+        let mut stepwise = batched.clone();
+        stepwise.stepwise = true;
+        let spec = CampaignSpec {
+            name: "test_equiv",
+            runs: vec![batched, stepwise],
+        };
+        let c = spec.run(2);
+        let a = c.outcomes[0].sim.as_ref().expect("sim");
+        let b = c.outcomes[1].sim.as_ref().expect("sim");
+        assert_eq!(a.raw_records, b.raw_records);
+        assert_eq!(a.cycles, b.cycles);
+        assert_eq!(a.retired, b.retired);
+        assert_eq!(a.port, b.port);
+    }
+}

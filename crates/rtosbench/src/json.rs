@@ -1,0 +1,264 @@
+//! A minimal, dependency-free JSON value builder and serializer.
+//!
+//! Campaign artifacts (`results/*.json`) and BENCH reports are written
+//! through this module so the whole experiment stack stays offline-friendly
+//! (no serde). Serialization is deterministic: object keys keep insertion
+//! order, floats use Rust's shortest round-trip formatting, and the writer
+//! emits a stable two-space-indented layout — byte-identical output for
+//! equal values, which the campaign determinism tests rely on.
+
+use std::fmt::Write as _;
+
+/// A JSON value. Objects preserve insertion order (no hashing) so output
+/// is reproducible.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    Null,
+    Bool(bool),
+    /// Integers are kept exact (no float round-trip).
+    Int(i64),
+    UInt(u64),
+    Float(f64),
+    Str(String),
+    Array(Vec<Json>),
+    Object(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Convenience constructor for an empty object.
+    pub fn object() -> Json {
+        Json::Object(Vec::new())
+    }
+
+    /// Appends a key/value pair; panics if `self` is not an object.
+    /// Returns `self` for chaining.
+    pub fn with(mut self, key: &str, value: impl Into<Json>) -> Json {
+        self.push(key, value);
+        self
+    }
+
+    /// Appends a key/value pair in place; panics if `self` is not an object.
+    pub fn push(&mut self, key: &str, value: impl Into<Json>) {
+        match self {
+            Json::Object(pairs) => pairs.push((key.to_string(), value.into())),
+            _ => panic!("Json::push on non-object"),
+        }
+    }
+
+    /// Whether this value renders without internal line breaks.
+    fn is_scalar(&self) -> bool {
+        !matches!(self, Json::Array(_) | Json::Object(_))
+    }
+
+    /// Renders with a trailing newline, two-space indentation.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, out: &mut String, depth: usize) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Int(i) => {
+                let _ = write!(out, "{i}");
+            }
+            Json::UInt(u) => {
+                let _ = write!(out, "{u}");
+            }
+            Json::Float(f) => write_f64(out, *f),
+            Json::Str(s) => write_escaped(out, s),
+            Json::Array(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                // Scalar-only arrays (e.g. latency vectors with thousands
+                // of entries) render on one line to keep artifacts compact.
+                if items.iter().all(Json::is_scalar) {
+                    out.push('[');
+                    for (i, item) in items.iter().enumerate() {
+                        if i > 0 {
+                            out.push_str(", ");
+                        }
+                        item.write(out, depth);
+                    }
+                    out.push(']');
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    indent(out, depth + 1);
+                    item.write(out, depth + 1);
+                }
+                out.push('\n');
+                indent(out, depth);
+                out.push(']');
+            }
+            Json::Object(pairs) => {
+                if pairs.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    indent(out, depth + 1);
+                    write_escaped(out, k);
+                    out.push_str(": ");
+                    v.write(out, depth + 1);
+                }
+                out.push('\n');
+                indent(out, depth);
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn indent(out: &mut String, depth: usize) {
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+}
+
+/// JSON has no NaN/Infinity; they serialize as `null`. Finite floats use
+/// Rust's shortest round-trip `Display`, forced to keep a decimal point so
+/// they stay float-typed for consumers.
+fn write_f64(out: &mut String, f: f64) {
+    if !f.is_finite() {
+        out.push_str("null");
+        return;
+    }
+    let s = format!("{f}");
+    out.push_str(&s);
+    if !s.contains('.') && !s.contains('e') && !s.contains('E') {
+        out.push_str(".0");
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl From<bool> for Json {
+    fn from(b: bool) -> Json {
+        Json::Bool(b)
+    }
+}
+impl From<i64> for Json {
+    fn from(i: i64) -> Json {
+        Json::Int(i)
+    }
+}
+impl From<u32> for Json {
+    fn from(u: u32) -> Json {
+        Json::UInt(u64::from(u))
+    }
+}
+impl From<u64> for Json {
+    fn from(u: u64) -> Json {
+        Json::UInt(u)
+    }
+}
+impl From<usize> for Json {
+    fn from(u: usize) -> Json {
+        Json::UInt(u as u64)
+    }
+}
+impl From<f64> for Json {
+    fn from(f: f64) -> Json {
+        Json::Float(f)
+    }
+}
+impl From<&str> for Json {
+    fn from(s: &str) -> Json {
+        Json::Str(s.to_string())
+    }
+}
+impl From<String> for Json {
+    fn from(s: String) -> Json {
+        Json::Str(s)
+    }
+}
+impl From<Vec<Json>> for Json {
+    fn from(v: Vec<Json>) -> Json {
+        Json::Array(v)
+    }
+}
+impl From<&[u64]> for Json {
+    fn from(v: &[u64]) -> Json {
+        Json::Array(v.iter().map(|&u| Json::UInt(u)).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_nested_structures() {
+        let j = Json::object()
+            .with("name", "fig9")
+            .with("ok", true)
+            .with("count", 3u64)
+            .with("mean", 70.25)
+            .with("tags", Json::Array(vec![Json::Int(1), Json::Null]));
+        let s = j.render();
+        assert!(s.contains("\"name\": \"fig9\""));
+        assert!(s.contains("\"mean\": 70.25"));
+        assert!(s.ends_with("}\n"));
+        assert!(s.contains("null"));
+    }
+
+    #[test]
+    fn floats_keep_a_decimal_point() {
+        let mut s = String::new();
+        write_f64(&mut s, 70.0);
+        assert_eq!(s, "70.0");
+        s.clear();
+        write_f64(&mut s, f64::NAN);
+        assert_eq!(s, "null");
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        let mut s = String::new();
+        write_escaped(&mut s, "a\"b\\c\nd\u{1}");
+        assert_eq!(s, "\"a\\\"b\\\\c\\nd\\u0001\"");
+    }
+
+    #[test]
+    fn rendering_is_deterministic() {
+        let build = || {
+            Json::object()
+                .with("rows", Json::Array(vec![Json::UInt(1), Json::UInt(2)]))
+                .with("empty", Json::object())
+                .with("none", Json::Array(vec![]))
+        };
+        assert_eq!(build().render(), build().render());
+    }
+}

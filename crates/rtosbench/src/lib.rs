@@ -16,9 +16,16 @@
 //! the [`SwitchRecord`](rtosunit::SwitchRecord)s, and aggregates the
 //! mean/min/max/jitter rows of Fig. 9.
 
+pub mod campaign;
+pub mod json;
 pub mod report;
 pub mod runner;
 pub mod workloads;
 
+pub use campaign::{
+    Campaign, CampaignSpec, ConfigOverride, FilterPolicy, RunOutcome, RunSpec, SimOutcome,
+    WorkloadSpec,
+};
+pub use json::Json;
 pub use runner::{run_suite, run_workload, run_workload_with, Fig9Row, RunResult};
 pub use workloads::{Workload, ALL as WORKLOADS};

@@ -74,14 +74,22 @@ mod tests {
         Fig9Row {
             core: CoreKind::Cv32e40p,
             preset,
-            stats: LatencyStats { count: 10, min, max, mean },
+            stats: LatencyStats {
+                count: 10,
+                min,
+                max,
+                mean,
+            },
             per_workload: vec![],
         }
     }
 
     #[test]
     fn table_contains_relative_columns() {
-        let rows = vec![row(Preset::Vanilla, 200.0, 150, 340), row(Preset::Slt, 70.0, 70, 70)];
+        let rows = vec![
+            row(Preset::Vanilla, 200.0, 150, 340),
+            row(Preset::Slt, 70.0, 70, 70),
+        ];
         let t = fig9_table("CV32E40P", &rows);
         assert!(t.contains("(vanilla)"));
         assert!(t.contains("(SLT)"));
@@ -91,8 +99,15 @@ mod tests {
     #[test]
     fn breakdown_lists_workloads() {
         let mut r = row(Preset::T, 100.0, 90, 120);
-        r.per_workload
-            .push(("pingpong_semaphore", LatencyStats { count: 5, min: 90, max: 120, mean: 100.0 }));
+        r.per_workload.push((
+            "pingpong_semaphore",
+            LatencyStats {
+                count: 5,
+                min: 90,
+                max: 120,
+                mean: 100.0,
+            },
+        ));
         let b = workload_breakdown(&r);
         assert!(b.contains("pingpong_semaphore"));
     }

@@ -111,8 +111,7 @@ pub fn build(workload: &Workload, preset: Preset) -> Result<GuestImage, KernelEr
             // Three tasks contending on one mutex (the paper's power-
             // analysis workload, §6.3).
             k.mutex("m");
-            for (name, inner, outer) in
-                [("mx0", 150u32, 50u32), ("mx1", 90, 80), ("mx2", 120, 30)]
+            for (name, inner, outer) in [("mx0", 150u32, 50u32), ("mx1", 90, 80), ("mx2", 120, 30)]
             {
                 k.task(name, 4, move |t| {
                     t.mutex_lock("m");
@@ -206,7 +205,11 @@ mod tests {
         for w in ALL {
             for p in Preset::LATENCY_SET {
                 let img = build(&w, p).unwrap_or_else(|e| panic!("{}/{p}: {e}", w.name));
-                assert!(img.text_words() > 50, "{}: suspiciously small image", w.name);
+                assert!(
+                    img.text_words() > 50,
+                    "{}: suspiciously small image",
+                    w.name
+                );
             }
         }
     }

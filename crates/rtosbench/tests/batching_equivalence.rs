@@ -1,0 +1,103 @@
+//! Differential test for the batched execution path.
+//!
+//! `System::run` burns through quiescent stretches with the engine's
+//! `run_until`; `System::run_stepwise` is the cycle-by-cycle reference.
+//! The two must be cycle-exact: identical switch episodes (trigger, entry
+//! and `mret` timestamps), cycle counts, retirement counts and port
+//! occupancy, for every core model and unit preset — including the
+//! presets with background FSM activity (preloading, hardware
+//! scheduling, CV32RT snapshots) where batching must correctly fall back
+//! to per-cycle stepping.
+
+use rtosbench::workloads;
+use rtosunit::{Preset, System};
+use rvsim_cores::CoreKind;
+
+fn run_one(core: CoreKind, preset: Preset, workload: &str, stepwise: bool) -> System {
+    let w = workloads::by_name(workload).expect("workload exists");
+    let image = workloads::build(&w, preset).expect("workload builds");
+    let mut sys = System::new(core, preset);
+    image.install(&mut sys);
+    if w.ext_irq_interval > 0 {
+        let mut at = w.ext_irq_interval;
+        while at < w.run_cycles {
+            sys.schedule_external_irq(at);
+            at += w.ext_irq_interval;
+        }
+    }
+    if stepwise {
+        sys.run_stepwise(w.run_cycles);
+    } else {
+        sys.run(w.run_cycles);
+    }
+    sys
+}
+
+fn assert_equivalent(core: CoreKind, preset: Preset, workload: &str) {
+    let fast = run_one(core, preset, workload, false);
+    let slow = run_one(core, preset, workload, true);
+    let ctx = format!("{core:?}/{preset}/{workload}");
+    assert_eq!(
+        fast.records(),
+        slow.records(),
+        "{ctx}: switch episodes diverged"
+    );
+    assert_eq!(
+        fast.platform.cycle(),
+        slow.platform.cycle(),
+        "{ctx}: cycle counts diverged"
+    );
+    assert_eq!(
+        fast.core.retired(),
+        slow.core.retired(),
+        "{ctx}: retirement diverged"
+    );
+    assert_eq!(
+        fast.platform.port_occupancy(),
+        slow.platform.port_occupancy(),
+        "{ctx}: port occupancy diverged"
+    );
+    assert_eq!(
+        fast.platform.mmio.trace_marks, slow.platform.mmio.trace_marks,
+        "{ctx}: trace marks diverged"
+    );
+    assert_eq!(
+        fast.unit_stats(),
+        slow.unit_stats(),
+        "{ctx}: unit counters diverged"
+    );
+}
+
+#[test]
+fn batched_run_matches_stepwise_across_the_latency_matrix() {
+    // Workloads chosen to cover the interrupt sources: voluntary yields
+    // (MSIP), periodic ticks (MTIP) and external IRQs (MEIP).
+    for core in CoreKind::ALL {
+        for preset in [
+            Preset::Vanilla,
+            Preset::Cv32rt,
+            Preset::S,
+            Preset::Slt,
+            Preset::Split,
+        ] {
+            for workload in ["roundrobin_yield", "delay_periodic", "interrupt_latency"] {
+                assert_equivalent(core, preset, workload);
+            }
+        }
+    }
+}
+
+#[test]
+fn batched_run_matches_stepwise_for_remaining_presets() {
+    for preset in [
+        Preset::Sl,
+        Preset::T,
+        Preset::St,
+        Preset::Sdlo,
+        Preset::Sdlot,
+        Preset::SltHs,
+    ] {
+        assert_equivalent(CoreKind::Cv32e40p, preset, "pingpong_semaphore");
+        assert_equivalent(CoreKind::NaxRiscv, preset, "priority_chain");
+    }
+}

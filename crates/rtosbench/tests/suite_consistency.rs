@@ -33,7 +33,10 @@ fn priority_chain_produces_back_to_back_preemptions() {
         .iter()
         .filter(|rec| rec.cause == rvsim_isa::csr::CAUSE_SOFTWARE)
         .count();
-    assert!(yields > 20, "the chain must preempt repeatedly, got {yields}");
+    assert!(
+        yields > 20,
+        "the chain must preempt repeatedly, got {yields}"
+    );
 }
 
 #[test]
@@ -64,7 +67,11 @@ fn report_tables_render_all_rows() {
     assert!(table.contains("(SLT)"));
     let breakdown = rtosbench::report::workload_breakdown(&rows[0]);
     for w in workloads::ALL {
-        assert!(breakdown.contains(w.name), "missing {} in breakdown", w.name);
+        assert!(
+            breakdown.contains(w.name),
+            "missing {} in breakdown",
+            w.name
+        );
     }
 }
 

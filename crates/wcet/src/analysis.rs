@@ -58,10 +58,7 @@ impl Explorer<'_> {
     fn instr_cost(&self, i: &Instr, taken: bool) -> u64 {
         let p = &self.timing;
         u64::from(match i {
-            Instr::Branch { .. }
-                if taken => {
-                    1 + p.branch_penalty
-                }
+            Instr::Branch { .. } if taken => 1 + p.branch_penalty,
             Instr::Jal { .. } => 1 + p.jump_penalty,
             Instr::Jalr { .. } => 1 + p.jalr_penalty,
             Instr::Load { .. } => p.load_base_latency + 1,
@@ -98,14 +95,13 @@ impl Explorer<'_> {
             // FSM interaction stalls.
             if let Instr::Custom { op, .. } = instr {
                 match op {
-                    CustomOp::SwitchRf
-                        if self.unit.is_some_and(|u| u.store) => {
-                            let done = self.store_done(st.mem_ops);
-                            if done > st.cycles {
-                                st.stalls += done - st.cycles;
-                                st.cycles = done;
-                            }
+                    CustomOp::SwitchRf if self.unit.is_some_and(|u| u.store) => {
+                        let done = self.store_done(st.mem_ops);
+                        if done > st.cycles {
+                            st.stalls += done - st.cycles;
+                            st.cycles = done;
                         }
+                    }
                     CustomOp::GetHwSched => {
                         // Iterative sorting: a preceding list mutation
                         // (the entry tick or an ADD_READY on this path)
@@ -122,7 +118,11 @@ impl Explorer<'_> {
                     _ => {}
                 }
             }
-            if let Instr::Custom { op: CustomOp::GetHwSched, .. } = instr {
+            if let Instr::Custom {
+                op: CustomOp::GetHwSched,
+                ..
+            } = instr
+            {
                 st.t_announce = Some(st.cycles);
             }
 
@@ -260,7 +260,10 @@ pub fn analyze_preset(preset: Preset) -> WcetReport {
 
 /// The §6.2 table: WCET per configuration on CV32E40P.
 pub fn wcet_table() -> Vec<WcetReport> {
-    Preset::LATENCY_SET.iter().map(|p| analyze_preset(*p)).collect()
+    Preset::LATENCY_SET
+        .iter()
+        .map(|p| analyze_preset(*p))
+        .collect()
 }
 
 #[cfg(test)]
@@ -277,7 +280,10 @@ mod tests {
         assert!(sl < vanilla, "SL ({sl}) must be below vanilla ({vanilla})");
         assert!(t < sl, "T ({t}) must be far below SL ({sl})");
         assert!(slt < t, "SLT ({slt}) must be the smallest ({t})");
-        assert!(slt < 110, "SLT WCET must be close to the 62-cycle FSM bound, got {slt}");
+        assert!(
+            slt < 110,
+            "SLT WCET must be close to the 62-cycle FSM bound, got {slt}"
+        );
     }
 
     #[test]

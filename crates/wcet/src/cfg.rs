@@ -18,11 +18,11 @@ impl LoopBounds {
     pub fn paper_defaults() -> LoopBounds {
         LoopBounds {
             bounds: vec![
-                ("dtk_scan", 8),  // delay-list walk: 8 expiring tasks
-                ("sel_scan", 8),  // priority scan: NUM_PRIOS levels
-                ("evi_scan", 8),  // event-list insert scan
-                ("rrm_scan", 8),  // ready-queue removal scan
-                ("dli_scan", 8),  // delay-list insert scan
+                ("dtk_scan", 8), // delay-list walk: 8 expiring tasks
+                ("sel_scan", 8), // priority scan: NUM_PRIOS levels
+                ("evi_scan", 8), // event-list insert scan
+                ("rrm_scan", 8), // ready-queue removal scan
+                ("dli_scan", 8), // delay-list insert scan
             ],
             default_bound: 8,
         }
@@ -94,9 +94,7 @@ impl Cfg {
         match *self.at(pc) {
             Instr::Mret | Instr::Ebreak | Instr::Ecall => (None, None),
             Instr::Jal { offset, .. } => (None, Some(pc.wrapping_add(offset as u32))),
-            Instr::Branch { offset, .. } => {
-                (Some(pc + 4), Some(pc.wrapping_add(offset as u32)))
-            }
+            Instr::Branch { offset, .. } => (Some(pc + 4), Some(pc.wrapping_add(offset as u32))),
             Instr::Jalr { .. } => {
                 // The generated ISR is fully inlined: no indirect jumps.
                 panic!("indirect jump at {pc:#x} inside the ISR — not analysable")

@@ -4,9 +4,9 @@
 //!
 //! Run with: `cargo run --example quickstart`
 
+use rtosunit_suite::cores::CoreKind;
 use rtosunit_suite::kernel::KernelBuilder;
 use rtosunit_suite::unit::{Preset, System};
-use rtosunit_suite::cores::CoreKind;
 
 fn main() {
     // 1. Describe the application: two equal-priority tasks handing a

@@ -14,7 +14,14 @@ fn main() {
         "{:<10} {:>10} {:>12} {:>10} {:>14}",
         "config", "sw cycles", "fsm stalls", "WCET", "worst measured"
     );
-    for preset in [Preset::Vanilla, Preset::S, Preset::Sl, Preset::T, Preset::St, Preset::Slt] {
+    for preset in [
+        Preset::Vanilla,
+        Preset::S,
+        Preset::Sl,
+        Preset::T,
+        Preset::St,
+        Preset::Slt,
+    ] {
         let r = analyze_preset(preset);
         let measured = WORKLOADS
             .iter()

@@ -44,7 +44,8 @@ fn hardware_scheduling_slashes_jitter() {
     // §6.1: offloading scheduling alone reduces CV32E40P jitter by >90 %
     // (188 -> 16 cycles). Compare (T) to (vanilla) on the delay-heavy
     // workload that drives scheduler variability.
-    let (_, vanilla_jitter, _) = mean_latency(CoreKind::Cv32e40p, Preset::Vanilla, "delay_periodic");
+    let (_, vanilla_jitter, _) =
+        mean_latency(CoreKind::Cv32e40p, Preset::Vanilla, "delay_periodic");
     let (_, t_jitter, _) = mean_latency(CoreKind::Cv32e40p, Preset::T, "delay_periodic");
     assert!(
         t_jitter * 4 <= vanilla_jitter,
@@ -57,7 +58,10 @@ fn slt_virtually_eliminates_jitter_on_the_deterministic_core() {
     // §6.1/§7: jitter eliminated entirely on CV32E40P with (SLT).
     let (_, jitter, count) = mean_latency(CoreKind::Cv32e40p, Preset::Slt, "delay_periodic");
     assert!(count > 20);
-    assert!(jitter <= 16, "SLT jitter on CV32E40P should be near zero, got {jitter}");
+    assert!(
+        jitter <= 16,
+        "SLT jitter on CV32E40P should be near zero, got {jitter}"
+    );
 }
 
 #[test]
@@ -65,7 +69,10 @@ fn residual_jitter_remains_on_cached_speculative_cores() {
     // §6.1: "the remaining jitter is likely due to micro-architectural
     // features like caches and speculative execution".
     let (_, jitter, _) = mean_latency(CoreKind::NaxRiscv, Preset::Slt, "pingpong_semaphore");
-    assert!(jitter > 0, "NaxRiscv must keep some microarchitectural jitter");
+    assert!(
+        jitter > 0,
+        "NaxRiscv must keep some microarchitectural jitter"
+    );
 }
 
 #[test]
@@ -76,7 +83,10 @@ fn cv32rt_gains_are_modest_compared_to_s() {
         let (cv32rt, _, _) = mean_latency(kind, Preset::Cv32rt, "pingpong_semaphore");
         let (s, _, _) = mean_latency(kind, Preset::S, "pingpong_semaphore");
         assert!(cv32rt < vanilla, "{kind}: CV32RT must still beat vanilla");
-        assert!(s < cv32rt, "{kind}: (S) must beat CV32RT (full save overlapped)");
+        assert!(
+            s < cv32rt,
+            "{kind}: (S) must beat CV32RT (full save overlapped)"
+        );
     }
 }
 

@@ -34,7 +34,10 @@ fn switch_records_are_well_formed() {
     assert!(sys.records().len() > 10);
     let mut last_end = 0;
     for r in sys.records() {
-        assert!(r.trigger_cycle <= r.entry_cycle, "trigger after entry: {r:?}");
+        assert!(
+            r.trigger_cycle <= r.entry_cycle,
+            "trigger after entry: {r:?}"
+        );
         assert!(r.entry_cycle < r.mret_cycle, "entry after mret: {r:?}");
         assert!(r.entry_cycle >= last_end, "overlapping ISR episodes: {r:?}");
         last_end = r.mret_cycle;
@@ -92,7 +95,11 @@ fn unit_traffic_accounts_for_context_words() {
     image.install(&mut sys);
     sys.run(150_000);
     let u = sys.unit_stats().expect("unit");
-    assert_eq!(u.store_words, u.interrupts * 31, "store words per interrupt");
+    assert_eq!(
+        u.store_words,
+        u.interrupts * 31,
+        "store words per interrupt"
+    );
     // Loads may lag stores by at most one in-flight switch at shutdown.
     assert!(u.load_words <= u.store_words);
     assert!(u.store_words - u.load_words <= 31);
