@@ -16,4 +16,12 @@ cargo build --release
 echo "== cargo test (workspace)"
 cargo test -q --release --workspace
 
+echo "== trace_dump smoke test (emits + validates results/trace_dump.json)"
+# The binary re-parses its own Chrome trace-event output and asserts the
+# irq/entry/phase/mret/cache event vocabulary is present (panics if not).
+cargo run -q --release -p rtosunit-bench --bin trace_dump > /dev/null
+test -s results/trace_dump.json
+python3 -c "import json; json.load(open('results/trace_dump.json'))" 2>/dev/null \
+  || echo "   (python3 unavailable — relying on the binary's self-validation)"
+
 echo "CI OK"

@@ -1,0 +1,102 @@
+//! Dumps one fully-instrumented run as Chrome trace-event JSON.
+//!
+//! The run uses a phase-instrumented kernel (`build_traced`) on a cached
+//! core with event tracing enabled, so the trace carries the complete
+//! observability vocabulary: interrupt edges, ISR entries, kernel phase
+//! marks, `mret`s and cache activity. The artifact lands in
+//! `results/trace_dump.json`; open it at <https://ui.perfetto.dev> (or
+//! `chrome://tracing`) — see the Perfetto recipe in `EXPERIMENTS.md`.
+//!
+//! The binary re-parses its own output and asserts the required event
+//! kinds are present, so CI can use it as a smoke test.
+//!
+//! Usage: `trace_dump [workload]` (default: `delay_periodic`, a
+//! timer-driven workload).
+
+use rtosbench::json::Json;
+use rtosbench::workloads;
+use rtosunit::waterfall;
+use rtosunit::{Preset, System};
+use rtosunit_bench::chrome_trace::chrome_trace;
+use rvsim_cores::CoreKind;
+
+/// Cycle budget: enough for dozens of timer-driven episodes while the
+/// artifact stays a few hundred kilobytes.
+const RUN_CYCLES: u64 = 60_000;
+
+/// Event-ring capacity: comfortably above the event rate of the run so
+/// nothing is dropped.
+const TRACE_CAPACITY: usize = 1_000_000;
+
+fn main() {
+    let name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "delay_periodic".to_string());
+    let workload = workloads::by_name(&name)
+        .unwrap_or_else(|| panic!("unknown workload `{name}` (see workloads::ALL)"));
+    // A cached core so the trace shows cache hit/miss events; (SLT) so
+    // unit traffic shows up too.
+    let core = CoreKind::Cva6;
+    let preset = Preset::Slt;
+
+    let image = workloads::build_traced(&workload, preset).expect("workload builds");
+    let mut sys = System::new(core, preset);
+    image.install(&mut sys);
+    sys.enable_tracing(TRACE_CAPACITY);
+    if workload.ext_irq_interval > 0 {
+        let mut at = workload.ext_irq_interval;
+        while at < RUN_CYCLES {
+            sys.schedule_external_irq(at);
+            at += workload.ext_irq_interval;
+        }
+    }
+    sys.run(RUN_CYCLES);
+
+    let trace = sys.platform.take_trace().expect("tracing was enabled");
+    let episodes = waterfall::decompose(sys.records(), &sys.platform.mmio.trace_marks);
+    let label = format!("{}/{}/{}", core.name(), preset.label(), workload.name);
+    let doc = chrome_trace(&label, &trace, &episodes);
+    let rendered = doc.render();
+
+    // Self-validation: the artifact must be well-formed JSON and carry
+    // the full event vocabulary (CI smoke-tests exactly this).
+    let parsed = Json::parse(&rendered).expect("emitted trace is valid JSON");
+    let events = parsed
+        .get("traceEvents")
+        .and_then(Json::as_array)
+        .expect("traceEvents array present");
+    let names: Vec<&str> = events
+        .iter()
+        .filter_map(|e| e.get("name").and_then(Json::as_str))
+        .collect();
+    for required in [
+        "irq_raised",
+        "isr_entry",
+        "save_done",
+        "sched_done",
+        "mret",
+        "cache",
+    ] {
+        assert!(
+            names.contains(&required),
+            "trace is missing `{required}` events"
+        );
+    }
+
+    let dir = std::path::Path::new("results");
+    std::fs::create_dir_all(dir).expect("results dir");
+    let path = dir.join("trace_dump.json");
+    std::fs::write(&path, &rendered).expect("write artifact");
+
+    println!("# trace: {label}, {} cycles", RUN_CYCLES);
+    println!(
+        "# {} events ({} dropped), {} episodes, {} bytes -> {}",
+        events.len(),
+        trace.dropped(),
+        episodes.len(),
+        rendered.len(),
+        path.display()
+    );
+    println!("# open in https://ui.perfetto.dev (or chrome://tracing)");
+    print!("{}", waterfall::render(&episodes));
+}

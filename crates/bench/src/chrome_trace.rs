@@ -1,0 +1,263 @@
+//! Chrome trace-event JSON export — load the output in Perfetto
+//! (<https://ui.perfetto.dev>) or `chrome://tracing` to see switch
+//! episodes, ISR phases and microarchitectural events on one timeline.
+//!
+//! The converter maps one simulated cycle to one microsecond of trace
+//! time (Perfetto has no "cycles" unit; the scale is irrelevant for
+//! inspection). Three tracks are emitted:
+//!
+//! * `episodes` — one complete (`"X"`) slice per switch episode,
+//!   trigger→`mret`, named by interrupt cause,
+//! * `phases` — nested slices for the non-empty waterfall phases
+//!   (entry/save/sched/restore),
+//! * `events` — instant (`"i"`) markers for the typed [`TraceEvent`]s,
+//!   plus counter (`"C"`) series for cache hit/miss and unit traffic.
+
+use rtosbench::json::Json;
+use rtosunit::waterfall::{EpisodeWaterfall, PHASE_NAMES};
+use rtosunit::{EventTrace, TraceEvent};
+use rvsim_isa::csr;
+
+/// Process id used for every emitted event (one simulated system).
+const PID: u64 = 1;
+/// Track of whole switch episodes.
+const TID_EPISODES: u64 = 1;
+/// Track of waterfall phases.
+const TID_PHASES: u64 = 2;
+/// Track of instant events.
+const TID_EVENTS: u64 = 3;
+
+fn base(name: &str, ph: &str, tid: u64, ts: u64) -> Json {
+    Json::object()
+        .with("name", name)
+        .with("ph", ph)
+        .with("pid", PID)
+        .with("tid", tid)
+        .with("ts", ts)
+}
+
+fn complete(name: &str, tid: u64, ts: u64, dur: u64) -> Json {
+    base(name, "X", tid, ts).with("dur", dur)
+}
+
+fn instant(name: &str, ts: u64) -> Json {
+    base(name, "i", TID_EVENTS, ts).with("s", "t")
+}
+
+fn thread_name(tid: u64, name: &str) -> Json {
+    Json::object()
+        .with("name", "thread_name")
+        .with("ph", "M")
+        .with("pid", PID)
+        .with("tid", tid)
+        .with("args", Json::object().with("name", name))
+}
+
+fn cause_name(cause: u32) -> &'static str {
+    match cause {
+        csr::CAUSE_SOFTWARE => "switch (software)",
+        csr::CAUSE_TIMER => "switch (timer)",
+        csr::CAUSE_EXTERNAL => "switch (external)",
+        _ => "switch (other)",
+    }
+}
+
+/// Converts one traced run into a Chrome trace-event document.
+///
+/// `label` names the process in the viewer (e.g. `cva6/SLT/workload`).
+/// Ring-buffer truncation is surfaced as `otherData.dropped_events`.
+pub fn chrome_trace(label: &str, trace: &EventTrace, episodes: &[EpisodeWaterfall]) -> Json {
+    let mut events = vec![
+        Json::object()
+            .with("name", "process_name")
+            .with("ph", "M")
+            .with("pid", PID)
+            .with("args", Json::object().with("name", label)),
+        thread_name(TID_EPISODES, "episodes"),
+        thread_name(TID_PHASES, "phases"),
+        thread_name(TID_EVENTS, "events"),
+    ];
+
+    for e in episodes {
+        let b = e.boundaries();
+        events.push(
+            complete(
+                cause_name(e.record.cause),
+                TID_EPISODES,
+                b[0],
+                e.record.latency(),
+            )
+            .with(
+                "args",
+                Json::object()
+                    .with("cause", e.record.cause)
+                    .with("latency", e.record.latency()),
+            ),
+        );
+        for (i, name) in PHASE_NAMES.iter().enumerate() {
+            if e.phases[i] > 0 {
+                events.push(complete(name, TID_PHASES, b[i], e.phases[i]));
+            }
+        }
+    }
+
+    let (mut hits, mut misses) = (0u64, 0u64);
+    let (mut stores, mut loads) = (0u64, 0u64);
+    for (cycle, ev) in trace.iter() {
+        match ev {
+            TraceEvent::IrqRaised { cause } => events.push(
+                instant("irq_raised", cycle).with("args", Json::object().with("cause", cause)),
+            ),
+            TraceEvent::IsrEntry { cause } => events.push(
+                instant("isr_entry", cycle).with("args", Json::object().with("cause", cause)),
+            ),
+            TraceEvent::Phase(code) => events.push(instant(code.name(), cycle)),
+            TraceEvent::MretRetired => events.push(instant("mret", cycle)),
+            TraceEvent::GuestMark { value } => events.push(
+                instant("guest_mark", cycle).with("args", Json::object().with("value", value)),
+            ),
+            TraceEvent::Halted => events.push(instant("halted", cycle)),
+            TraceEvent::CacheAccess { hit, .. } => {
+                if hit {
+                    hits += 1;
+                } else {
+                    misses += 1;
+                }
+                events.push(base("cache", "C", 0, cycle).with(
+                    "args",
+                    Json::object().with("hits", hits).with("misses", misses),
+                ));
+            }
+            TraceEvent::UnitOp { write } => {
+                if write {
+                    stores += 1;
+                } else {
+                    loads += 1;
+                }
+                events.push(base("unit_words", "C", 0, cycle).with(
+                    "args",
+                    Json::object().with("stores", stores).with("loads", loads),
+                ));
+            }
+        }
+    }
+
+    Json::object()
+        .with("traceEvents", Json::Array(events))
+        .with("displayTimeUnit", "ns")
+        .with(
+            "otherData",
+            Json::object()
+                .with("schema", "rtosunit-chrome-trace-v1")
+                .with("label", label)
+                .with("cycles_per_us", 1u64)
+                .with("dropped_events", trace.dropped()),
+        )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtosunit::waterfall::decompose;
+    use rtosunit::{PhaseCode, SwitchRecord, TraceMark, TraceSink};
+
+    fn sample() -> (EventTrace, Vec<EpisodeWaterfall>) {
+        let mut t = EventTrace::new(64);
+        t.record(
+            100,
+            TraceEvent::IrqRaised {
+                cause: csr::CAUSE_TIMER,
+            },
+        );
+        t.record(
+            110,
+            TraceEvent::IsrEntry {
+                cause: csr::CAUSE_TIMER,
+            },
+        );
+        t.record(
+            115,
+            TraceEvent::CacheAccess {
+                hit: false,
+                write: false,
+            },
+        );
+        t.record(140, TraceEvent::Phase(PhaseCode::SaveDone));
+        t.record(170, TraceEvent::Phase(PhaseCode::SchedDone));
+        t.record(200, TraceEvent::MretRetired);
+        t.record(210, TraceEvent::UnitOp { write: true });
+        let records = [SwitchRecord {
+            trigger_cycle: 100,
+            entry_cycle: 110,
+            mret_cycle: 200,
+            cause: csr::CAUSE_TIMER,
+        }];
+        let marks = [
+            TraceMark {
+                cycle: 140,
+                code: PhaseCode::SaveDone.encode(),
+            },
+            TraceMark {
+                cycle: 170,
+                code: PhaseCode::SchedDone.encode(),
+            },
+        ];
+        (t, decompose(&records, &marks))
+    }
+
+    #[test]
+    fn document_is_valid_json_with_all_tracks() {
+        let (trace, episodes) = sample();
+        let doc = chrome_trace("test", &trace, &episodes);
+        let parsed = Json::parse(&doc.render()).expect("emitted JSON parses");
+        let events = parsed
+            .get("traceEvents")
+            .and_then(Json::as_array)
+            .expect("traceEvents array");
+        let names: Vec<&str> = events
+            .iter()
+            .filter_map(|e| e.get("name").and_then(Json::as_str))
+            .collect();
+        for required in [
+            "irq_raised",
+            "isr_entry",
+            "save_done",
+            "sched_done",
+            "mret",
+            "cache",
+            "unit_words",
+            "switch (timer)",
+            "entry",
+            "save",
+            "sched",
+            "restore",
+        ] {
+            assert!(names.contains(&required), "missing `{required}`: {names:?}");
+        }
+        // Every phase slice must carry a duration and land inside the
+        // episode span.
+        for e in events {
+            if e.get("ph").and_then(Json::as_str) == Some("X") {
+                assert!(e.get("dur").and_then(Json::as_u64).is_some());
+            }
+        }
+    }
+
+    #[test]
+    fn phase_slices_tile_the_episode() {
+        let (trace, episodes) = sample();
+        let doc = chrome_trace("test", &trace, &episodes);
+        let rendered = doc.render();
+        let parsed = Json::parse(&rendered).expect("parses");
+        let events = parsed.get("traceEvents").and_then(Json::as_array).unwrap();
+        let phase_dur: u64 = events
+            .iter()
+            .filter(|e| {
+                e.get("tid").and_then(Json::as_u64) == Some(TID_PHASES)
+                    && e.get("ph").and_then(Json::as_str) == Some("X")
+            })
+            .filter_map(|e| e.get("dur").and_then(Json::as_u64))
+            .sum();
+        assert_eq!(phase_dur, episodes[0].record.latency());
+    }
+}

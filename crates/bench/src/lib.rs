@@ -4,6 +4,7 @@
 //! per-experiment index in `DESIGN.md` and the recorded results in
 //! `EXPERIMENTS.md`.
 
+pub mod chrome_trace;
 pub mod harness;
 
 use rtosunit::Preset;

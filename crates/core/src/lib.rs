@@ -37,6 +37,7 @@
 pub mod config;
 pub mod ctxqueue;
 pub mod cv32rt;
+pub mod events;
 pub mod layout;
 pub mod platform;
 pub mod scheduler;
@@ -44,11 +45,14 @@ pub mod stats;
 pub mod system;
 pub mod trace;
 pub mod unit;
+pub mod waterfall;
 
 pub use config::{ConfigError, Preset, RtosUnitConfig};
 pub use cv32rt::Cv32rtUnit;
+pub use events::{EventTrace, PhaseCode, TraceEvent, TraceMark, TraceSink};
 pub use platform::{Mmio, Platform};
 pub use scheduler::{HwScheduler, SchedEntry};
 pub use stats::{LatencyStats, SwitchRecord};
 pub use system::System;
 pub use unit::{RtosUnit, UnitStats};
+pub use waterfall::EpisodeWaterfall;

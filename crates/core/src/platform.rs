@@ -14,6 +14,7 @@
 //!   also warm the cache for the core.
 
 use crate::ctxqueue::CtxQueue;
+use crate::events::{EventTrace, PhaseCode, TraceEvent, TraceMark, TraceSink};
 use crate::layout::*;
 use rvsim_cores::engine::{BusResponse, DataBus};
 use rvsim_cores::CoreKind;
@@ -44,8 +45,8 @@ pub struct Mmio {
     /// so any precomputed quiescence horizon is stale. Consumed (cleared)
     /// by [`DataBus::take_attention`] during batched execution.
     attention: bool,
-    /// `(cycle, value)` pairs from TRACE writes.
-    pub trace_marks: Vec<(u64, u32)>,
+    /// Typed TRACE writes: benchmark marks and kernel phase marks.
+    pub trace_marks: Vec<TraceMark>,
     /// Values written to the console register.
     pub console: Vec<u32>,
 }
@@ -125,7 +126,7 @@ impl Mmio {
                 self.halted = true;
                 self.attention = true;
             }
-            MMIO_TRACE => self.trace_marks.push((cycle, value)),
+            MMIO_TRACE => self.trace_marks.push(TraceMark { cycle, code: value }),
             _ => {}
         }
     }
@@ -150,6 +151,9 @@ pub struct Platform {
     cycle: u64,
     /// MMIO devices.
     pub mmio: Mmio,
+    /// Event sink; `None` (the default) makes every record site a single
+    /// `Option` check and nothing else.
+    trace: Option<EventTrace>,
 }
 
 impl Platform {
@@ -166,6 +170,30 @@ impl Platform {
             core_used_this_cycle: false,
             cycle: 0,
             mmio: Mmio::new(timer_period),
+            trace: None,
+        }
+    }
+
+    /// Enables event tracing with a ring retaining the most recent
+    /// `capacity` events. Off by default.
+    pub fn enable_tracing(&mut self, capacity: usize) {
+        self.trace = Some(EventTrace::new(capacity));
+    }
+
+    /// The event trace, when tracing is enabled.
+    pub fn trace(&self) -> Option<&EventTrace> {
+        self.trace.as_ref()
+    }
+
+    /// Takes the trace out (disabling further tracing).
+    pub fn take_trace(&mut self) -> Option<EventTrace> {
+        self.trace.take()
+    }
+
+    /// Records an event at the current cycle when tracing is enabled.
+    pub(crate) fn record(&mut self, event: TraceEvent) {
+        if let Some(t) = self.trace.as_mut() {
+            t.record(self.cycle, event);
         }
     }
 
@@ -241,6 +269,16 @@ impl DataBus for Platform {
             return match write {
                 Some(v) => {
                     self.mmio.write(addr, v, self.cycle);
+                    if self.trace.is_some() {
+                        match addr & !0x3 {
+                            MMIO_TRACE => self.record(match PhaseCode::decode(v) {
+                                Some(p) => TraceEvent::Phase(p),
+                                None => TraceEvent::GuestMark { value: v },
+                            }),
+                            MMIO_HALT => self.record(TraceEvent::Halted),
+                            _ => {}
+                        }
+                    }
                     BusResponse {
                         data: 0,
                         extra_latency: 0,
@@ -265,6 +303,12 @@ impl DataBus for Platform {
             Some(cache) => {
                 let out = cache.access(addr, write.is_some());
                 self.bus_busy = self.bus_busy.max(out.bus_cycles);
+                if self.trace.is_some() {
+                    self.record(TraceEvent::CacheAccess {
+                        hit: out.hit,
+                        write: write.is_some(),
+                    });
+                }
                 let extra = if write.is_some() {
                     out.latency.saturating_sub(1)
                 } else {
@@ -316,6 +360,11 @@ impl DataBus for Platform {
             }
             None => self.dmem.read_word(addr),
         };
+        if self.trace.is_some() {
+            self.record(TraceEvent::UnitOp {
+                write: write.is_some(),
+            });
+        }
         Some(data)
     }
 
@@ -468,7 +517,40 @@ mod tests {
         p.core_access(MMIO_HALT, AccessSize::Word, Some(1));
         assert!(p.mmio.halted);
         assert_eq!(p.mmio.console, vec![42]);
-        assert_eq!(p.mmio.trace_marks, vec![(1, 7)]);
+        assert_eq!(p.mmio.trace_marks, vec![TraceMark { cycle: 1, code: 7 }]);
+    }
+
+    #[test]
+    fn tracing_records_typed_events_when_enabled() {
+        let mut p = Platform::new(CoreKind::Cva6, 1000);
+        assert!(p.trace().is_none(), "tracing defaults off");
+        p.enable_tracing(64);
+        p.begin_cycle();
+        p.core_access(DMEM_BASE, AccessSize::Word, None); // miss
+        p.begin_cycle();
+        p.core_access(DMEM_BASE, AccessSize::Word, None); // hit
+        p.core_access(MMIO_TRACE, AccessSize::Word, Some(0xE1));
+        p.core_access(
+            MMIO_TRACE,
+            AccessSize::Word,
+            Some(PhaseCode::SaveDone.encode()),
+        );
+        p.core_access(MMIO_HALT, AccessSize::Word, Some(1));
+        let t = p.take_trace().expect("trace present");
+        let kinds: Vec<&str> = t.iter().map(|(_, e)| e.kind()).collect();
+        assert_eq!(
+            kinds,
+            vec!["cache", "cache", "guest_mark", "phase", "halted"]
+        );
+        let hits: Vec<bool> = t
+            .of_kind("cache")
+            .map(|(_, e)| match e {
+                TraceEvent::CacheAccess { hit, .. } => hit,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(hits, vec![false, true]);
+        assert!(p.trace().is_none(), "take_trace disables tracing");
     }
 
     #[test]

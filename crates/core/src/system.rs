@@ -3,6 +3,7 @@
 
 use crate::config::{Preset, RtosUnitConfig};
 use crate::cv32rt::Cv32rtUnit;
+use crate::events::TraceEvent;
 use crate::layout::{IMEM_BASE, IMEM_SIZE};
 use crate::platform::Platform;
 use crate::stats::{LatencyStats, SwitchRecord};
@@ -199,6 +200,13 @@ impl System {
         self.core.halted() || self.platform.mmio.halted
     }
 
+    /// Enables typed event tracing with a ring of `capacity` events (see
+    /// [`Platform::enable_tracing`]). Off by default; retrieve the trace
+    /// through `self.platform.trace()` / `take_trace()`.
+    pub fn enable_tracing(&mut self, capacity: usize) {
+        self.platform.enable_tracing(capacity);
+    }
+
     /// Advances the system by one cycle.
     pub fn step(&mut self) {
         self.platform.begin_cycle();
@@ -219,6 +227,7 @@ impl System {
         ] {
             if rising & bit != 0 {
                 self.pending_triggers[cause_slot(cause)] = Some(now);
+                self.platform.record(TraceEvent::IrqRaised { cause });
             }
         }
         self.prev_mask = mask;
@@ -231,11 +240,13 @@ impl System {
                     .take()
                     .unwrap_or(now);
                 self.open_episode = Some((trigger, now, cause));
+                self.platform.record(TraceEvent::IsrEntry { cause });
                 if cause == csr::CAUSE_TIMER && self.platform.mmio.auto_timer_reset {
                     self.platform.auto_reset_timer();
                 }
             }
             Some(CoreEvent::MretRetired) => {
+                self.platform.record(TraceEvent::MretRetired);
                 if let Some((trigger, entry, cause)) = self.open_episode.take() {
                     self.records.push(SwitchRecord {
                         trigger_cycle: trigger,
@@ -318,11 +329,13 @@ impl System {
                         .take()
                         .unwrap_or(now);
                     self.open_episode = Some((trigger, now, cause));
+                    self.platform.record(TraceEvent::IsrEntry { cause });
                     if cause == csr::CAUSE_TIMER && self.platform.mmio.auto_timer_reset {
                         self.platform.auto_reset_timer();
                     }
                 }
                 Some(CoreEvent::MretRetired) => {
+                    self.platform.record(TraceEvent::MretRetired);
                     if let Some((trigger, entry, cause)) = self.open_episode.take() {
                         self.records.push(SwitchRecord {
                             trigger_cycle: trigger,
@@ -441,7 +454,7 @@ mod tests {
         sys.load_program(&a.finish().expect("assemble"));
         sys.run(1000);
         assert_eq!(sys.platform.mmio.trace_marks.len(), 1);
-        assert_eq!(sys.platform.mmio.trace_marks[0].1, 11);
+        assert_eq!(sys.platform.mmio.trace_marks[0].code, 11);
     }
 
     #[test]

@@ -54,10 +54,17 @@ pub fn render_timeline(records: &[SwitchRecord], total_cycles: u64, width: usize
     }
     let mut cols = vec!['.'; width];
     let scale = |cycle: u64| -> usize {
-        (((cycle as u128) * (width as u128) / (total_cycles as u128)) as usize).min(width - 1)
+        // Clamp in u128 *before* narrowing: a past-horizon cycle could
+        // otherwise wrap the cast and land anywhere in the row.
+        let raw = (cycle as u128) * (width as u128) / (total_cycles as u128);
+        raw.min((width - 1) as u128) as usize
     };
     for r in records {
-        for c in &mut cols[scale(r.entry_cycle)..=scale(r.mret_cycle.min(total_cycles))] {
+        // Clamp both endpoints into the row and keep start <= end, so
+        // past-horizon or inverted records degrade instead of panicking.
+        let start = scale(r.entry_cycle);
+        let end = scale(r.mret_cycle.min(total_cycles)).max(start);
+        for c in &mut cols[start..=end] {
             *c = '#';
         }
     }
@@ -140,6 +147,22 @@ mod tests {
         assert_eq!(&t[2..=4], "###");
         assert_eq!(t.as_bytes()[1], b'^');
         assert!(t.starts_with('.'));
+    }
+
+    #[test]
+    fn timeline_tolerates_past_horizon_records() {
+        // Regression: an episode past the analysis horizon used to make
+        // the slice range start > end and panic.
+        let records = vec![
+            rec(900, 1500, 1600, csr::CAUSE_TIMER),
+            rec(0, u64::MAX - 7, u64::MAX, csr::CAUSE_TIMER),
+        ];
+        let t = render_timeline(&records, 1000, 10);
+        assert_eq!(t.len(), 10);
+        assert_eq!(t.as_bytes()[9], b'#', "clamped to the last column");
+        // Inverted record (mret before entry) degrades rather than panics.
+        let bad = vec![rec(0, 700, 300, csr::CAUSE_TIMER)];
+        assert_eq!(render_timeline(&bad, 1000, 10).len(), 10);
     }
 
     #[test]

@@ -1,0 +1,281 @@
+//! Latency waterfalls: per-phase decomposition of switch episodes.
+//!
+//! The paper's Fig. 9 reports *total* trigger→`mret` latency; its analysis
+//! sections explain the totals by where the cycles go — entry stall,
+//! context save, scheduling, restore. This module reproduces that
+//! breakdown: each [`SwitchRecord`] is split into four phases using the
+//! hardware-visible trigger/entry/`mret` timestamps plus the typed
+//! [`PhaseCode`] marks the instrumented kernel emits
+//! (see [`events`](crate::events)):
+//!
+//! ```text
+//! trigger ──entry──▶ isr ──save──▶ SaveDone ──sched──▶ SchedDone ──restore──▶ mret
+//! ```
+//!
+//! Phase boundaries are clamped into the episode window, so the phase
+//! durations always partition the episode exactly:
+//! `sum(phases) == record.latency()`. Missing marks collapse their phase
+//! to zero width (e.g. an uninstrumented kernel yields
+//! `entry + sched` only).
+
+use crate::events::{PhaseCode, TraceMark};
+use crate::stats::{LatencyStats, SwitchRecord};
+
+/// Number of waterfall phases.
+pub const PHASE_COUNT: usize = 4;
+
+/// Phase names, in episode order (stable; used in artifacts).
+pub const PHASE_NAMES: [&str; PHASE_COUNT] = ["entry", "save", "sched", "restore"];
+
+/// One decomposed switch episode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EpisodeWaterfall {
+    /// The underlying episode.
+    pub record: SwitchRecord,
+    /// Phase durations in cycles, [`PHASE_NAMES`] order. Their sum equals
+    /// [`SwitchRecord::latency`] exactly.
+    pub phases: [u64; PHASE_COUNT],
+}
+
+impl EpisodeWaterfall {
+    /// Absolute cycle of each phase boundary: `[trigger, entry, save_done,
+    /// sched_done, mret]` (clamped boundaries for missing marks).
+    pub fn boundaries(&self) -> [u64; PHASE_COUNT + 1] {
+        let mut b = [self.record.trigger_cycle; PHASE_COUNT + 1];
+        for (i, d) in self.phases.iter().enumerate() {
+            b[i + 1] = b[i] + d;
+        }
+        b
+    }
+}
+
+/// Decomposes episodes into waterfalls using the phase marks of one run.
+///
+/// Marks are matched to the first episode window (`entry..=mret`) that
+/// contains them, in mark order; out-of-order or duplicate marks are
+/// tolerated (the first of each code inside the window wins) and marks
+/// past the last episode are ignored.
+pub fn decompose(records: &[SwitchRecord], marks: &[TraceMark]) -> Vec<EpisodeWaterfall> {
+    // Only phase marks matter; sort once so scanning a window is cheap
+    // even when the source was out of order.
+    let mut phase_marks: Vec<(u64, PhaseCode)> = marks
+        .iter()
+        .filter_map(|m| m.phase().map(|p| (m.cycle, p)))
+        .collect();
+    phase_marks.sort_by_key(|&(cycle, _)| cycle);
+
+    records
+        .iter()
+        .map(|r| {
+            let lo = r.entry_cycle.min(r.mret_cycle);
+            let hi = r.mret_cycle.max(r.entry_cycle);
+            let in_window = phase_marks
+                .iter()
+                .skip_while(|&&(c, _)| c < lo)
+                .take_while(|&&(c, _)| c <= hi);
+            let mut save_done = None;
+            let mut sched_done = None;
+            for &(cycle, code) in in_window {
+                match code {
+                    PhaseCode::SaveDone if save_done.is_none() => save_done = Some(cycle),
+                    PhaseCode::SchedDone if sched_done.is_none() => sched_done = Some(cycle),
+                    _ => {}
+                }
+            }
+            // Clamped boundaries: b1 <= b2 <= b3 <= mret by construction,
+            // so the four phase durations partition the episode exactly.
+            let b1 = lo;
+            let b2 = save_done.unwrap_or(b1).clamp(b1, hi);
+            let b3 = sched_done.unwrap_or(hi).clamp(b2, hi);
+            EpisodeWaterfall {
+                record: *r,
+                phases: [
+                    lo.saturating_sub(r.trigger_cycle),
+                    b2 - b1,
+                    b3 - b2,
+                    hi - b3,
+                ],
+            }
+        })
+        .collect()
+}
+
+/// Per-phase latency statistics over a set of decomposed episodes, in
+/// [`PHASE_NAMES`] order. Empty input yields an empty vector.
+pub fn phase_stats(episodes: &[EpisodeWaterfall]) -> Vec<(&'static str, LatencyStats)> {
+    if episodes.is_empty() {
+        return Vec::new();
+    }
+    PHASE_NAMES
+        .iter()
+        .enumerate()
+        .filter_map(|(i, name)| {
+            let durations: Vec<u64> = episodes.iter().map(|e| e.phases[i]).collect();
+            LatencyStats::from_latencies(&durations).map(|s| (*name, s))
+        })
+        .collect()
+}
+
+/// Renders the mean per-phase breakdown as an ASCII waterfall table —
+/// the textual form of the paper's cycle-attribution analysis.
+pub fn render(episodes: &[EpisodeWaterfall]) -> String {
+    let stats = phase_stats(episodes);
+    let total_mean: f64 = stats.iter().map(|(_, s)| s.mean).sum();
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<10} {:>8} {:>6} {:>6} {:>6}  share\n",
+        "phase", "mean", "min", "max", "jitter"
+    ));
+    for (name, s) in &stats {
+        let share = if total_mean > 0.0 {
+            s.mean / total_mean
+        } else {
+            0.0
+        };
+        let bar_len = (share * 30.0).round() as usize;
+        out.push_str(&format!(
+            "{:<10} {:>8.1} {:>6} {:>6} {:>6}  {}\n",
+            name,
+            s.mean,
+            s.min,
+            s.max,
+            s.jitter(),
+            "#".repeat(bar_len),
+        ));
+    }
+    out.push_str(&format!(
+        "{:<10} {:>8.1}  ({} episodes)\n",
+        "total",
+        total_mean,
+        episodes.len()
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rvsim_isa::csr;
+
+    fn rec(trigger: u64, entry: u64, mret: u64) -> SwitchRecord {
+        SwitchRecord {
+            trigger_cycle: trigger,
+            entry_cycle: entry,
+            mret_cycle: mret,
+            cause: csr::CAUSE_TIMER,
+        }
+    }
+
+    fn mark(cycle: u64, code: PhaseCode) -> TraceMark {
+        TraceMark {
+            cycle,
+            code: code.encode(),
+        }
+    }
+
+    #[test]
+    fn full_marks_split_into_four_phases() {
+        let records = [rec(100, 110, 200)];
+        let marks = [
+            mark(140, PhaseCode::SaveDone),
+            mark(170, PhaseCode::SchedDone),
+        ];
+        let w = decompose(&records, &marks);
+        assert_eq!(w[0].phases, [10, 30, 30, 30]);
+        assert_eq!(w[0].phases.iter().sum::<u64>(), records[0].latency());
+        assert_eq!(w[0].boundaries(), [100, 110, 140, 170, 200]);
+    }
+
+    #[test]
+    fn missing_marks_collapse_phases() {
+        // No marks at all: everything between entry and mret lands in the
+        // sched phase; save and restore are zero-width.
+        let records = [rec(0, 5, 80)];
+        let w = decompose(&records, &[]);
+        assert_eq!(w[0].phases, [5, 0, 75, 0]);
+        assert_eq!(w[0].phases.iter().sum::<u64>(), records[0].latency());
+        // Only SchedDone (banked kernels may skip SaveDone).
+        let w = decompose(&records, &[mark(60, PhaseCode::SchedDone)]);
+        assert_eq!(w[0].phases, [5, 0, 55, 20]);
+    }
+
+    #[test]
+    fn out_of_order_and_duplicate_marks_are_tolerated() {
+        let records = [rec(0, 10, 100)];
+        // SchedDone before SaveDone in the source slice, plus a duplicate
+        // SaveDone: first-of-each-code (by cycle) wins.
+        let marks = [
+            mark(70, PhaseCode::SchedDone),
+            mark(30, PhaseCode::SaveDone),
+            mark(50, PhaseCode::SaveDone),
+        ];
+        let w = decompose(&records, &marks);
+        assert_eq!(w[0].phases, [10, 20, 40, 30]);
+    }
+
+    #[test]
+    fn sched_mark_before_save_mark_clamps_monotonically() {
+        // A SchedDone that precedes the (first) SaveDone is clamped so the
+        // boundaries stay ordered and the sum stays exact.
+        let records = [rec(0, 10, 100)];
+        let marks = [
+            mark(30, PhaseCode::SchedDone),
+            mark(60, PhaseCode::SaveDone),
+        ];
+        let w = decompose(&records, &marks);
+        assert_eq!(w[0].phases.iter().sum::<u64>(), 100);
+        let b = w[0].boundaries();
+        assert!(b.windows(2).all(|p| p[0] <= p[1]), "boundaries {b:?}");
+    }
+
+    #[test]
+    fn marks_outside_the_window_are_ignored() {
+        let records = [rec(100, 110, 200)];
+        let marks = [
+            mark(50, PhaseCode::SaveDone),   // before the episode
+            mark(150, PhaseCode::SaveDone),  // inside
+            mark(999, PhaseCode::SchedDone), // past the horizon
+        ];
+        let w = decompose(&records, &marks);
+        assert_eq!(w[0].phases, [10, 40, 50, 0]);
+    }
+
+    #[test]
+    fn overlapping_episodes_each_claim_their_marks() {
+        // Two episodes sharing a stretch of cycles (cannot happen in a
+        // real run, but the analysis must not panic or mis-assign).
+        let records = [rec(0, 10, 100), rec(50, 60, 150)];
+        let marks = [
+            mark(70, PhaseCode::SaveDone),
+            mark(120, PhaseCode::SchedDone),
+        ];
+        let w = decompose(&records, &marks);
+        for e in &w {
+            assert_eq!(e.phases.iter().sum::<u64>(), e.record.latency());
+        }
+        assert_eq!(w[0].phases[1], 60); // mark 70 inside episode 0
+        assert_eq!(w[1].phases[1], 10); // and inside episode 1
+    }
+
+    #[test]
+    fn phase_stats_aggregate_per_phase() {
+        let records = [rec(0, 10, 100), rec(200, 220, 300)];
+        let marks = [
+            mark(40, PhaseCode::SaveDone),
+            mark(70, PhaseCode::SchedDone),
+            mark(240, PhaseCode::SaveDone),
+            mark(280, PhaseCode::SchedDone),
+        ];
+        let w = decompose(&records, &marks);
+        let stats = phase_stats(&w);
+        assert_eq!(stats.len(), PHASE_COUNT);
+        assert_eq!(stats[0].0, "entry");
+        assert_eq!(stats[0].1.min, 10);
+        assert_eq!(stats[0].1.max, 20);
+        assert!(phase_stats(&[]).is_empty());
+        let rendered = render(&w);
+        assert!(rendered.contains("entry"));
+        assert!(rendered.contains("restore"));
+        assert!(rendered.contains("2 episodes"));
+    }
+}

@@ -1,0 +1,123 @@
+//! Property tests for the switch-episode analyses: per-cause statistics,
+//! ISR overhead, timeline rendering and waterfall reconstruction must
+//! tolerate overlapping, out-of-order and past-horizon records without
+//! panicking or losing cycles.
+
+#![cfg(feature = "proptest")]
+// Default-off: requires the external `proptest` crate (network). See the
+// crate's Cargo.toml for how to enable.
+
+use proptest::prelude::*;
+use rtosunit::waterfall;
+use rtosunit::{trace, PhaseCode, SwitchRecord, TraceMark};
+use rvsim_isa::csr;
+
+/// Well-formed episodes (`trigger <= entry <= mret`, as the simulator
+/// guarantees) at arbitrary positions — including far past any analysis
+/// horizon — so consecutive records may overlap arbitrarily.
+fn arb_record() -> impl Strategy<Value = SwitchRecord> {
+    (
+        0u64..2_000_000,
+        0u64..500,
+        1u64..5_000,
+        prop_oneof![
+            Just(csr::CAUSE_TIMER),
+            Just(csr::CAUSE_SOFTWARE),
+            Just(csr::CAUSE_EXTERNAL),
+            Just(0xdead_u32),
+        ],
+    )
+        .prop_map(|(trigger, entry_delay, isr_len, cause)| SwitchRecord {
+            trigger_cycle: trigger,
+            entry_cycle: trigger + entry_delay,
+            mret_cycle: trigger + entry_delay + isr_len,
+            cause,
+        })
+}
+
+/// Trace marks anywhere on the timeline: kernel phase codes mixed with
+/// plain benchmark marks, unsorted and with duplicates.
+fn arb_marks() -> impl Strategy<Value = Vec<TraceMark>> {
+    proptest::collection::vec(
+        (
+            0u64..2_200_000,
+            prop_oneof![
+                Just(PhaseCode::SaveDone.encode()),
+                Just(PhaseCode::SchedDone.encode()),
+                0u32..100,
+            ],
+        )
+            .prop_map(|(cycle, code)| TraceMark { cycle, code }),
+        0..40,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn per_cause_stats_are_internally_consistent(
+        records in proptest::collection::vec(arb_record(), 0..50)
+    ) {
+        let stats = trace::per_cause_stats(&records);
+        let known = records
+            .iter()
+            .filter(|r| trace::cause_name(r.cause) != "unknown")
+            .count();
+        prop_assert_eq!(stats.iter().map(|(_, s)| s.count).sum::<usize>(), known);
+        for (name, s) in stats {
+            prop_assert!(s.count > 0, "{} listed with no episodes", name);
+            prop_assert!(s.min <= s.max);
+            prop_assert!(s.mean >= s.min as f64 && s.mean <= s.max as f64);
+            prop_assert_eq!(s.jitter(), s.max - s.min);
+        }
+    }
+
+    #[test]
+    fn isr_overhead_is_finite_and_non_negative(
+        records in proptest::collection::vec(arb_record(), 0..50),
+        total in 1u64..3_000_000,
+    ) {
+        let ov = trace::isr_overhead(&records, total);
+        prop_assert!(ov.is_finite());
+        prop_assert!(ov >= 0.0);
+        prop_assert_eq!(trace::isr_overhead(&records, 0), 0.0);
+    }
+
+    #[test]
+    fn timeline_never_panics_and_keeps_its_width(
+        records in proptest::collection::vec(arb_record(), 0..50),
+        total in 1u64..1_000_000,
+        width in 1usize..200,
+    ) {
+        // Records can lie entirely past `total` — the regression case.
+        let t = trace::render_timeline(&records, total, width);
+        prop_assert_eq!(t.chars().count(), width);
+        prop_assert!(t.chars().all(|c| matches!(c, '.' | '#' | '^')));
+    }
+
+    #[test]
+    fn waterfall_partitions_every_episode(
+        records in proptest::collection::vec(arb_record(), 0..50),
+        marks in arb_marks(),
+    ) {
+        let episodes = waterfall::decompose(&records, &marks);
+        prop_assert_eq!(episodes.len(), records.len());
+        for e in &episodes {
+            prop_assert_eq!(
+                e.phases.iter().sum::<u64>(),
+                e.record.latency(),
+                "phases must sum to the latency: {:?}", e
+            );
+            let b = e.boundaries();
+            prop_assert!(b.windows(2).all(|p| p[0] <= p[1]), "boundaries {:?}", b);
+            prop_assert_eq!(b[0], e.record.trigger_cycle);
+            prop_assert_eq!(b[4], e.record.mret_cycle);
+        }
+        // Aggregation must cover all phases present.
+        let stats = waterfall::phase_stats(&episodes);
+        if !episodes.is_empty() {
+            prop_assert_eq!(stats.len(), waterfall::PHASE_COUNT);
+        }
+    }
+}

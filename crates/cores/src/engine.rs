@@ -8,6 +8,7 @@
 //! (separate fetch port — the data port belongs to the [`DataBus`]).
 
 use crate::coproc::Coprocessor;
+use crate::counters::CoreCounters;
 use crate::exec::{execute, MemRequest};
 use crate::state::ArchState;
 use crate::timing::TimingParams;
@@ -174,6 +175,7 @@ pub struct CoreEngine {
     predictor: Vec<u8>,
     trace: VecDeque<(u64, u32)>,
     trace_depth: usize,
+    counters: CoreCounters,
 }
 
 impl std::fmt::Debug for CoreEngine {
@@ -206,6 +208,7 @@ impl CoreEngine {
             predictor: vec![1; 256],
             trace: VecDeque::new(),
             trace_depth: 64,
+            counters: CoreCounters::default(),
         }
     }
 
@@ -265,11 +268,20 @@ impl CoreEngine {
         self.trace.iter().copied()
     }
 
+    /// Snapshot of the activity counters. Stall cycles are attributed at
+    /// issue time, so the snapshot is identical whether the engine ran
+    /// per-cycle or through batched [`run_until`](Self::run_until).
+    pub fn counters(&self) -> CoreCounters {
+        self.counters
+    }
+
     fn fetch(&mut self, pc: u32) -> Instr {
         let idx = ((pc - self.imem.base()) / 4) as usize;
         if let Some(Some(i)) = self.decoded.get(idx) {
+            self.counters.decode_hits += 1;
             return *i;
         }
+        self.counters.decode_misses += 1;
         let word = self.imem.read_word(pc);
         let instr = decode(word).unwrap_or_else(|e| {
             let mut dump = String::new();
@@ -367,6 +379,7 @@ impl CoreEngine {
             if self.state.csrs.mip & self.state.csrs.mie != 0 {
                 self.wfi_wait = false;
             } else {
+                self.counters.wfi_cycles += 1;
                 return out;
             }
         }
@@ -378,6 +391,7 @@ impl CoreEngine {
                 self.state.pc = target;
                 coproc.on_interrupt_entry(&mut self.state, cause);
                 self.busy = self.params.irq_entry_latency.saturating_sub(1);
+                self.counters.stall_irq_entry += u64::from(self.busy);
                 out.event = Some(CoreEvent::InterruptEntered { cause });
                 return out;
             }
@@ -393,10 +407,12 @@ impl CoreEngine {
             // Coprocessor stalls gate issue.
             if let Instr::Custom { op, .. } = instr {
                 if coproc.custom_stall(op) {
+                    self.counters.stall_coproc += 1;
                     return out;
                 }
             }
             if matches!(instr, Instr::Mret) && coproc.mret_stall() {
+                self.counters.stall_coproc += 1;
                 return out;
             }
 
@@ -469,6 +485,7 @@ impl CoreEngine {
             }
             if outcome.is_mret {
                 self.busy = latency.saturating_sub(1);
+                self.counters.stall_mret += u64::from(self.busy);
                 if self.busy == 0 {
                     coproc.on_mret(&mut self.state);
                     out.event = Some(CoreEvent::MretRetired);
@@ -487,12 +504,26 @@ impl CoreEngine {
                         .is_some_and(|rd| next.sources().iter().flatten().any(|s| *s == rd));
                     if Self::is_simple(&next) && !raw_hazard {
                         paired = true;
+                        self.counters.issued_pairs += 1;
                         continue;
                     }
                 }
             }
 
             self.busy = latency.saturating_sub(1);
+            // Issue-time stall attribution: the drain length is fully
+            // decided here, so the batched path (which bulk-skips the
+            // drain) ends up with identical counters.
+            let stall = u64::from(self.busy);
+            if stall > 0 {
+                match instr {
+                    Instr::Load { .. } | Instr::Store { .. } => self.counters.stall_mem += stall,
+                    Instr::Branch { .. } | Instr::Jal { .. } | Instr::Jalr { .. } => {
+                        self.counters.stall_control += stall
+                    }
+                    _ => self.counters.stall_exec += stall,
+                }
+            }
             return out;
         }
     }
@@ -577,6 +608,7 @@ impl CoreEngine {
             if self.wfi_wait && self.state.csrs.mip & self.state.csrs.mie == 0 {
                 bus.advance_cycles(remaining);
                 self.cycle += remaining;
+                self.counters.wfi_cycles += remaining;
                 self.state.csrs.mcycle = self.cycle as u32;
                 return BatchExit {
                     cycles: max_cycles,
@@ -897,6 +929,12 @@ mod tests {
         for r in [Reg::T0, Reg::T1, Reg::T2] {
             assert_eq!(fast.state.read_reg(r), slow.state.read_reg(r));
         }
+        // Issue-time attribution makes the activity counters path-exact.
+        assert_eq!(fast.counters(), slow.counters());
+        assert!(slow.counters().stall_exec > 0, "div stalls recorded");
+        assert!(slow.counters().stall_mem > 0, "load stalls recorded");
+        assert!(slow.counters().wfi_cycles > 0, "wfi park recorded");
+        assert!(slow.counters().decode_hits > slow.counters().decode_misses);
     }
 
     #[test]

@@ -22,6 +22,7 @@
 //! sources, not the exact RTL microarchitecture.
 
 pub mod coproc;
+pub mod counters;
 pub mod csrs;
 pub mod engine;
 pub mod exec;
@@ -30,6 +31,7 @@ pub mod state;
 pub mod timing;
 
 pub use coproc::{Coprocessor, NullCoprocessor};
+pub use counters::CoreCounters;
 pub use csrs::Csrs;
 pub use engine::{stop_events, BatchExit, CoreEngine, CoreEvent, DataBus, StepOutput, StopReason};
 pub use models::{make_engine, CoreKind};

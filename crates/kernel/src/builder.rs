@@ -201,6 +201,7 @@ pub struct KernelBuilder {
     tasks: Vec<TaskSpec>,
     sems: Vec<(String, u32)>,
     ext_sem: Option<String>,
+    trace_phases: bool,
 }
 
 impl KernelBuilder {
@@ -213,7 +214,17 @@ impl KernelBuilder {
             tasks: Vec::new(),
             sems: Vec::new(),
             ext_sem: None,
+            trace_phases: false,
         }
+    }
+
+    /// Instruments the ISR with typed phase marks at its save/schedule
+    /// boundaries (see [`rtosunit::PhaseCode`]). The extra stores change
+    /// the measured switch latency, so this defaults off and is meant for
+    /// waterfall analysis runs, not headline measurements.
+    pub fn trace_phases(&mut self, on: bool) -> &mut Self {
+        self.trace_phases = on;
+        self
     }
 
     /// Sets the hardware list capacity the kernel may assume (must match
@@ -377,6 +388,7 @@ impl KernelBuilder {
                 preset: self.preset,
                 tick_period: self.tick_period,
                 ext_sem_addr,
+                trace_phases: self.trace_phases,
             },
         );
         gen_syscalls(&mut a, &mut lg, self.preset);

@@ -17,9 +17,9 @@ use crate::emit::{self, LabelGen};
 use crate::klayout::{tcb, KernelLayout, FRAME_BYTES};
 use rtosunit::layout::{
     ctx_index_of, ctx_reg, CTX_MEPC_IDX, CTX_MSTATUS_IDX, CTX_REGION_BASE, CTX_SHIFT, MMIO_EXT_ACK,
-    MMIO_MSIP, MMIO_MTIME, MMIO_MTIMECMP,
+    MMIO_MSIP, MMIO_MTIME, MMIO_MTIMECMP, MMIO_TRACE,
 };
-use rtosunit::Preset;
+use rtosunit::{PhaseCode, Preset};
 use rvsim_isa::{csr, Asm, Reg};
 
 /// Static description of the ISR to generate.
@@ -32,6 +32,11 @@ pub struct IsrSpec {
     /// Address (or hardware id, with the §7 extension) of the semaphore
     /// given on external interrupts, if any.
     pub ext_sem_addr: Option<u32>,
+    /// Emit typed [`PhaseCode`] marks at the ISR's save/schedule phase
+    /// boundaries (for latency-waterfall analysis). The marks are extra
+    /// stores and *change the measured latency*, so they default off and
+    /// must stay off for headline measurements.
+    pub trace_phases: bool,
 }
 
 impl IsrSpec {
@@ -156,6 +161,15 @@ fn emit_restore_ctx_region(a: &mut Asm) {
     a.lw(Reg::T1, frame_word_off(t1_word, false), Reg::T1);
 }
 
+/// Emits a typed phase mark: one store of the encoded [`PhaseCode`] to
+/// the TRACE register. Clobbers `t0`/`t1`, so call only where both are
+/// dead (right after the save frame, or after `currentTCB` is stored).
+fn emit_phase_mark(a: &mut Asm, code: PhaseCode) {
+    a.li(Reg::T0, MMIO_TRACE as i32);
+    a.li(Reg::T1, code.encode() as i32);
+    a.sw(Reg::T1, 0, Reg::T0);
+}
+
 /// Emits the complete ISR at label `isr`.
 ///
 /// Register discipline: in non-banked configurations everything is saved
@@ -170,6 +184,11 @@ pub fn gen_isr(a: &mut Asm, lg: &mut LabelGen, spec: &IsrSpec) {
     a.label("isr");
     if !spec.banked() {
         emit_save_frame(a, spec.cv32rt());
+    }
+    // Banked configurations save in hardware, so their save phase is
+    // zero-width: the mark lands right at ISR entry.
+    if spec.trace_phases {
+        emit_phase_mark(a, PhaseCode::SaveDone);
     }
 
     // Cause dispatch (Fig. 2: time slice (a), voluntary yield (c), or an
@@ -245,6 +264,9 @@ pub fn gen_isr(a: &mut Asm, lg: &mut LabelGen, spec: &IsrSpec) {
     }
     a.li(Reg::T1, KernelLayout::CURRENT_TCB as i32);
     a.sw(Reg::A0, 0, Reg::T1);
+    if spec.trace_phases {
+        emit_phase_mark(a, PhaseCode::SchedDone);
+    }
 
     // --- context-switch tail.
     if spec.banked() && spec.hw_load() {
@@ -285,6 +307,7 @@ mod tests {
             preset: p,
             tick_period: 2000,
             ext_sem_addr: Some(KernelLayout::SEMS),
+            trace_phases: false,
         }
     }
 
@@ -316,6 +339,25 @@ mod tests {
         assert!(sl < s, "(SL) removes the restore path");
         assert!(slt < sl, "(SLT) is minimal");
         assert!(slt < 40, "(SLT) ISR must be tiny, got {slt} instructions");
+    }
+
+    #[test]
+    fn phase_marks_are_opt_in_and_grow_the_isr() {
+        for p in [Preset::Vanilla, Preset::Slt] {
+            let plain = isr_len(p);
+            let mut a = Asm::new(0);
+            let mut lg = LabelGen::new();
+            let mut s = spec(p);
+            s.trace_phases = true;
+            gen_isr(&mut a, &mut lg, &s);
+            a.ebreak();
+            let traced = a.finish().expect("ISR assembles").words.len();
+            assert!(traced > plain, "{p}: marks must add instructions");
+            // Each mark is li/li/sw; both `li`s expand to lui+addi for
+            // the MMIO address and the tagged phase code, so two marks
+            // cost at most 10 instructions.
+            assert!(traced <= plain + 10, "{p}: marks must stay cheap");
+        }
     }
 
     #[test]

@@ -35,7 +35,7 @@ fn hw_semaphores_preserve_pingpong_semantics() {
         .mmio
         .trace_marks
         .iter()
-        .map(|(_, v)| *v)
+        .map(|m| m.code)
         .collect();
     assert!(marks.len() > 20, "only {} handoffs", marks.len());
     for w in marks.windows(2) {
@@ -115,9 +115,13 @@ fn hw_give_from_isr_wakes_handler() {
         .mmio
         .trace_marks
         .iter()
-        .find(|(_, v)| *v == 0xE1)
+        .find(|m| m.code == 0xE1)
         .expect("handler never ran");
-    assert!(hit.0 >= 20_000 && hit.0 < 24_000, "handler at {}", hit.0);
+    assert!(
+        hit.cycle >= 20_000 && hit.cycle < 24_000,
+        "handler at {}",
+        hit.cycle
+    );
 }
 
 #[test]
@@ -149,7 +153,7 @@ fn priority_handoff_prefers_highest_waiter() {
         .mmio
         .trace_marks
         .iter()
-        .map(|(_, v)| *v)
+        .map(|m| m.code)
         .filter(|v| (3..=5).contains(v))
         .take(3)
         .collect();

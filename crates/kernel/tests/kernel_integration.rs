@@ -91,7 +91,7 @@ fn semaphore_ping_pong_alternates_strictly() {
             .mmio
             .trace_marks
             .iter()
-            .map(|(_, v)| *v)
+            .map(|m| m.code)
             .collect();
         assert!(marks.len() >= 10, "{preset}: only {} marks", marks.len());
         for (i, w) in marks.windows(2).enumerate() {
@@ -120,12 +120,12 @@ fn delayed_task_wakes_after_its_ticks() {
         img.install(&mut sys);
         sys.run(40_000);
         let marks = &sys.platform.mmio.trace_marks;
-        let d0 = marks.iter().find(|(_, v)| *v == 0xD0).expect("slept").0;
+        let d0 = marks.iter().find(|m| m.code == 0xD0).expect("slept").cycle;
         let d1 = marks
             .iter()
-            .find(|(_, v)| *v == 0xD1)
+            .find(|m| m.code == 0xD1)
             .unwrap_or_else(|| panic!("{preset}: sleeper never woke; marks: {marks:?}"))
-            .0;
+            .cycle;
         let slept = d1 - d0;
         // Three ticks of 1000 cycles, modulo phase: between 2 and 4 ticks.
         assert!(
@@ -160,12 +160,12 @@ fn external_interrupt_defers_to_handler_task() {
             .mmio
             .trace_marks
             .iter()
-            .find(|(_, v)| *v == 0xE1)
+            .find(|m| m.code == 0xE1)
             .unwrap_or_else(|| panic!("{preset}: handler never ran"));
         assert!(
-            hit.0 >= 20_000 && hit.0 < 25_000,
+            hit.cycle >= 20_000 && hit.cycle < 25_000,
             "{preset}: handler latency too large (ran at {})",
-            hit.0
+            hit.cycle
         );
         // The deferred switch must be recorded as an external episode.
         assert!(sys

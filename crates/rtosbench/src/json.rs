@@ -1,4 +1,4 @@
-//! A minimal, dependency-free JSON value builder and serializer.
+//! A minimal, dependency-free JSON value builder, serializer and parser.
 //!
 //! Campaign artifacts (`results/*.json`) and BENCH reports are written
 //! through this module so the whole experiment stack stays offline-friendly
@@ -6,6 +6,9 @@
 //! order, floats use Rust's shortest round-trip formatting, and the writer
 //! emits a stable two-space-indented layout — byte-identical output for
 //! equal values, which the campaign determinism tests rely on.
+//!
+//! [`Json::parse`] is the matching reader; the CI smoke test uses it to
+//! validate that emitted trace artifacts are well-formed JSON.
 
 use std::fmt::Write as _;
 
@@ -48,6 +51,63 @@ impl Json {
     /// Whether this value renders without internal line breaks.
     fn is_scalar(&self) -> bool {
         !matches!(self, Json::Array(_) | Json::Object(_))
+    }
+
+    /// Looks up `key` in an object (first match, insertion order).
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Object(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The array items, if this is an array.
+    pub fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The value as a `u64`, if it is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Json::UInt(u) => Some(u),
+            Json::Int(i) => u64::try_from(i).ok(),
+            _ => None,
+        }
+    }
+
+    /// Parses a JSON document (the full text must be one value).
+    ///
+    /// Integers that fit stay exact ([`Json::UInt`]/[`Json::Int`]); other
+    /// numbers become [`Json::Float`]. Duplicate object keys are kept as
+    /// written (first wins for [`Json::get`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`JsonParseError`] with a byte offset and message on
+    /// malformed input.
+    pub fn parse(input: &str) -> Result<Json, JsonParseError> {
+        let mut p = Parser {
+            bytes: input.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let value = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(p.err("trailing characters after document"));
+        }
+        Ok(value)
     }
 
     /// Renders with a trailing newline, two-space indentation.
@@ -122,6 +182,241 @@ impl Json {
                 out.push('}');
             }
         }
+    }
+}
+
+/// Parse failure: byte offset into the input plus a short message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonParseError {
+    pub offset: usize,
+    pub message: String,
+}
+
+impl std::fmt::Display for JsonParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "JSON parse error at byte {}: {}",
+            self.offset, self.message
+        )
+    }
+}
+
+impl std::error::Error for JsonParseError {}
+
+/// Recursive-descent JSON reader over raw bytes (the input is known to
+/// be valid UTF-8, so multi-byte characters only appear inside strings).
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, message: impl Into<String>) -> JsonParseError {
+        JsonParseError {
+            offset: self.pos,
+            message: message.into(),
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), JsonParseError> {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(format!("expected `{}`", byte as char)))
+        }
+    }
+
+    fn literal(&mut self, text: &str, value: Json) -> Result<Json, JsonParseError> {
+        if self.bytes[self.pos..].starts_with(text.as_bytes()) {
+            self.pos += text.len();
+            Ok(value)
+        } else {
+            Err(self.err(format!("expected `{text}`")))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, JsonParseError> {
+        match self.peek() {
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object_value(),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(c) => Err(self.err(format!("unexpected character `{}`", c as char))),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, JsonParseError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Array(items));
+                }
+                _ => return Err(self.err("expected `,` or `]` in array")),
+            }
+        }
+    }
+
+    fn object_value(&mut self) -> Result<Json, JsonParseError> {
+        self.expect(b'{')?;
+        let mut pairs = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Object(pairs));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            pairs.push((key, self.value()?));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Object(pairs));
+                }
+                _ => return Err(self.err("expected `,` or `}` in object")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonParseError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let start = self.pos;
+            // Copy unescaped spans wholesale (covers multi-byte UTF-8).
+            while matches!(self.peek(), Some(c) if c != b'"' && c != b'\\' && c >= 0x20) {
+                self.pos += 1;
+            }
+            out.push_str(
+                std::str::from_utf8(&self.bytes[start..self.pos])
+                    .expect("input was a &str, spans stay on char boundaries"),
+            );
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    out.push(self.escape()?);
+                }
+                _ => return Err(self.err("unterminated string")),
+            }
+        }
+    }
+
+    fn escape(&mut self) -> Result<char, JsonParseError> {
+        let c = self.peek().ok_or_else(|| self.err("truncated escape"))?;
+        self.pos += 1;
+        Ok(match c {
+            b'"' => '"',
+            b'\\' => '\\',
+            b'/' => '/',
+            b'b' => '\u{8}',
+            b'f' => '\u{c}',
+            b'n' => '\n',
+            b'r' => '\r',
+            b't' => '\t',
+            b'u' => {
+                let high = self.hex4()?;
+                let code = if (0xD800..0xDC00).contains(&high) {
+                    // Surrogate pair: the low half must follow as \uXXXX.
+                    if self.literal("\\u", Json::Null).is_err() {
+                        return Err(self.err("unpaired high surrogate"));
+                    }
+                    let low = self.hex4()?;
+                    if !(0xDC00..0xE000).contains(&low) {
+                        return Err(self.err("invalid low surrogate"));
+                    }
+                    0x10000 + ((high - 0xD800) << 10) + (low - 0xDC00)
+                } else {
+                    high
+                };
+                char::from_u32(code).ok_or_else(|| self.err("invalid \\u escape"))?
+            }
+            c => return Err(self.err(format!("invalid escape `\\{}`", c as char))),
+        })
+    }
+
+    fn hex4(&mut self) -> Result<u32, JsonParseError> {
+        let mut code = 0u32;
+        for _ in 0..4 {
+            let d = self
+                .peek()
+                .ok_or_else(|| self.err("truncated \\u escape"))?;
+            let v = match d {
+                b'0'..=b'9' => u32::from(d - b'0'),
+                b'a'..=b'f' => u32::from(d - b'a') + 10,
+                b'A'..=b'F' => u32::from(d - b'A') + 10,
+                _ => return Err(self.err("non-hex digit in \\u escape")),
+            };
+            code = code * 16 + v;
+            self.pos += 1;
+        }
+        Ok(code)
+    }
+
+    fn number(&mut self) -> Result<Json, JsonParseError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut integral = true;
+        while let Some(c) = self.peek() {
+            match c {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    integral = false;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii");
+        if integral {
+            if let Ok(u) = text.parse::<u64>() {
+                return Ok(Json::UInt(u));
+            }
+            if let Ok(i) = text.parse::<i64>() {
+                return Ok(Json::Int(i));
+            }
+        }
+        text.parse::<f64>()
+            .map(Json::Float)
+            .map_err(|_| self.err(format!("invalid number `{text}`")))
     }
 }
 
@@ -249,6 +544,62 @@ mod tests {
         let mut s = String::new();
         write_escaped(&mut s, "a\"b\\c\nd\u{1}");
         assert_eq!(s, "\"a\\\"b\\\\c\\nd\\u0001\"");
+    }
+
+    #[test]
+    fn parse_round_trips_rendered_documents() {
+        let j = Json::object()
+            .with("name", "fig9")
+            .with("ok", true)
+            .with("none", Json::Null)
+            .with("count", 3u64)
+            .with("neg", -7i64)
+            .with("mean", 70.25)
+            .with("text", "a\"b\\c\nd")
+            .with("rows", Json::Array(vec![Json::UInt(1), Json::UInt(2)]))
+            .with("empty_obj", Json::object())
+            .with("empty_arr", Json::Array(vec![]))
+            .with(
+                "nested",
+                Json::object().with("deep", Json::Array(vec![Json::object()])),
+            );
+        let parsed = Json::parse(&j.render()).expect("round trip");
+        assert_eq!(parsed, j);
+    }
+
+    #[test]
+    fn parse_handles_escapes_and_unicode() {
+        let parsed = Json::parse(r#""a\u0041\n\ud83d\ude00\/""#).expect("parses");
+        assert_eq!(parsed.as_str(), Some("aA\n\u{1F600}/"));
+        assert_eq!(Json::parse("\"caf\u{e9}\"").unwrap().as_str(), Some("café"));
+    }
+
+    #[test]
+    fn parse_rejects_malformed_input() {
+        for bad in [
+            "",
+            "{",
+            "[1,]",
+            "{\"a\" 1}",
+            "tru",
+            "\"unterminated",
+            "1 2",
+            "{\"a\": 1,}",
+            "\"\\ud800\"",
+            "nan",
+        ] {
+            assert!(Json::parse(bad).is_err(), "accepted malformed `{bad}`");
+        }
+    }
+
+    #[test]
+    fn accessors_navigate_parsed_documents() {
+        let doc = Json::parse(r#"{"runs": [{"cycles": 42, "label": "x"}], "neg": -1}"#).unwrap();
+        let runs = doc.get("runs").and_then(Json::as_array).expect("array");
+        assert_eq!(runs[0].get("cycles").and_then(Json::as_u64), Some(42));
+        assert_eq!(runs[0].get("label").and_then(Json::as_str), Some("x"));
+        assert_eq!(doc.get("neg").and_then(Json::as_u64), None);
+        assert_eq!(doc.get("missing"), None);
     }
 
     #[test]

@@ -78,8 +78,30 @@ pub fn by_name(name: &str) -> Option<Workload> {
 /// Propagates kernel-construction errors (none occur for the shipped
 /// workloads; the error path exists for custom experimentation).
 pub fn build(workload: &Workload, preset: Preset) -> Result<GuestImage, KernelError> {
+    build_with(workload, preset, false)
+}
+
+/// Like [`build`] but with kernel phase-mark instrumentation enabled:
+/// the ISR emits [`rtosunit::PhaseCode`] TRACE writes at its save and
+/// scheduling boundaries, feeding the latency waterfall. The extra store
+/// instructions lengthen the measured switch path, so traced images are
+/// for observability runs, never for the headline latency figures.
+///
+/// # Errors
+///
+/// Propagates kernel-construction errors, like [`build`].
+pub fn build_traced(workload: &Workload, preset: Preset) -> Result<GuestImage, KernelError> {
+    build_with(workload, preset, true)
+}
+
+fn build_with(
+    workload: &Workload,
+    preset: Preset,
+    trace_phases: bool,
+) -> Result<GuestImage, KernelError> {
     let mut k = KernelBuilder::new(preset);
     k.tick_period(workload.tick_period);
+    k.trace_phases(trace_phases);
     match workload.name {
         "pingpong_semaphore" => {
             // Two tasks handing a token back and forth through two

@@ -66,6 +66,11 @@ fn assert_equivalent(core: CoreKind, preset: Preset, workload: &str) {
         slow.unit_stats(),
         "{ctx}: unit counters diverged"
     );
+    assert_eq!(
+        fast.core.counters(),
+        slow.core.counters(),
+        "{ctx}: core activity counters diverged"
+    );
 }
 
 #[test]

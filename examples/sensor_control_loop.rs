@@ -53,8 +53,8 @@ fn response_times(preset: Preset) -> Vec<u64> {
         .mmio
         .trace_marks
         .iter()
-        .filter(|(_, v)| *v == 0x5E)
-        .map(|(c, _)| *c)
+        .filter(|m| m.code == 0x5E)
+        .map(|m| m.cycle)
         .collect();
     triggers
         .iter()

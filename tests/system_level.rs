@@ -132,7 +132,7 @@ fn hardware_and_software_schedulers_agree_on_order() {
             .mmio
             .trace_marks
             .iter()
-            .map(|(_, v)| *v)
+            .map(|m| m.code)
             .take(30)
             .collect();
         marks
