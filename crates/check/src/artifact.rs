@@ -1,0 +1,389 @@
+//! Self-contained replay artifacts for failing episodes.
+//!
+//! A failure serializes everything needed to re-run it — core kind,
+//! generation config, the (shrunk) op list, the interrupt plan, budgets,
+//! any injected fault, and the observed mismatch — as one JSON document
+//! under `results/repro/`. The `checkfuzz` bin re-runs such files
+//! byte-for-byte; nothing references generator internals except the stable
+//! numeric [`GenOp`] field encoding, so artifacts survive generator
+//! *distribution* changes (new probability tables) though not op-format
+//! changes.
+
+use crate::lockstep::{EpisodeSpec, Fault, IrqEvent, Mismatch};
+use crate::oracle::Violation;
+use crate::scenario::{Action, ScenarioSpec, TaskScript};
+use rtosbench::json::Json;
+use rtosunit::Preset;
+use rvsim_cores::CoreKind;
+use rvsim_isa::progen::{GenConfig, GenOp, ProgramSpec};
+
+/// Artifact format version (bump on incompatible `GenOp` changes).
+pub const VERSION: u64 = 1;
+
+fn core_name(core: CoreKind) -> &'static str {
+    match core {
+        CoreKind::Cv32e40p => "cv32e40p",
+        CoreKind::Cva6 => "cva6",
+        CoreKind::NaxRiscv => "naxriscv",
+    }
+}
+
+fn core_from_name(name: &str) -> Option<CoreKind> {
+    match name {
+        "cv32e40p" => Some(CoreKind::Cv32e40p),
+        "cva6" => Some(CoreKind::Cva6),
+        "naxriscv" => Some(CoreKind::NaxRiscv),
+        _ => None,
+    }
+}
+
+const PRESET_NAMES: [(Preset, &str); 13] = [
+    (Preset::Vanilla, "vanilla"),
+    (Preset::Cv32rt, "cv32rt"),
+    (Preset::S, "s"),
+    (Preset::Sl, "sl"),
+    (Preset::T, "t"),
+    (Preset::St, "st"),
+    (Preset::Slt, "slt"),
+    (Preset::Sd, "sd"),
+    (Preset::Sdt, "sdt"),
+    (Preset::Sdlo, "sdlo"),
+    (Preset::Sdlot, "sdlot"),
+    (Preset::Split, "split"),
+    (Preset::SltHs, "slths"),
+];
+
+/// Stable lower-case artifact name of a preset.
+pub fn preset_name(p: Preset) -> &'static str {
+    PRESET_NAMES
+        .iter()
+        .find(|(q, _)| *q == p)
+        .map(|(_, n)| *n)
+        .expect("every preset is named")
+}
+
+/// Inverse of [`preset_name`].
+pub fn preset_from_name(name: &str) -> Option<Preset> {
+    PRESET_NAMES
+        .iter()
+        .find(|(_, n)| *n == name)
+        .map(|(p, _)| *p)
+}
+
+/// Serializes a failing lockstep episode (plus the mismatch it produced
+/// and the seed it came from) to JSON.
+pub fn lockstep_to_json(ep: &EpisodeSpec, seed: u64, mismatch: &Mismatch) -> Json {
+    let cfg = ep.spec.cfg;
+    let ops = ep
+        .spec
+        .ops
+        .iter()
+        .map(|op| Json::Array(op.encode_fields().into_iter().map(Json::Int).collect()))
+        .collect();
+    let irqs = ep
+        .irqs
+        .iter()
+        .map(|e| Json::Array(vec![Json::UInt(e.at_retire), Json::UInt(u64::from(e.mask))]))
+        .collect();
+    Json::object()
+        .with("kind", Json::Str("lockstep".into()))
+        .with("version", Json::UInt(VERSION))
+        .with("core", Json::Str(core_name(ep.core).into()))
+        .with("seed", Json::UInt(seed))
+        .with(
+            "fault",
+            match ep.fault {
+                Some(f) => Json::Str(f.name().into()),
+                None => Json::Null,
+            },
+        )
+        .with("max_retires", Json::UInt(ep.max_retires))
+        .with("max_cycles", Json::UInt(ep.max_cycles))
+        .with(
+            "gen",
+            Json::object()
+                .with("base", Json::UInt(u64::from(cfg.base)))
+                .with("data_base", Json::UInt(u64::from(cfg.data_base)))
+                .with("data_len", Json::UInt(u64::from(cfg.data_len)))
+                .with("len", Json::UInt(cfg.len as u64))
+                .with("custom_ops", Json::Bool(cfg.custom_ops))
+                .with("misaligned", Json::Bool(cfg.misaligned))
+                .with("allow_wfi", Json::Bool(cfg.allow_wfi)),
+        )
+        .with("ops", Json::Array(ops))
+        .with("irqs", Json::Array(irqs))
+        .with(
+            "mismatch",
+            Json::object()
+                .with("field", Json::Str(mismatch.field.clone()))
+                .with("engine", Json::UInt(u64::from(mismatch.engine)))
+                .with("golden", Json::UInt(u64::from(mismatch.golden)))
+                .with("retired", Json::UInt(mismatch.retired))
+                .with("cycle", Json::UInt(mismatch.cycle)),
+        )
+}
+
+fn get_u64(j: &Json, key: &str) -> Option<u64> {
+    j.get(key)?.as_u64()
+}
+
+fn get_bool(j: &Json, key: &str) -> Option<bool> {
+    match j.get(key)? {
+        Json::Bool(b) => Some(*b),
+        _ => None,
+    }
+}
+
+fn num_i64(j: &Json) -> Option<i64> {
+    match j {
+        Json::Int(v) => Some(*v),
+        Json::UInt(v) => i64::try_from(*v).ok(),
+        _ => None,
+    }
+}
+
+/// Deserializes a lockstep artifact back into a runnable episode.
+/// Returns `None` for malformed or incompatible documents.
+pub fn lockstep_from_json(j: &Json) -> Option<EpisodeSpec> {
+    if j.get("kind")?.as_str()? != "lockstep" || get_u64(j, "version")? != VERSION {
+        return None;
+    }
+    let core = core_from_name(j.get("core")?.as_str()?)?;
+    let fault = match j.get("fault") {
+        Some(Json::Str(name)) => Some(Fault::from_name(name)?),
+        _ => None,
+    };
+    let g = j.get("gen")?;
+    let cfg = GenConfig {
+        base: get_u64(g, "base")? as u32,
+        data_base: get_u64(g, "data_base")? as u32,
+        data_len: get_u64(g, "data_len")? as u32,
+        len: get_u64(g, "len")? as usize,
+        custom_ops: get_bool(g, "custom_ops")?,
+        misaligned: get_bool(g, "misaligned")?,
+        allow_wfi: get_bool(g, "allow_wfi")?,
+    };
+    let ops = j
+        .get("ops")?
+        .as_array()?
+        .iter()
+        .map(|rec| {
+            let fields: Option<Vec<i64>> = rec.as_array()?.iter().map(num_i64).collect();
+            GenOp::decode_fields(&fields?)
+        })
+        .collect::<Option<Vec<GenOp>>>()?;
+    let irqs = j
+        .get("irqs")?
+        .as_array()?
+        .iter()
+        .map(|rec| {
+            let pair = rec.as_array()?;
+            match pair {
+                [a, b] => Some(IrqEvent {
+                    at_retire: a.as_u64()?,
+                    mask: b.as_u64()? as u32,
+                }),
+                _ => None,
+            }
+        })
+        .collect::<Option<Vec<IrqEvent>>>()?;
+    Some(EpisodeSpec {
+        core,
+        spec: ProgramSpec::from_parts(cfg, ops),
+        irqs,
+        max_retires: get_u64(j, "max_retires")?,
+        max_cycles: get_u64(j, "max_cycles")?,
+        fault,
+    })
+}
+
+fn action_to_json(a: Action) -> Json {
+    let fields = match a {
+        Action::Busy(n) => vec![0, u64::from(n)],
+        Action::Delay(n) => vec![1, u64::from(n)],
+        Action::SemTake(s) => vec![2, s as u64],
+        Action::SemGive(s) => vec![3, s as u64],
+        Action::Yield => vec![4],
+    };
+    Json::Array(fields.into_iter().map(Json::UInt).collect())
+}
+
+fn action_from_json(j: &Json) -> Option<Action> {
+    let fields: Option<Vec<u64>> = j.as_array()?.iter().map(Json::as_u64).collect();
+    match fields?[..] {
+        [0, n] => Some(Action::Busy(u32::try_from(n).ok()?)),
+        [1, n] => Some(Action::Delay(u32::try_from(n).ok()?)),
+        [2, s] => Some(Action::SemTake(s as usize)),
+        [3, s] => Some(Action::SemGive(s as usize)),
+        [4] => Some(Action::Yield),
+        _ => None,
+    }
+}
+
+/// Serializes a failing oracle scenario (plus the violation it produced
+/// and the seed it came from) to JSON.
+pub fn oracle_to_json(spec: &ScenarioSpec, seed: u64, violation: &Violation) -> Json {
+    let tasks = spec
+        .tasks
+        .iter()
+        .map(|t| {
+            Json::object()
+                .with("prio", Json::UInt(u64::from(t.prio)))
+                .with(
+                    "script",
+                    Json::Array(t.script.iter().copied().map(action_to_json).collect()),
+                )
+        })
+        .collect();
+    Json::object()
+        .with("kind", Json::Str("oracle".into()))
+        .with("version", Json::UInt(VERSION))
+        .with("core", Json::Str(core_name(spec.core).into()))
+        .with("preset", Json::Str(preset_name(spec.preset).into()))
+        .with("seed", Json::UInt(seed))
+        .with("tick_period", Json::UInt(u64::from(spec.tick_period)))
+        .with("max_cycles", Json::UInt(spec.max_cycles))
+        .with("tasks", Json::Array(tasks))
+        .with(
+            "sems",
+            Json::Array(
+                spec.sems
+                    .iter()
+                    .map(|&c| Json::UInt(u64::from(c)))
+                    .collect(),
+            ),
+        )
+        .with(
+            "ext_sem",
+            match spec.ext_sem {
+                Some(s) => Json::UInt(s as u64),
+                None => Json::Null,
+            },
+        )
+        .with(
+            "ext_irqs",
+            Json::Array(spec.ext_irqs.iter().map(|&c| Json::UInt(c)).collect()),
+        )
+        .with(
+            "violation",
+            Json::object()
+                .with("cycle", Json::UInt(violation.cycle))
+                .with("message", Json::Str(violation.message.clone())),
+        )
+}
+
+/// Deserializes an oracle artifact back into a runnable scenario.
+/// Returns `None` for malformed or incompatible documents.
+pub fn oracle_from_json(j: &Json) -> Option<ScenarioSpec> {
+    if j.get("kind")?.as_str()? != "oracle" || get_u64(j, "version")? != VERSION {
+        return None;
+    }
+    let tasks = j
+        .get("tasks")?
+        .as_array()?
+        .iter()
+        .map(|t| {
+            let script = t
+                .get("script")?
+                .as_array()?
+                .iter()
+                .map(action_from_json)
+                .collect::<Option<Vec<Action>>>()?;
+            Some(TaskScript {
+                prio: u8::try_from(get_u64(t, "prio")?).ok()?,
+                script,
+            })
+        })
+        .collect::<Option<Vec<TaskScript>>>()?;
+    let sems = j
+        .get("sems")?
+        .as_array()?
+        .iter()
+        .map(|c| Some(c.as_u64()? as u32))
+        .collect::<Option<Vec<u32>>>()?;
+    let ext_irqs = j
+        .get("ext_irqs")?
+        .as_array()?
+        .iter()
+        .map(Json::as_u64)
+        .collect::<Option<Vec<u64>>>()?;
+    Some(ScenarioSpec {
+        core: core_from_name(j.get("core")?.as_str()?)?,
+        preset: preset_from_name(j.get("preset")?.as_str()?)?,
+        tick_period: get_u64(j, "tick_period")? as u32,
+        tasks,
+        sems,
+        ext_sem: match j.get("ext_sem") {
+            Some(Json::Null) | None => None,
+            Some(v) => Some(v.as_u64()? as usize),
+        },
+        ext_irqs,
+        max_cycles: get_u64(j, "max_cycles")?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lockstep::episode_for_seed;
+
+    #[test]
+    fn lockstep_artifact_roundtrip() {
+        let mut ep = episode_for_seed(
+            CoreKind::Cva6,
+            7,
+            GenConfig {
+                len: 40,
+                ..GenConfig::default()
+            },
+        );
+        ep.fault = Some(Fault::GoldenSltuFlip);
+        let mismatch = Mismatch {
+            field: "x13".into(),
+            engine: 1,
+            golden: 0,
+            retired: 99,
+            cycle: 321,
+        };
+        let doc = lockstep_to_json(&ep, 7, &mismatch);
+        let text = doc.render();
+        let parsed = Json::parse(&text).expect("rendered artifact parses");
+        let back = lockstep_from_json(&parsed).expect("artifact decodes");
+        assert_eq!(back, ep);
+    }
+
+    #[test]
+    fn malformed_artifacts_are_rejected() {
+        assert!(lockstep_from_json(&Json::Null).is_none());
+        let wrong_kind = Json::object().with("kind", Json::Str("oracle".into()));
+        assert!(lockstep_from_json(&wrong_kind).is_none());
+        assert!(oracle_from_json(&Json::Null).is_none());
+        let wrong_kind = Json::object().with("kind", Json::Str("lockstep".into()));
+        assert!(oracle_from_json(&wrong_kind).is_none());
+    }
+
+    #[test]
+    fn oracle_artifact_roundtrip() {
+        use crate::scenario::scenario_for_seed;
+        use rtosunit::Preset;
+
+        let spec = scenario_for_seed(CoreKind::NaxRiscv, Preset::Sdlot, 17);
+        let v = Violation {
+            cycle: 1234,
+            message: "sched selected task 2, expected task 0".into(),
+        };
+        let doc = oracle_to_json(&spec, 17, &v);
+        let text = doc.render();
+        let parsed = Json::parse(&text).expect("rendered artifact parses");
+        let back = oracle_from_json(&parsed).expect("artifact decodes");
+        assert_eq!(back, spec);
+    }
+
+    #[test]
+    fn preset_names_roundtrip() {
+        for (p, _) in PRESET_NAMES {
+            assert_eq!(preset_from_name(preset_name(p)), Some(p));
+        }
+        assert_eq!(preset_from_name("bogus"), None);
+    }
+}

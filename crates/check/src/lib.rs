@@ -1,0 +1,37 @@
+//! Differential fuzzing and invariant harness for the RTOSUnit
+//! reproduction.
+//!
+//! Every number the experiment stack produces is a cycle count measured on
+//! the simulated cores running the simulated kernel — a silent
+//! architectural or scheduling bug shifts results without failing a
+//! latency test. This crate is the verification substrate (DESIGN.md §9):
+//!
+//! * [`lockstep`] — each timing engine runs constrained random programs
+//!   (from [`rvsim_isa::progen`]) in lockstep with the golden architectural
+//!   executor ([`rvsim_cores::GoldenCore`]), diffing registers, PC and CSRs
+//!   at every retire boundary and all of data memory at episode end.
+//! * [`oracle`] — randomized kernel scenarios run on the full system
+//!   simulator while a host-side model of ready/delay/event-list semantics
+//!   checks scheduling invariants from the emitted event trace.
+//! * [`shrink`] + [`artifact`] — failures are delta-debugged to minimal
+//!   counterexamples and serialized as self-contained JSON replay files
+//!   under `results/repro/`, re-runnable via the `checkfuzz` bin.
+
+pub mod artifact;
+pub mod coproc;
+pub mod lockstep;
+pub mod oracle;
+pub mod scenario;
+pub mod shrink;
+
+pub use coproc::{ScratchCoproc, ScratchUnit};
+pub use lockstep::{
+    default_irq_plan, episode_for_seed, run_episode, EpisodeSpec, EpisodeStats, Fault, IrqEvent,
+    Mismatch,
+};
+pub use oracle::{OracleStats, Violation};
+pub use scenario::{
+    run_scenario, scenario_for_seed, trace_scenario, Action, ScenarioSpec, TaskScript,
+    ORACLE_PRESETS,
+};
+pub use shrink::{shrink_episode, shrink_scenario, shrink_scenario_with};

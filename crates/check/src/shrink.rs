@@ -1,0 +1,261 @@
+//! Delta-debugging shrink for failing lockstep episodes and oracle
+//! scenarios.
+//!
+//! The generator's item-index branch targets make [`ProgramSpec`]s closed
+//! under deletion: removing any subset of items still emits a valid
+//! program (dangling targets clamp to the final `ebreak`). Shrinking is
+//! therefore plain ddmin over the op list — remove chunks, keep the
+//! removal when the episode still diverges, halve the chunk size — and a
+//! final pass dropping interrupt-plan events one at a time. The result is
+//! the minimal counterexample that CI failures arrive as.
+//!
+//! Scenario specs are likewise deletion-closed: tasks, script steps and
+//! external interrupts can be removed independently (task ids are
+//! positional, scripts reference only semaphores), so
+//! [`shrink_scenario`] applies the same strategy across those three axes.
+
+use crate::lockstep::{run_episode, EpisodeSpec};
+use crate::scenario::{run_scenario, ScenarioSpec};
+use rvsim_isa::progen::ProgramSpec;
+
+/// Upper bound on candidate episodes one shrink may run (keeps a
+/// pathological failure from stalling the fuzz loop).
+const MAX_CANDIDATES: usize = 3000;
+
+/// Shrinks a failing episode to a (locally) minimal one that still fails.
+/// The input must fail; the output is guaranteed to fail.
+///
+/// # Panics
+///
+/// Panics if `ep` does not fail — shrinking a passing episode is a
+/// harness bug.
+pub fn shrink_episode(ep: &EpisodeSpec) -> EpisodeSpec {
+    assert!(
+        run_episode(ep).is_err(),
+        "shrink_episode called on a passing episode"
+    );
+    let mut budget = MAX_CANDIDATES;
+    let mut fails = |cand: &EpisodeSpec| -> bool {
+        if budget == 0 {
+            return false;
+        }
+        budget -= 1;
+        run_episode(cand).is_err()
+    };
+
+    let mut cur = ep.clone();
+
+    // ddmin over the program items.
+    let mut chunk = (cur.spec.ops.len() / 2).max(1);
+    loop {
+        let mut reduced = false;
+        let mut start = 0;
+        while start < cur.spec.ops.len() {
+            let end = (start + chunk).min(cur.spec.ops.len());
+            let mut ops = cur.spec.ops.clone();
+            ops.drain(start..end);
+            if ops.is_empty() {
+                start = end;
+                continue;
+            }
+            let cand = EpisodeSpec {
+                spec: ProgramSpec::from_parts(cur.spec.cfg, ops),
+                ..cur.clone()
+            };
+            if fails(&cand) {
+                cur = cand;
+                reduced = true;
+                // The next chunk slid into `start`; retry the same window.
+            } else {
+                start = end;
+            }
+        }
+        if chunk == 1 && !reduced {
+            break;
+        }
+        if !reduced {
+            chunk = (chunk / 2).max(1);
+        }
+    }
+
+    // Drop interrupt events that are not needed for the failure.
+    let mut i = 0;
+    while i < cur.irqs.len() {
+        let mut cand = cur.clone();
+        cand.irqs.remove(i);
+        if fails(&cand) {
+            cur = cand;
+        } else {
+            i += 1;
+        }
+    }
+
+    cur
+}
+
+/// Shrinks a failing oracle scenario to a (locally) minimal one that
+/// still fails: drops whole tasks, then ddmin over each surviving task's
+/// script, then drops external interrupts.
+///
+/// # Panics
+///
+/// Panics if `spec` does not fail.
+pub fn shrink_scenario(spec: &ScenarioSpec) -> ScenarioSpec {
+    assert!(
+        run_scenario(spec).is_err(),
+        "shrink_scenario called on a passing scenario"
+    );
+    let mut budget = 400usize; // scenario runs are ~ms each
+    shrink_scenario_with(spec, |cand| {
+        if budget == 0 {
+            return false;
+        }
+        budget -= 1;
+        run_scenario(cand).is_err()
+    })
+}
+
+/// The shrink strategy of [`shrink_scenario`] against an arbitrary
+/// failure predicate (`true` = still fails, keep the reduction).
+pub fn shrink_scenario_with(
+    spec: &ScenarioSpec,
+    mut fails: impl FnMut(&ScenarioSpec) -> bool,
+) -> ScenarioSpec {
+    let mut cur = spec.clone();
+
+    // Drop whole tasks (at least one must remain).
+    let mut i = 0;
+    while i < cur.tasks.len() && cur.tasks.len() > 1 {
+        let mut cand = cur.clone();
+        cand.tasks.remove(i);
+        if fails(&cand) {
+            cur = cand;
+        } else {
+            i += 1;
+        }
+    }
+
+    // ddmin over each task's script (scripts may not become empty: the
+    // oracle needs at least one mark per loop iteration).
+    for t in 0..cur.tasks.len() {
+        let mut chunk = (cur.tasks[t].script.len() / 2).max(1);
+        loop {
+            let mut reduced = false;
+            let mut start = 0;
+            while start < cur.tasks[t].script.len() {
+                let end = (start + chunk).min(cur.tasks[t].script.len());
+                let mut cand = cur.clone();
+                cand.tasks[t].script.drain(start..end);
+                if cand.tasks[t].script.is_empty() {
+                    start = end;
+                    continue;
+                }
+                if fails(&cand) {
+                    cur = cand;
+                    reduced = true;
+                } else {
+                    start = end;
+                }
+            }
+            if chunk == 1 && !reduced {
+                break;
+            }
+            if !reduced {
+                chunk = (chunk / 2).max(1);
+            }
+        }
+    }
+
+    // Drop external interrupts.
+    let mut i = 0;
+    while i < cur.ext_irqs.len() {
+        let mut cand = cur.clone();
+        cand.ext_irqs.remove(i);
+        if cand.ext_irqs.is_empty() {
+            cand.ext_sem = None;
+        }
+        if fails(&cand) {
+            cur = cand;
+        } else {
+            i += 1;
+        }
+    }
+
+    cur
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lockstep::{episode_for_seed, Fault};
+    use rvsim_cores::CoreKind;
+    use rvsim_isa::instr::AluOp;
+    use rvsim_isa::progen::{GenConfig, GenOp};
+
+    #[test]
+    fn shrinks_injected_fault_to_a_minimal_sltu_witness() {
+        let cfg = GenConfig {
+            len: 200,
+            ..GenConfig::default()
+        };
+        let failing = (0..20).find_map(|seed| {
+            let mut ep = episode_for_seed(CoreKind::Cv32e40p, seed, cfg);
+            ep.fault = Some(Fault::GoldenSltuFlip);
+            run_episode(&ep).is_err().then_some(ep)
+        });
+        let ep = failing.expect("no failing seed found");
+        let small = shrink_episode(&ep);
+        assert!(run_episode(&small).is_err(), "shrunk episode must fail");
+        assert!(
+            small.spec.ops.len() < ep.spec.ops.len() / 4,
+            "shrink barely reduced: {} -> {}",
+            ep.spec.ops.len(),
+            small.spec.ops.len()
+        );
+        // The witness must still contain an unsigned set-less-than.
+        assert!(
+            small.spec.ops.iter().any(|op| matches!(
+                op,
+                GenOp::Alu {
+                    op: AluOp::Sltu,
+                    ..
+                } | GenOp::AluImm {
+                    op: AluOp::Sltu,
+                    ..
+                }
+            )),
+            "minimal counterexample lost the sltu: {:?}",
+            small.spec.ops
+        );
+    }
+
+    #[test]
+    fn scenario_shrink_finds_the_guilty_step() {
+        use crate::scenario::{scenario_for_seed, Action};
+        use rtosunit::Preset;
+
+        // Find a generated scenario containing a SemGive and shrink it
+        // against a synthetic predicate ("fails while any SemGive
+        // survives") — exercises all three reduction axes without
+        // needing a real kernel bug.
+        let spec = (0..50)
+            .map(|seed| scenario_for_seed(CoreKind::Cva6, Preset::Slt, seed))
+            .find(|s| {
+                s.tasks
+                    .iter()
+                    .any(|t| t.script.iter().any(|a| matches!(a, Action::SemGive(_))))
+                    && s.tasks.len() > 1
+            })
+            .expect("some scenario contains a give");
+        let has_give = |s: &crate::scenario::ScenarioSpec| {
+            s.tasks
+                .iter()
+                .any(|t| t.script.iter().any(|a| matches!(a, Action::SemGive(_))))
+        };
+        let small = crate::shrink::shrink_scenario_with(&spec, has_give);
+        assert!(has_give(&small), "shrink lost the failure");
+        assert_eq!(small.tasks.len(), 1, "only the giving task survives");
+        assert_eq!(small.tasks[0].script.len(), 1, "only the give survives");
+        assert!(small.ext_irqs.is_empty(), "irqs dropped");
+    }
+}

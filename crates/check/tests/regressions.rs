@@ -1,0 +1,63 @@
+//! Replays the checked-in regression seeds (tier-1).
+//!
+//! `regression_seeds.txt` pins seeds that once exposed a bug — in an
+//! engine, the kernel, or the harness itself — so fixes stay covered
+//! deterministically after the nightly fuzz range moves past them.
+
+use rvsim_check::{episode_for_seed, run_episode, run_scenario, scenario_for_seed, ORACLE_PRESETS};
+use rvsim_cores::CoreKind;
+use rvsim_isa::progen::GenConfig;
+
+const SEEDS: &str = include_str!("regression_seeds.txt");
+
+fn core_from_name(name: &str) -> CoreKind {
+    CoreKind::ALL
+        .into_iter()
+        .find(|c| c.name().eq_ignore_ascii_case(name))
+        .unwrap_or_else(|| panic!("unknown core {name:?}"))
+}
+
+fn preset_from_lower(name: &str) -> rtosunit::Preset {
+    ORACLE_PRESETS
+        .into_iter()
+        .find(|p| rvsim_check::artifact::preset_name(*p) == name)
+        .unwrap_or_else(|| panic!("unknown oracle preset {name:?}"))
+}
+
+#[test]
+fn regression_seeds_stay_clean() {
+    let mut ran = 0;
+    for line in SEEDS.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let fields: Vec<&str> = line.split_whitespace().collect();
+        match fields.as_slice() {
+            ["lockstep", core, seed] => {
+                let core = core_from_name(core);
+                let seed: u64 = seed.parse().expect("seed");
+                let cfg = GenConfig {
+                    len: 256,
+                    ..GenConfig::default()
+                };
+                let ep = episode_for_seed(core, seed, cfg);
+                if let Err(m) = run_episode(&ep) {
+                    panic!("regression lockstep {core} seed={seed}: {m}");
+                }
+            }
+            ["oracle", preset, core, seed] => {
+                let preset = preset_from_lower(preset);
+                let core = core_from_name(core);
+                let seed: u64 = seed.parse().expect("seed");
+                let spec = scenario_for_seed(core, preset, seed);
+                if let Err(v) = run_scenario(&spec) {
+                    panic!("regression oracle {preset} {core} seed={seed}: {v}");
+                }
+            }
+            _ => panic!("malformed regression line {line:?}"),
+        }
+        ran += 1;
+    }
+    assert!(ran >= 10, "regression corpus shrank to {ran} entries");
+}

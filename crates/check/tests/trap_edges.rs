@@ -1,0 +1,247 @@
+//! Directed trap edge cases, run through the lockstep harness so the
+//! golden model and all three timing engines must agree at every retire:
+//! misaligned loads/stores/fetches, `wfi` with a pending-but-masked
+//! interrupt, and `mret` with MPIE/MPP corner values.
+
+use rvsim_check::{run_episode, EpisodeSpec, EpisodeStats, IrqEvent};
+use rvsim_cores::CoreKind;
+use rvsim_isa::csr;
+use rvsim_isa::instr::{CsrOp, LoadOp, StoreOp};
+use rvsim_isa::progen::{GenConfig, GenOp, ProgramSpec};
+use rvsim_isa::Reg;
+
+/// Wraps a handcrafted op sequence in an episode (default windows, no
+/// injected fault) and runs it on `core`.
+fn run_directed(core: CoreKind, ops: &[GenOp], irqs: &[IrqEvent]) -> EpisodeStats {
+    let cfg = GenConfig {
+        len: ops.len(),
+        ..GenConfig::default()
+    };
+    let ep = EpisodeSpec {
+        core,
+        spec: ProgramSpec::from_parts(cfg, ops.to_vec()),
+        irqs: irqs.to_vec(),
+        max_retires: 2_000,
+        max_cycles: 80_000,
+        fault: None,
+    };
+    run_episode(&ep).unwrap_or_else(|m| panic!("{core}: {m}"))
+}
+
+/// `x9` (`s1`) as a CSR source-register number.
+const S1: u8 = 9;
+
+#[test]
+fn misaligned_loads_trap_on_every_core() {
+    let ops = [
+        GenOp::Load {
+            op: LoadOp::Lh,
+            rd: Reg::T1,
+            gp_base: false,
+            off: 1,
+        },
+        GenOp::Load {
+            op: LoadOp::Lw,
+            rd: Reg::T2,
+            gp_base: false,
+            off: 2,
+        },
+        GenOp::Load {
+            op: LoadOp::Lhu,
+            rd: Reg::T3,
+            gp_base: false,
+            off: 3,
+        },
+        // Aligned control: must not trap.
+        GenOp::Load {
+            op: LoadOp::Lw,
+            rd: Reg::A0,
+            gp_base: false,
+            off: 4,
+        },
+    ];
+    for core in CoreKind::ALL {
+        let stats = run_directed(core, &ops, &[]);
+        assert_eq!(stats.exceptions, 3, "{core}");
+        assert!(stats.halted, "{core}");
+    }
+}
+
+#[test]
+fn misaligned_stores_trap_on_every_core() {
+    let ops = [
+        GenOp::LoadImm {
+            rd: Reg::S1,
+            value: 0xDEAD_BEEF,
+        },
+        GenOp::Store {
+            op: StoreOp::Sh,
+            rs2: Reg::S1,
+            gp_base: false,
+            off: 1,
+        },
+        GenOp::Store {
+            op: StoreOp::Sw,
+            rs2: Reg::S1,
+            gp_base: false,
+            off: 2,
+        },
+        GenOp::Store {
+            op: StoreOp::Sw,
+            rs2: Reg::S1,
+            gp_base: true,
+            off: 3,
+        },
+        // Aligned control: lands and is diffed at episode-end memory sweep.
+        GenOp::Store {
+            op: StoreOp::Sw,
+            rs2: Reg::S1,
+            gp_base: false,
+            off: 8,
+        },
+    ];
+    for core in CoreKind::ALL {
+        let stats = run_directed(core, &ops, &[]);
+        assert_eq!(stats.exceptions, 3, "{core}");
+        assert!(stats.halted, "{core}");
+    }
+}
+
+#[test]
+fn misaligned_fetch_traps_and_resumes_on_every_core() {
+    let ops = [
+        GenOp::LoadImm {
+            rd: Reg::T1,
+            value: 1,
+        },
+        GenOp::Jalr {
+            rd: Reg::Ra,
+            delta: 1,
+            misalign: true,
+        },
+        GenOp::LoadImm {
+            rd: Reg::T2,
+            value: 2,
+        },
+        GenOp::LoadImm {
+            rd: Reg::T3,
+            value: 3,
+        },
+    ];
+    for core in CoreKind::ALL {
+        let stats = run_directed(core, &ops, &[]);
+        assert!(stats.exceptions >= 1, "{core}: no fetch-misaligned trap");
+        assert!(stats.halted, "{core}");
+    }
+}
+
+#[test]
+fn wfi_with_pending_but_locally_masked_interrupt_stays_parked() {
+    // `mie` is cleared before parking; the driver raises MTIP while the
+    // core waits, but a pending-yet-disabled line must not wake it (wake
+    // requires mip & mie != 0). The episode ends parked, never halted.
+    let ops = [
+        GenOp::LoadImm {
+            rd: Reg::S1,
+            value: 0,
+        },
+        GenOp::Csr {
+            op: CsrOp::Rw,
+            csr: csr::MIE,
+            rd: Reg::Zero,
+            src: S1,
+        },
+        GenOp::Wfi,
+        GenOp::LoadImm {
+            rd: Reg::T1,
+            value: 0x5678,
+        },
+    ];
+    let irqs = [IrqEvent {
+        at_retire: 2_000,
+        mask: csr::MIP_MTIP,
+    }];
+    for core in CoreKind::ALL {
+        let stats = run_directed(core, &ops, &irqs);
+        assert!(!stats.halted, "{core}: woke through a masked line");
+        assert_eq!(stats.interrupts, 0, "{core}");
+        assert_eq!(stats.exceptions, 0, "{core}");
+    }
+}
+
+#[test]
+fn wfi_wakes_without_trap_when_globally_masked() {
+    // `mstatus.MIE` is cleared but the line stays enabled in `mie`: the
+    // core must wake from wfi (pending && locally enabled) yet take no
+    // trap, falling through to the final ebreak.
+    let ops = [
+        GenOp::Csr {
+            op: CsrOp::Rci,
+            csr: csr::MSTATUS,
+            rd: Reg::Zero,
+            src: csr::MSTATUS_MIE as u8,
+        },
+        GenOp::Wfi,
+        GenOp::LoadImm {
+            rd: Reg::T1,
+            value: 0x1234,
+        },
+    ];
+    let irqs = [IrqEvent {
+        at_retire: 2_000,
+        mask: csr::MIP_MTIP,
+    }];
+    for core in CoreKind::ALL {
+        let stats = run_directed(core, &ops, &irqs);
+        assert!(stats.halted, "{core}: never woke from wfi");
+        assert_eq!(stats.interrupts, 0, "{core}: trapped while globally masked");
+    }
+}
+
+#[test]
+fn mret_mpie_mpp_corners_agree_on_every_core() {
+    let ops = [
+        GenOp::LoadImm {
+            rd: Reg::S1,
+            value: csr::MSTATUS_MPIE,
+        },
+        // MPIE = 0: mret must clear MIE and re-set MPIE.
+        GenOp::Csr {
+            op: CsrOp::Rc,
+            csr: csr::MSTATUS,
+            rd: Reg::Zero,
+            src: S1,
+        },
+        GenOp::Mret { target: 3 },
+        // MPIE = 1: mret must restore MIE.
+        GenOp::Csr {
+            op: CsrOp::Rs,
+            csr: csr::MSTATUS,
+            rd: Reg::Zero,
+            src: S1,
+        },
+        GenOp::Mret { target: 5 },
+        // MPP cleared to U-mode encoding: whatever each side does with
+        // the write, the readback and the following mret must agree.
+        GenOp::LoadImm {
+            rd: Reg::S1,
+            value: csr::MSTATUS_MPP,
+        },
+        GenOp::Csr {
+            op: CsrOp::Rc,
+            csr: csr::MSTATUS,
+            rd: Reg::Zero,
+            src: S1,
+        },
+        GenOp::Mret { target: 8 },
+        GenOp::CsrRead {
+            csr: csr::MSTATUS,
+            rd: Reg::T2,
+        },
+    ];
+    for core in CoreKind::ALL {
+        let stats = run_directed(core, &ops, &[]);
+        assert!(stats.halted, "{core}");
+        assert_eq!(stats.exceptions, 0, "{core}");
+    }
+}

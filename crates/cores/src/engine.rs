@@ -91,6 +91,15 @@ pub enum CoreEvent {
         /// The `mcause` value.
         cause: u32,
     },
+    /// A synchronous exception (misaligned fetch/load/store) trapped; the
+    /// core is entering the handler. The faulting instruction did not
+    /// retire. Unlike interrupt entry, the coprocessor is *not* notified:
+    /// exceptions stay on the application register bank (kernel guests
+    /// never fault; this path exists for the differential harness).
+    ExceptionEntered {
+        /// The `mcause` value (high bit clear).
+        cause: u32,
+    },
     /// `mret` finished executing (the paper's latency end-point).
     MretRetired,
     /// The guest executed `ebreak`/`ecall` — simulation stops.
@@ -115,13 +124,16 @@ pub mod stop_events {
     pub const MRET_RETIRED: u32 = 1 << 1;
     /// Stop when the guest halts.
     pub const HALTED: u32 = 1 << 2;
+    /// Stop when a synchronous exception traps.
+    pub const EXCEPTION_ENTERED: u32 = 1 << 3;
     /// Stop on every event.
-    pub const ALL: u32 = INTERRUPT_ENTERED | MRET_RETIRED | HALTED;
+    pub const ALL: u32 = INTERRUPT_ENTERED | MRET_RETIRED | HALTED | EXCEPTION_ENTERED;
 }
 
 fn event_bit(ev: CoreEvent) -> u32 {
     match ev {
         CoreEvent::InterruptEntered { .. } => stop_events::INTERRUPT_ENTERED,
+        CoreEvent::ExceptionEntered { .. } => stop_events::EXCEPTION_ENTERED,
         CoreEvent::MretRetired => stop_events::MRET_RETIRED,
         CoreEvent::Halted => stop_events::HALTED,
     }
@@ -402,6 +414,24 @@ impl CoreEngine {
         let mut paired = false;
         loop {
             let pc = self.state.pc;
+
+            // Instruction-address-misaligned exception: trap instead of
+            // fetching. Nothing retires; the entry cost matches interrupt
+            // entry (same pipeline flush).
+            if pc & 3 != 0 {
+                let target = self
+                    .state
+                    .csrs
+                    .enter_trap(pc, rvsim_isa::csr::CAUSE_MISALIGNED_FETCH);
+                self.state.pc = target;
+                self.busy = self.params.irq_entry_latency.saturating_sub(1);
+                self.counters.stall_irq_entry += u64::from(self.busy);
+                out.event = Some(CoreEvent::ExceptionEntered {
+                    cause: rvsim_isa::csr::CAUSE_MISALIGNED_FETCH,
+                });
+                return out;
+            }
+
             let instr = self.fetch(pc);
 
             // Coprocessor stalls gate issue.
@@ -440,6 +470,30 @@ impl CoreEngine {
                 Instr::Mret => p.mret_latency,
                 _ => self.control_latency(&instr, outcome.taken_branch, pc),
             };
+
+            // Address-misaligned accesses trap before touching the bus
+            // (the `Mem` backing store rejects them); the faulting
+            // instruction does not retire and writes nothing.
+            if let Some(req) = &outcome.mem {
+                let (addr, size, cause) = match *req {
+                    MemRequest::Load { addr, size, .. } => {
+                        (addr, size, rvsim_isa::csr::CAUSE_MISALIGNED_LOAD)
+                    }
+                    MemRequest::Store { addr, size, .. } => {
+                        (addr, size, rvsim_isa::csr::CAUSE_MISALIGNED_STORE)
+                    }
+                };
+                if addr % size.bytes() != 0 {
+                    self.retired -= 1;
+                    self.trace.pop_back();
+                    let target = self.state.csrs.enter_trap(pc, cause);
+                    self.state.pc = target;
+                    self.busy = self.params.irq_entry_latency.saturating_sub(1);
+                    self.counters.stall_irq_entry += u64::from(self.busy);
+                    out.event = Some(CoreEvent::ExceptionEntered { cause });
+                    return out;
+                }
+            }
 
             match outcome.mem {
                 Some(MemRequest::Load {

@@ -26,6 +26,7 @@ pub mod counters;
 pub mod csrs;
 pub mod engine;
 pub mod exec;
+pub mod golden;
 pub mod models;
 pub mod state;
 pub mod timing;
@@ -34,6 +35,7 @@ pub use coproc::{Coprocessor, NullCoprocessor};
 pub use counters::CoreCounters;
 pub use csrs::Csrs;
 pub use engine::{stop_events, BatchExit, CoreEngine, CoreEvent, DataBus, StepOutput, StopReason};
+pub use golden::{GoldenCore, GoldenStep};
 pub use models::{make_engine, CoreKind};
 pub use state::{ArchState, Bank};
 pub use timing::TimingParams;

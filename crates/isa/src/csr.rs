@@ -42,6 +42,13 @@ pub const CAUSE_TIMER: u32 = 0x8000_0007;
 /// `mcause` value for a machine external interrupt.
 pub const CAUSE_EXTERNAL: u32 = 0x8000_000B;
 
+/// `mcause` value for an instruction-address-misaligned exception.
+pub const CAUSE_MISALIGNED_FETCH: u32 = 0;
+/// `mcause` value for a load-address-misaligned exception.
+pub const CAUSE_MISALIGNED_LOAD: u32 = 4;
+/// `mcause` value for a store-address-misaligned exception.
+pub const CAUSE_MISALIGNED_STORE: u32 = 6;
+
 /// Human-readable name for a CSR address (used by the disassembler).
 pub fn csr_name(addr: u16) -> Option<&'static str> {
     Some(match addr {

@@ -35,7 +35,9 @@ pub mod decode;
 pub mod disasm;
 pub mod encode;
 pub mod instr;
+pub mod progen;
 pub mod reg;
+pub mod rng;
 
 pub use asm::{Asm, AsmError, Program, SymbolTable};
 pub use custom::CustomOp;
@@ -43,4 +45,6 @@ pub use decode::{decode, DecodeError};
 pub use disasm::disassemble;
 pub use encode::encode;
 pub use instr::{AluOp, BranchOp, CsrOp, Instr, LoadOp, MulDivOp, StoreOp};
+pub use progen::{GenConfig, GenOp, ProgramSpec};
 pub use reg::Reg;
+pub use rng::Rng64;

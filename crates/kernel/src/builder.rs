@@ -202,6 +202,7 @@ pub struct KernelBuilder {
     sems: Vec<(String, u32)>,
     ext_sem: Option<String>,
     trace_phases: bool,
+    probe: bool,
 }
 
 impl KernelBuilder {
@@ -215,6 +216,7 @@ impl KernelBuilder {
             sems: Vec::new(),
             ext_sem: None,
             trace_phases: false,
+            probe: false,
         }
     }
 
@@ -224,6 +226,16 @@ impl KernelBuilder {
     /// waterfall analysis runs, not headline measurements.
     pub fn trace_phases(&mut self, on: bool) -> &mut Self {
         self.trace_phases = on;
+        self
+    }
+
+    /// Instruments the kernel with scheduler-oracle probes (see
+    /// [`crate::probe`]): every scheduler decision and every semaphore /
+    /// delay-list transition is announced on the TRACE register from
+    /// inside its critical section. Perturbs latency; keep off for
+    /// measurements.
+    pub fn probe(&mut self, on: bool) -> &mut Self {
+        self.probe = on;
         self
     }
 
@@ -389,9 +401,10 @@ impl KernelBuilder {
                 tick_period: self.tick_period,
                 ext_sem_addr,
                 trace_phases: self.trace_phases,
+                probe: self.probe,
             },
         );
-        gen_syscalls(&mut a, &mut lg, self.preset);
+        gen_syscalls(&mut a, &mut lg, self.preset, self.probe);
 
         // ---- task bodies ----------------------------------------------
         let specs = std::mem::take(&mut self.tasks);

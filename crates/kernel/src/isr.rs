@@ -15,6 +15,7 @@
 
 use crate::emit::{self, LabelGen};
 use crate::klayout::{tcb, KernelLayout, FRAME_BYTES};
+use crate::probe;
 use rtosunit::layout::{
     ctx_index_of, ctx_reg, CTX_MEPC_IDX, CTX_MSTATUS_IDX, CTX_REGION_BASE, CTX_SHIFT, MMIO_EXT_ACK,
     MMIO_MSIP, MMIO_MTIME, MMIO_MTIMECMP, MMIO_TRACE,
@@ -37,6 +38,11 @@ pub struct IsrSpec {
     /// stores and *change the measured latency*, so they default off and
     /// must stay off for headline measurements.
     pub trace_phases: bool,
+    /// Emit scheduler-oracle probes ([`crate::probe`]): the selected task
+    /// id after every `currentTCB` update and the outcome of the deferred
+    /// external-interrupt give. Like phase marks, these perturb latency
+    /// and default off.
+    pub probe: bool,
 }
 
 impl IsrSpec {
@@ -218,6 +224,18 @@ pub fn gen_isr(a: &mut Asm, lg: &mut LabelGen, spec: &IsrSpec) {
             a.addi(Reg::T0, Reg::T0, 1);
             a.sw(Reg::T0, crate::klayout::sem::COUNT, Reg::A2);
             emit::event_pop(a, lg, Reg::A2); // a1 = waiter or 0
+            if spec.probe {
+                // Announce the give's outcome while still atomic with it
+                // (the ISR runs with interrupts disabled throughout).
+                let woke = lg.fresh("isr_probe_woke");
+                let probed = lg.fresh("isr_probe_done");
+                a.bnez(Reg::A1, &woke);
+                probe::emit_probe(a, probe::Probe::IsrGiveNoWake);
+                a.j(&probed);
+                a.label(&woke);
+                probe::emit_probe_id(a, probe::Probe::IsrGiveWoke { id: 0 }.encode(), Reg::A1);
+                a.label(&probed);
+            }
             a.beqz(Reg::A1, &l_ext_done);
             if spec.hw_sched() {
                 a.lw(Reg::T0, tcb::ID, Reg::A1);
@@ -264,6 +282,10 @@ pub fn gen_isr(a: &mut Asm, lg: &mut LabelGen, spec: &IsrSpec) {
     }
     a.li(Reg::T1, KernelLayout::CURRENT_TCB as i32);
     a.sw(Reg::A0, 0, Reg::T1);
+    if spec.probe {
+        // The oracle's core check: which task won this scheduling event.
+        probe::emit_probe_id(a, probe::Probe::Sched { id: 0 }.encode(), Reg::A0);
+    }
     if spec.trace_phases {
         emit_phase_mark(a, PhaseCode::SchedDone);
     }
@@ -308,6 +330,7 @@ mod tests {
             tick_period: 2000,
             ext_sem_addr: Some(KernelLayout::SEMS),
             trace_phases: false,
+            probe: false,
         }
     }
 

@@ -39,6 +39,7 @@ pub mod builder;
 pub mod emit;
 pub mod isr;
 pub mod klayout;
+pub mod probe;
 pub mod syscalls;
 
 pub use builder::{GuestImage, KernelBuilder, KernelError, TaskCtx};

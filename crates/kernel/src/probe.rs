@@ -1,0 +1,200 @@
+//! Scheduler-oracle probe marks.
+//!
+//! The differential oracle (`rvsim-check`) validates kernel scheduling
+//! against a host-side model of the ready/delay/event lists. For the model
+//! to be *exact* rather than heuristic, every scheduler-relevant state
+//! change must appear in the event trace atomically with the change
+//! itself. These probes are single stores to the TRACE MMIO register
+//! emitted *inside* the kernel's IRQ-disabled critical sections, so no
+//! interrupt can slip between the list operation and its announcement:
+//! the trace becomes a faithful serialization of kernel state evolution.
+//!
+//! Like the latency-waterfall phase marks ([`rtosunit::PhaseCode`]), the
+//! probes are extra instructions that change measured latencies, so they
+//! are strictly opt-in ([`KernelBuilder::probe`](crate::KernelBuilder))
+//! and must stay off for headline measurements.
+//!
+//! # Encoding
+//!
+//! A probe value is `PROBE_BASE | (kind << 16) | payload` with
+//! `PROBE_BASE = 0x6B00_0000` (`'k'` for kernel). The payload is a task id
+//! for the kinds that carry one, zero otherwise. Task-loop marks used by
+//! the oracle's generated scenarios live at `TASK_MARK_BASE = 0x6C00_0000`
+//! with payload `task_id << 8 | step`. Neither range intersects the
+//! phase-mark tag `0x5048_xxxx` or small benchmark marks.
+
+use crate::klayout::tcb;
+use rtosunit::layout::MMIO_TRACE;
+use rvsim_isa::{Asm, Reg};
+
+/// High byte tagging a TRACE write as a scheduler probe.
+pub const PROBE_BASE: u32 = 0x6B00_0000;
+
+/// High byte tagging a TRACE write as a scenario task-loop mark
+/// (`TASK_MARK_BASE | task_id << 8 | step`).
+pub const TASK_MARK_BASE: u32 = 0x6C00_0000;
+
+/// Mask selecting the tag byte of a TRACE value.
+pub const MARK_TAG_MASK: u32 = 0xff00_0000;
+
+/// Mask selecting the kind field of a probe value.
+const KIND_MASK: u32 = 0x00ff_0000;
+
+/// One decoded scheduler probe. The `id` payloads are task ids (the
+/// kernel's TCB `ID` field, i.e. declaration order with idle last).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Probe {
+    /// A task's `sem_take` succeeded: the count was decremented.
+    TakeOk,
+    /// A task's `sem_take` blocked: it left the ready list and joined the
+    /// semaphore's priority-ordered event list.
+    TakeBlock,
+    /// A task's `sem_give` found no waiter: the count was incremented.
+    GiveNoWake,
+    /// A task's `sem_give` woke the highest-priority waiter `id` (count
+    /// incremented, waiter moved back to the ready list to retry).
+    GiveWoke {
+        /// Task id of the woken waiter.
+        id: u32,
+    },
+    /// A task registered itself on the delay list (`k_delay`), leaving
+    /// the ready list.
+    DelayDone,
+    /// The ISR's deferred external-interrupt give found no waiter.
+    IsrGiveNoWake,
+    /// The ISR's deferred external-interrupt give woke waiter `id`.
+    IsrGiveWoke {
+        /// Task id of the woken waiter.
+        id: u32,
+    },
+    /// The scheduler selected task `id` and stored its TCB to
+    /// `currentTCB`; the context-switch tail follows.
+    Sched {
+        /// Task id of the selected task.
+        id: u32,
+    },
+}
+
+const KIND_TAKE_OK: u32 = 1;
+const KIND_TAKE_BLOCK: u32 = 2;
+const KIND_GIVE_NOWAKE: u32 = 3;
+const KIND_GIVE_WOKE: u32 = 4;
+const KIND_DELAY_DONE: u32 = 5;
+const KIND_ISR_GIVE_NOWAKE: u32 = 6;
+const KIND_ISR_GIVE_WOKE: u32 = 7;
+const KIND_SCHED: u32 = 8;
+
+impl Probe {
+    /// The TRACE-register encoding of this probe.
+    pub fn encode(self) -> u32 {
+        let (kind, payload) = match self {
+            Probe::TakeOk => (KIND_TAKE_OK, 0),
+            Probe::TakeBlock => (KIND_TAKE_BLOCK, 0),
+            Probe::GiveNoWake => (KIND_GIVE_NOWAKE, 0),
+            Probe::GiveWoke { id } => (KIND_GIVE_WOKE, id),
+            Probe::DelayDone => (KIND_DELAY_DONE, 0),
+            Probe::IsrGiveNoWake => (KIND_ISR_GIVE_NOWAKE, 0),
+            Probe::IsrGiveWoke { id } => (KIND_ISR_GIVE_WOKE, id),
+            Probe::Sched { id } => (KIND_SCHED, id),
+        };
+        PROBE_BASE | (kind << 16) | payload
+    }
+
+    /// Decodes a TRACE value; `None` for non-probe marks.
+    pub fn decode(value: u32) -> Option<Probe> {
+        if value & MARK_TAG_MASK != PROBE_BASE {
+            return None;
+        }
+        let id = value & 0xffff;
+        match (value & KIND_MASK) >> 16 {
+            KIND_TAKE_OK => Some(Probe::TakeOk),
+            KIND_TAKE_BLOCK => Some(Probe::TakeBlock),
+            KIND_GIVE_NOWAKE => Some(Probe::GiveNoWake),
+            KIND_GIVE_WOKE => Some(Probe::GiveWoke { id }),
+            KIND_DELAY_DONE => Some(Probe::DelayDone),
+            KIND_ISR_GIVE_NOWAKE => Some(Probe::IsrGiveNoWake),
+            KIND_ISR_GIVE_WOKE => Some(Probe::IsrGiveWoke { id }),
+            KIND_SCHED => Some(Probe::Sched { id }),
+            _ => None,
+        }
+    }
+}
+
+/// Encodes a scenario task-loop mark (`task` iteration reached `step`).
+pub fn task_mark(task: u32, step: u32) -> u32 {
+    debug_assert!(task < 0x100 && step < 0x100);
+    TASK_MARK_BASE | (task << 8) | step
+}
+
+/// Decodes a task-loop mark back into `(task, step)`.
+pub fn decode_task_mark(value: u32) -> Option<(u32, u32)> {
+    if value & MARK_TAG_MASK != TASK_MARK_BASE {
+        return None;
+    }
+    Some(((value >> 8) & 0xff, value & 0xff))
+}
+
+/// Emits a fixed-value probe store. Clobbers `t0`, `t1`; call only inside
+/// an IRQ-disabled section where both are dead.
+pub fn emit_probe(a: &mut Asm, probe: Probe) {
+    a.li(Reg::T0, MMIO_TRACE as i32);
+    a.li(Reg::T1, probe.encode() as i32);
+    a.sw(Reg::T1, 0, Reg::T0);
+}
+
+/// Emits a probe whose id payload is read from the TCB pointed to by
+/// `tcb_reg` (must not be `t0`/`t1`). `base` is the encoding of the probe
+/// with id 0. Clobbers `t0`, `t1`.
+pub fn emit_probe_id(a: &mut Asm, base: u32, tcb_reg: Reg) {
+    debug_assert!(![Reg::T0, Reg::T1].contains(&tcb_reg));
+    a.lw(Reg::T1, tcb::ID, tcb_reg);
+    a.li(Reg::T0, base as i32);
+    a.add(Reg::T1, Reg::T1, Reg::T0);
+    a.li(Reg::T0, MMIO_TRACE as i32);
+    a.sw(Reg::T1, 0, Reg::T0);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtosunit::PhaseCode;
+
+    #[test]
+    fn probes_roundtrip() {
+        let all = [
+            Probe::TakeOk,
+            Probe::TakeBlock,
+            Probe::GiveNoWake,
+            Probe::GiveWoke { id: 5 },
+            Probe::DelayDone,
+            Probe::IsrGiveNoWake,
+            Probe::IsrGiveWoke { id: 0 },
+            Probe::Sched { id: 15 },
+        ];
+        for p in all {
+            assert_eq!(Probe::decode(p.encode()), Some(p));
+        }
+    }
+
+    #[test]
+    fn probe_ranges_do_not_collide() {
+        for p in [Probe::TakeOk, Probe::Sched { id: 3 }] {
+            assert_eq!(PhaseCode::decode(p.encode()), None);
+            assert_eq!(decode_task_mark(p.encode()), None);
+        }
+        let m = task_mark(2, 7);
+        assert_eq!(decode_task_mark(m), Some((2, 7)));
+        assert_eq!(Probe::decode(m), None);
+        assert_eq!(PhaseCode::decode(m), None);
+        // Phase marks are neither probes nor task marks.
+        assert_eq!(Probe::decode(PhaseCode::SaveDone.encode()), None);
+        assert_eq!(decode_task_mark(PhaseCode::SaveDone.encode()), None);
+    }
+
+    #[test]
+    fn id_payload_extraction() {
+        let v = Probe::Sched { id: 9 }.encode();
+        assert_eq!(v, 0x6B08_0009);
+        assert_eq!(Probe::decode(v), Some(Probe::Sched { id: 9 }));
+    }
+}

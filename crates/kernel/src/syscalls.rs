@@ -7,6 +7,7 @@
 
 use crate::emit::{self, LabelGen};
 use crate::klayout::{sem, tcb, KernelLayout};
+use crate::probe::{self, Probe};
 use rtosunit::{Preset, RtosUnitConfig};
 use rvsim_isa::{Asm, Reg};
 
@@ -16,11 +17,15 @@ fn hw_sync(preset: Preset) -> bool {
 
 /// Emits every syscall for the given configuration. Labels:
 /// `k_yield`, `k_delay`, `k_sem_take`, `k_sem_give`.
-pub fn gen_syscalls(a: &mut Asm, lg: &mut LabelGen, preset: Preset) {
+///
+/// With `probes` the software paths announce each list/count transition
+/// from inside its IRQ-disabled critical section (see [`crate::probe`]);
+/// the hardware-synchronisation paths (§7) are unprobed.
+pub fn gen_syscalls(a: &mut Asm, lg: &mut LabelGen, preset: Preset, probes: bool) {
     gen_yield(a);
-    gen_delay(a, lg, preset);
-    gen_sem_take(a, lg, preset);
-    gen_sem_give(a, lg, preset);
+    gen_delay(a, lg, preset, probes);
+    gen_sem_take(a, lg, preset, probes);
+    gen_sem_give(a, lg, preset, probes);
 }
 
 /// `k_yield`: voluntary yield. Clobbers `t0`, `t1`.
@@ -32,7 +37,7 @@ fn gen_yield(a: &mut Asm) {
 
 /// `k_delay(a0 = ticks)`: blocks the current task for `ticks` timer ticks
 /// (`vTaskDelay`). Clobbers caller-saved registers.
-fn gen_delay(a: &mut Asm, lg: &mut LabelGen, preset: Preset) {
+fn gen_delay(a: &mut Asm, lg: &mut LabelGen, preset: Preset, probes: bool) {
     a.label("k_delay");
     a.addi(Reg::Sp, Reg::Sp, -4);
     a.sw(Reg::Ra, 0, Reg::Sp);
@@ -56,6 +61,9 @@ fn gen_delay(a: &mut Asm, lg: &mut LabelGen, preset: Preset) {
         emit::ready_remove(a, lg, Reg::A1);
         emit::delay_insert(a, lg);
     }
+    if probes {
+        probe::emit_probe(a, Probe::DelayDone);
+    }
     emit::trigger_yield(a);
     emit::enable_irq(a); // the pending yield is taken right here
     a.lw(Reg::Ra, 0, Reg::Sp);
@@ -65,7 +73,7 @@ fn gen_delay(a: &mut Asm, lg: &mut LabelGen, preset: Preset) {
 
 /// `k_sem_take(a0 = semaphore address, or hardware id with the §7
 /// extension)`: P operation, blocking.
-fn gen_sem_take(a: &mut Asm, lg: &mut LabelGen, preset: Preset) {
+fn gen_sem_take(a: &mut Asm, lg: &mut LabelGen, preset: Preset, probes: bool) {
     if hw_sync(preset) {
         // Hardware path: one custom instruction; on a blocking take the
         // unit removes us from the ready list and queues us on the
@@ -100,6 +108,9 @@ fn gen_sem_take(a: &mut Asm, lg: &mut LabelGen, preset: Preset) {
     a.beqz(Reg::T0, &block);
     a.addi(Reg::T0, Reg::T0, -1);
     a.sw(Reg::T0, sem::COUNT, Reg::S0);
+    if probes {
+        probe::emit_probe(a, Probe::TakeOk);
+    }
     emit::enable_irq(a);
     a.lw(Reg::Ra, 0, Reg::Sp);
     a.lw(Reg::S0, 4, Reg::Sp);
@@ -117,6 +128,9 @@ fn gen_sem_take(a: &mut Asm, lg: &mut LabelGen, preset: Preset) {
         emit::ready_remove(a, lg, Reg::A1);
     }
     emit::event_insert(a, lg, Reg::S0);
+    if probes {
+        probe::emit_probe(a, Probe::TakeBlock);
+    }
     emit::trigger_yield(a);
     emit::enable_irq(a);
     a.j(&retry);
@@ -125,7 +139,7 @@ fn gen_sem_take(a: &mut Asm, lg: &mut LabelGen, preset: Preset) {
 /// `k_sem_give(a0 = semaphore address, or hardware id with the §7
 /// extension)`: V operation. Wakes the highest-priority waiter and yields
 /// if that waiter outranks the caller.
-fn gen_sem_give(a: &mut Asm, lg: &mut LabelGen, preset: Preset) {
+fn gen_sem_give(a: &mut Asm, lg: &mut LabelGen, preset: Preset, probes: bool) {
     if hw_sync(preset) {
         let done = lg.fresh("give_hw_done");
         a.label("k_sem_give");
@@ -154,6 +168,18 @@ fn gen_sem_give(a: &mut Asm, lg: &mut LabelGen, preset: Preset) {
     a.addi(Reg::T0, Reg::T0, 1);
     a.sw(Reg::T0, sem::COUNT, Reg::S0);
     emit::event_pop(a, lg, Reg::S0); // a1 = waiter or 0
+    if probes {
+        // Outcome probe, still under the disabled-IRQ window so it is
+        // atomic with the count bump and the pop above.
+        let woke = lg.fresh("give_probe_woke");
+        let probed = lg.fresh("give_probe_done");
+        a.bnez(Reg::A1, &woke);
+        probe::emit_probe(a, Probe::GiveNoWake);
+        a.j(&probed);
+        a.label(&woke);
+        probe::emit_probe_id(a, Probe::GiveWoke { id: 0 }.encode(), Reg::A1);
+        a.label(&probed);
+    }
     a.beqz(Reg::A1, &no_waiter);
     if preset.has_sched() {
         a.lw(Reg::T0, tcb::ID, Reg::A1);
@@ -188,7 +214,7 @@ mod tests {
         for p in Preset::LATENCY_SET {
             let mut a = Asm::new(0);
             let mut lg = LabelGen::new();
-            gen_syscalls(&mut a, &mut lg, p);
+            gen_syscalls(&mut a, &mut lg, p, false);
             a.ebreak();
             let prog = a.finish().expect("syscalls assemble");
             assert!(prog.symbols.get("k_yield").is_some());
@@ -203,9 +229,26 @@ mod tests {
         let len = |p: Preset| {
             let mut a = Asm::new(0);
             let mut lg = LabelGen::new();
-            gen_syscalls(&mut a, &mut lg, p);
+            gen_syscalls(&mut a, &mut lg, p, false);
             a.finish().expect("assembles").words.len()
         };
         assert!(len(Preset::Slt) < len(Preset::Vanilla));
+    }
+
+    #[test]
+    fn probes_are_opt_in_and_grow_the_sw_paths() {
+        let len = |p: Preset, probes: bool| {
+            let mut a = Asm::new(0);
+            let mut lg = LabelGen::new();
+            gen_syscalls(&mut a, &mut lg, p, probes);
+            a.finish().expect("assembles").words.len()
+        };
+        for p in [Preset::Vanilla, Preset::Slt] {
+            assert!(len(p, true) > len(p, false), "{p}: probes add stores");
+        }
+        // The §7 hardware take/give paths carry no probes; only the delay
+        // path (shared with every preset) grows.
+        let delta = len(Preset::SltHs, true) - len(Preset::SltHs, false);
+        assert!(delta <= 5, "hw-sync take/give must stay unprobed");
     }
 }

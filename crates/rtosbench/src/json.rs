@@ -95,11 +95,13 @@ impl Json {
     /// # Errors
     ///
     /// Returns a [`JsonParseError`] with a byte offset and message on
-    /// malformed input.
+    /// malformed input. Nesting beyond [`MAX_DEPTH`] containers and
+    /// numbers that overflow `f64` range are malformed, not panics.
     pub fn parse(input: &str) -> Result<Json, JsonParseError> {
         let mut p = Parser {
             bytes: input.as_bytes(),
             pos: 0,
+            depth: 0,
         };
         p.skip_ws();
         let value = p.value()?;
@@ -204,11 +206,18 @@ impl std::fmt::Display for JsonParseError {
 
 impl std::error::Error for JsonParseError {}
 
+/// Maximum container nesting [`Json::parse`] accepts. The reader is
+/// recursive-descent, so unbounded nesting would overflow the stack on
+/// adversarial input like `[[[[...`; every artifact this repo emits is
+/// a handful of levels deep.
+pub const MAX_DEPTH: usize = 128;
+
 /// Recursive-descent JSON reader over raw bytes (the input is known to
 /// be valid UTF-8, so multi-byte characters only appear inside strings).
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
+    depth: usize,
 }
 
 impl<'a> Parser<'a> {
@@ -261,12 +270,22 @@ impl<'a> Parser<'a> {
         }
     }
 
+    fn enter(&mut self) -> Result<(), JsonParseError> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            return Err(self.err(format!("nesting deeper than {MAX_DEPTH} levels")));
+        }
+        Ok(())
+    }
+
     fn array(&mut self) -> Result<Json, JsonParseError> {
         self.expect(b'[')?;
+        self.enter()?;
         let mut items = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b']') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(Json::Array(items));
         }
         loop {
@@ -277,6 +296,7 @@ impl<'a> Parser<'a> {
                 Some(b',') => self.pos += 1,
                 Some(b']') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(Json::Array(items));
                 }
                 _ => return Err(self.err("expected `,` or `]` in array")),
@@ -286,10 +306,12 @@ impl<'a> Parser<'a> {
 
     fn object_value(&mut self) -> Result<Json, JsonParseError> {
         self.expect(b'{')?;
+        self.enter()?;
         let mut pairs = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b'}') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(Json::Object(pairs));
         }
         loop {
@@ -304,6 +326,7 @@ impl<'a> Parser<'a> {
                 Some(b',') => self.pos += 1,
                 Some(b'}') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(Json::Object(pairs));
                 }
                 _ => return Err(self.err("expected `,` or `}` in object")),
@@ -414,9 +437,12 @@ impl<'a> Parser<'a> {
                 return Ok(Json::Int(i));
             }
         }
-        text.parse::<f64>()
-            .map(Json::Float)
-            .map_err(|_| self.err(format!("invalid number `{text}`")))
+        match text.parse::<f64>() {
+            // `1e999` parses to infinity; JSON has no non-finite numbers,
+            // so out-of-range is malformed rather than a silent null.
+            Ok(f) if f.is_finite() => Ok(Json::Float(f)),
+            _ => Err(self.err(format!("invalid number `{text}`"))),
+        }
     }
 }
 
@@ -590,6 +616,73 @@ mod tests {
         ] {
             assert!(Json::parse(bad).is_err(), "accepted malformed `{bad}`");
         }
+    }
+
+    #[test]
+    fn parse_rejects_truncated_documents() {
+        // Every prefix of a valid document must fail cleanly, never panic.
+        let full = r#"{"a": [1, -2.5, "xA"], "b": {"c": null}}"#;
+        for cut in 1..full.len() {
+            assert!(
+                Json::parse(&full[..cut]).is_err(),
+                "accepted truncated `{}`",
+                &full[..cut]
+            );
+        }
+    }
+
+    #[test]
+    fn parse_bounds_nesting_depth() {
+        let deep = |n: usize| "[".repeat(n) + &"]".repeat(n);
+        assert!(Json::parse(&deep(MAX_DEPTH)).is_ok());
+        let err = Json::parse(&deep(MAX_DEPTH + 1)).expect_err("too deep");
+        assert!(err.message.contains("nesting"), "{err}");
+        // Mixed and unclosed nesting must fail too, not overflow the stack.
+        assert!(Json::parse(&"[{\"k\":".repeat(100_000)).is_err());
+        assert!(Json::parse(&"[".repeat(1_000_000)).is_err());
+    }
+
+    #[test]
+    fn parse_rejects_bad_escapes() {
+        for bad in [
+            r#""\x41""#,    // unknown escape letter
+            r#""\u12""#,    // short hex
+            r#""\u12g4""#,  // non-hex digit
+            r#""\ud800x""#, // high surrogate without a pair
+            r#""\udc00""#,  // lone low surrogate
+            r#""\ud800A""#, // high surrogate paired with non-surrogate
+            "\"\\",         // escape at end of input
+        ] {
+            assert!(Json::parse(bad).is_err(), "accepted bad escape `{bad}`");
+        }
+    }
+
+    #[test]
+    fn parse_rejects_nan_like_numbers() {
+        for bad in [
+            "NaN",
+            "nan",
+            "Infinity",
+            "-Infinity",
+            "inf",
+            "-inf",
+            "1e999",
+            "-1e999",
+            "-",
+            "--1",
+            "1.2.3",
+            "1e",
+            "0x10",
+            "+1",
+        ] {
+            assert!(Json::parse(bad).is_err(), "accepted `{bad}`");
+        }
+        // Large magnitudes that still fit f64 stay accepted.
+        assert_eq!(Json::parse("1e308").unwrap(), Json::Float(1e308));
+        assert_eq!(
+            Json::parse("18446744073709551616").unwrap(),
+            Json::Float(18446744073709551616.0)
+        );
     }
 
     #[test]

@@ -8,6 +8,7 @@ pub use asic_model as asic;
 pub use freertos_lite as kernel;
 pub use rtosbench as bench;
 pub use rtosunit as unit;
+pub use rvsim_check as check;
 pub use rvsim_cores as cores;
 pub use rvsim_isa as isa;
 pub use rvsim_mem as mem;

@@ -1,0 +1,69 @@
+//! Tier-1 verification gates (DESIGN.md §9), run from the root suite so
+//! plain `cargo test` enforces them:
+//!
+//! * every timing engine executes ≥ 10 000 random instructions in
+//!   lockstep with the golden architectural executor;
+//! * every ISR variant survives 1 000 randomized kernel schedules
+//!   checked event-by-event against the host-side scheduler oracle.
+//!
+//! Seeds are fixed, so both gates are deterministic; failure messages
+//! name the seed for replay via the `checkfuzz` bin.
+
+use rtosunit_suite::check::{
+    episode_for_seed, run_episode, run_scenario, scenario_for_seed, OracleStats, ORACLE_PRESETS,
+};
+use rtosunit_suite::cores::CoreKind;
+use rtosunit_suite::isa::progen::GenConfig;
+
+#[test]
+fn lockstep_ten_thousand_random_instructions_per_engine() {
+    let cfg = GenConfig {
+        len: 256,
+        ..GenConfig::default()
+    };
+    for core in CoreKind::ALL {
+        let mut retired = 0u64;
+        let mut seed = 0u64;
+        while retired < 10_000 {
+            assert!(
+                seed < 64,
+                "{core}: seed budget exhausted at {retired} retires"
+            );
+            let ep = episode_for_seed(core, seed, cfg);
+            let stats = run_episode(&ep).unwrap_or_else(|m| panic!("{core} seed {seed}: {m}"));
+            retired += stats.retired;
+            seed += 1;
+        }
+    }
+}
+
+#[test]
+fn oracle_thousand_schedules_per_isr_variant() {
+    for preset in ORACLE_PRESETS {
+        let mut total = OracleStats::default();
+        for seed in 0..1_000u64 {
+            let core = CoreKind::ALL[(seed % 3) as usize];
+            let spec = scenario_for_seed(core, preset, seed);
+            let stats = run_scenario(&spec)
+                .unwrap_or_else(|v| panic!("{preset} core={core} seed={seed}: {v}"));
+            total.scheds += stats.scheds;
+            total.task_marks += stats.task_marks;
+            total.takes_ok += stats.takes_ok;
+            total.takes_blocked += stats.takes_blocked;
+            total.gives += stats.gives;
+            total.isr_gives += stats.isr_gives;
+            total.delays += stats.delays;
+            total.ticks += stats.ticks;
+        }
+        // The gate is only meaningful if the schedules actually exercised
+        // the kernel: thousands of checked scheduling decisions and every
+        // probe kind observed.
+        assert!(total.scheds > 10_000, "{preset}: scheds {}", total.scheds);
+        assert!(total.task_marks > 10_000, "{preset}: few marks");
+        assert!(total.takes_ok > 100, "{preset}: few takes");
+        assert!(total.takes_blocked > 100, "{preset}: few blocking takes");
+        assert!(total.gives > 100, "{preset}: few gives");
+        assert!(total.isr_gives > 10, "{preset}: few ISR gives");
+        assert!(total.delays > 100, "{preset}: few delays");
+    }
+}
