@@ -16,12 +16,20 @@ cargo build --release
 echo "== cargo test (workspace)"
 cargo test -q --release --workspace
 
-echo "== trace_dump smoke test (emits + validates results/trace_dump.json)"
+echo "== trace_dump smoke test (emits + validates results/trace_dump*.json)"
 # The binary re-parses its own Chrome trace-event output and asserts the
-# irq/entry/phase/mret/cache event vocabulary is present (panics if not).
+# irq/entry/phase/mret/cache event vocabulary is present (panics if not),
+# then repeats the exercise for a two-hart SMP run with per-hart tracks.
 cargo run -q --release -p rtosunit-bench --bin trace_dump > /dev/null
 test -s results/trace_dump.json
-python3 -c "import json; json.load(open('results/trace_dump.json'))" 2>/dev/null \
+test -s results/trace_dump_smp.json
+python3 -c "import json; json.load(open('results/trace_dump.json')); json.load(open('results/trace_dump_smp.json'))" 2>/dev/null \
   || echo "   (python3 unavailable — relying on the binary's self-validation)"
+
+echo "== examples smoke test"
+for ex in quickstart sensor_control_loop wcet_analysis config_explorer; do
+  echo "   example: $ex"
+  cargo run -q --release --example "$ex" > /dev/null
+done
 
 echo "CI OK"

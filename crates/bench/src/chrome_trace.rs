@@ -12,6 +12,11 @@
 //!   (entry/save/sched/restore),
 //! * `events` — instant (`"i"`) markers for the typed [`TraceEvent`]s,
 //!   plus counter (`"C"`) series for cache hit/miss and unit traffic.
+//!
+//! [`chrome_trace_smp`] emits the same three tracks **per hart** of an
+//! SMP run (`hart0 episodes`, `hart0 phases`, … with disjoint thread
+//! ids and per-hart counter names), so cross-core cause/effect — an IPI
+//! sent on one hart waking a task on another — reads off one timeline.
 
 use rtosbench::json::Json;
 use rtosunit::waterfall::{EpisodeWaterfall, PHASE_NAMES};
@@ -40,8 +45,8 @@ fn complete(name: &str, tid: u64, ts: u64, dur: u64) -> Json {
     base(name, "X", tid, ts).with("dur", dur)
 }
 
-fn instant(name: &str, ts: u64) -> Json {
-    base(name, "i", TID_EVENTS, ts).with("s", "t")
+fn instant(name: &str, tid: u64, ts: u64) -> Json {
+    base(name, "i", tid, ts).with("s", "t")
 }
 
 fn thread_name(tid: u64, name: &str) -> Json {
@@ -67,23 +72,85 @@ fn cause_name(cause: u32) -> &'static str {
 /// `label` names the process in the viewer (e.g. `cva6/SLT/workload`).
 /// Ring-buffer truncation is surfaced as `otherData.dropped_events`.
 pub fn chrome_trace(label: &str, trace: &EventTrace, episodes: &[EpisodeWaterfall]) -> Json {
-    let mut events = vec![
-        Json::object()
-            .with("name", "process_name")
-            .with("ph", "M")
-            .with("pid", PID)
-            .with("args", Json::object().with("name", label)),
-        thread_name(TID_EPISODES, "episodes"),
-        thread_name(TID_PHASES, "phases"),
-        thread_name(TID_EVENTS, "events"),
-    ];
+    let mut events = vec![Json::object()
+        .with("name", "process_name")
+        .with("ph", "M")
+        .with("pid", PID)
+        .with("args", Json::object().with("name", label))];
+    emit_hart(&mut events, "", 0, trace, episodes);
+    let dropped = trace.dropped();
+    document(label, events, dropped, None)
+}
+
+/// Converts one traced SMP run — one `(trace, episodes)` pair per hart —
+/// into a single Chrome trace-event document with per-hart thread
+/// tracks (`hartN episodes` / `hartN phases` / `hartN events`), so all
+/// harts line up on one Perfetto timeline.
+pub fn chrome_trace_smp(label: &str, harts: &[(EventTrace, Vec<EpisodeWaterfall>)]) -> Json {
+    let mut events = vec![Json::object()
+        .with("name", "process_name")
+        .with("ph", "M")
+        .with("pid", PID)
+        .with("args", Json::object().with("name", label))];
+    let mut dropped = 0;
+    for (h, (trace, episodes)) in harts.iter().enumerate() {
+        emit_hart(
+            &mut events,
+            &format!("hart{h} "),
+            (h as u64) * 3,
+            trace,
+            episodes,
+        );
+        dropped += trace.dropped();
+    }
+    document(label, events, dropped, Some(harts.len()))
+}
+
+fn document(label: &str, events: Vec<Json>, dropped: u64, harts: Option<usize>) -> Json {
+    let mut other = Json::object()
+        .with("schema", "rtosunit-chrome-trace-v1")
+        .with("label", label)
+        .with("cycles_per_us", 1u64)
+        .with("dropped_events", dropped);
+    if let Some(n) = harts {
+        other.push("harts", n);
+    }
+    Json::object()
+        .with("traceEvents", Json::Array(events))
+        .with("displayTimeUnit", "ns")
+        .with("otherData", other)
+}
+
+/// Emits one hart's three tracks. `prefix` is empty for the single-core
+/// export (keeping its historical track and counter names) and
+/// `"hartN "` for SMP exports; `tid_base` keeps per-hart thread ids
+/// disjoint.
+fn emit_hart(
+    events: &mut Vec<Json>,
+    prefix: &str,
+    tid_base: u64,
+    trace: &EventTrace,
+    episodes: &[EpisodeWaterfall],
+) {
+    events.push(thread_name(
+        tid_base + TID_EPISODES,
+        &format!("{prefix}episodes"),
+    ));
+    events.push(thread_name(
+        tid_base + TID_PHASES,
+        &format!("{prefix}phases"),
+    ));
+    events.push(thread_name(
+        tid_base + TID_EVENTS,
+        &format!("{prefix}events"),
+    ));
 
     for e in episodes {
         let b = e.boundaries();
         events.push(
             complete(
                 cause_name(e.record.cause),
-                TID_EPISODES,
+                tid_base + TID_EPISODES,
                 b[0],
                 e.record.latency(),
             )
@@ -96,34 +163,35 @@ pub fn chrome_trace(label: &str, trace: &EventTrace, episodes: &[EpisodeWaterfal
         );
         for (i, name) in PHASE_NAMES.iter().enumerate() {
             if e.phases[i] > 0 {
-                events.push(complete(name, TID_PHASES, b[i], e.phases[i]));
+                events.push(complete(name, tid_base + TID_PHASES, b[i], e.phases[i]));
             }
         }
     }
 
+    let tid = tid_base + TID_EVENTS;
     let (mut hits, mut misses) = (0u64, 0u64);
     let (mut stores, mut loads) = (0u64, 0u64);
     for (cycle, ev) in trace.iter() {
         match ev {
             TraceEvent::IrqRaised { cause } => events.push(
-                instant("irq_raised", cycle).with("args", Json::object().with("cause", cause)),
+                instant("irq_raised", tid, cycle).with("args", Json::object().with("cause", cause)),
             ),
             TraceEvent::IsrEntry { cause } => events.push(
-                instant("isr_entry", cycle).with("args", Json::object().with("cause", cause)),
+                instant("isr_entry", tid, cycle).with("args", Json::object().with("cause", cause)),
             ),
-            TraceEvent::Phase(code) => events.push(instant(code.name(), cycle)),
-            TraceEvent::MretRetired => events.push(instant("mret", cycle)),
+            TraceEvent::Phase(code) => events.push(instant(code.name(), tid, cycle)),
+            TraceEvent::MretRetired => events.push(instant("mret", tid, cycle)),
             TraceEvent::GuestMark { value } => events.push(
-                instant("guest_mark", cycle).with("args", Json::object().with("value", value)),
+                instant("guest_mark", tid, cycle).with("args", Json::object().with("value", value)),
             ),
-            TraceEvent::Halted => events.push(instant("halted", cycle)),
+            TraceEvent::Halted => events.push(instant("halted", tid, cycle)),
             TraceEvent::CacheAccess { hit, .. } => {
                 if hit {
                     hits += 1;
                 } else {
                     misses += 1;
                 }
-                events.push(base("cache", "C", 0, cycle).with(
+                events.push(base(&format!("{prefix}cache"), "C", 0, cycle).with(
                     "args",
                     Json::object().with("hits", hits).with("misses", misses),
                 ));
@@ -134,25 +202,13 @@ pub fn chrome_trace(label: &str, trace: &EventTrace, episodes: &[EpisodeWaterfal
                 } else {
                     loads += 1;
                 }
-                events.push(base("unit_words", "C", 0, cycle).with(
+                events.push(base(&format!("{prefix}unit_words"), "C", 0, cycle).with(
                     "args",
                     Json::object().with("stores", stores).with("loads", loads),
                 ));
             }
         }
     }
-
-    Json::object()
-        .with("traceEvents", Json::Array(events))
-        .with("displayTimeUnit", "ns")
-        .with(
-            "otherData",
-            Json::object()
-                .with("schema", "rtosunit-chrome-trace-v1")
-                .with("label", label)
-                .with("cycles_per_us", 1u64)
-                .with("dropped_events", trace.dropped()),
-        )
 }
 
 #[cfg(test)]
@@ -241,6 +297,59 @@ mod tests {
                 assert!(e.get("dur").and_then(Json::as_u64).is_some());
             }
         }
+    }
+
+    #[test]
+    fn smp_document_has_per_hart_tracks() {
+        let (t0, e0) = sample();
+        let (t1, e1) = sample();
+        let doc = chrome_trace_smp("smp-test", &[(t0, e0), (t1, e1)]);
+        let parsed = Json::parse(&doc.render()).expect("emitted JSON parses");
+        assert_eq!(
+            parsed
+                .get("otherData")
+                .and_then(|o| o.get("harts"))
+                .and_then(Json::as_u64),
+            Some(2)
+        );
+        let events = parsed
+            .get("traceEvents")
+            .and_then(Json::as_array)
+            .expect("traceEvents array");
+        let track_names: Vec<&str> = events
+            .iter()
+            .filter(|e| e.get("name").and_then(Json::as_str) == Some("thread_name"))
+            .filter_map(|e| {
+                e.get("args")
+                    .and_then(|a| a.get("name"))
+                    .and_then(Json::as_str)
+            })
+            .collect();
+        for required in [
+            "hart0 episodes",
+            "hart0 phases",
+            "hart0 events",
+            "hart1 episodes",
+            "hart1 phases",
+            "hart1 events",
+        ] {
+            assert!(
+                track_names.contains(&required),
+                "missing track `{required}`: {track_names:?}"
+            );
+        }
+        // Hart 1's slices land on its own thread ids, and its counters
+        // carry a hart-qualified name so Perfetto keeps the series apart.
+        let names: Vec<&str> = events
+            .iter()
+            .filter_map(|e| e.get("name").and_then(Json::as_str))
+            .collect();
+        assert!(names.contains(&"hart0 cache"), "{names:?}");
+        assert!(names.contains(&"hart1 unit_words"), "{names:?}");
+        assert!(events.iter().any(|e| {
+            e.get("tid").and_then(Json::as_u64) == Some(3 + TID_EPISODES)
+                && e.get("ph").and_then(Json::as_str) == Some("X")
+        }));
     }
 
     #[test]

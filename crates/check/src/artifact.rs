@@ -204,6 +204,7 @@ fn action_to_json(a: Action) -> Json {
         Action::SemTake(s) => vec![2, s as u64],
         Action::SemGive(s) => vec![3, s as u64],
         Action::Yield => vec![4],
+        Action::IpiGive { target, sem } => vec![5, target as u64, sem as u64],
     };
     Json::Array(fields.into_iter().map(Json::UInt).collect())
 }
@@ -216,6 +217,10 @@ fn action_from_json(j: &Json) -> Option<Action> {
         [2, s] => Some(Action::SemTake(s as usize)),
         [3, s] => Some(Action::SemGive(s as usize)),
         [4] => Some(Action::Yield),
+        [5, target, sem] => Some(Action::IpiGive {
+            target: target as usize,
+            sem: sem as usize,
+        }),
         _ => None,
     }
 }

@@ -13,6 +13,10 @@
 //! * [`oracle`] — randomized kernel scenarios run on the full system
 //!   simulator while a host-side model of ready/delay/event-list semantics
 //!   checks scheduling invariants from the emitted event trace.
+//! * [`smp`] — multi-hart scenarios run in per-cycle lockstep on the
+//!   shared bus; every hart's trace is checked against its own scheduler
+//!   model (per-core ready lists) and the shared IPI mailboxes must
+//!   conserve every cross-core wakeup.
 //! * [`shrink`] + [`artifact`] — failures are delta-debugged to minimal
 //!   counterexamples and serialized as self-contained JSON replay files
 //!   under `results/repro/`, re-runnable via the `checkfuzz` bin.
@@ -23,6 +27,7 @@ pub mod lockstep;
 pub mod oracle;
 pub mod scenario;
 pub mod shrink;
+pub mod smp;
 
 pub use coproc::{ScratchCoproc, ScratchUnit};
 pub use lockstep::{
@@ -35,3 +40,4 @@ pub use scenario::{
     ORACLE_PRESETS,
 };
 pub use shrink::{shrink_episode, shrink_scenario, shrink_scenario_with};
+pub use smp::{run_smp_scenario, smp_scenario_for_seed, trace_smp_scenario, SmpScenarioSpec};

@@ -24,6 +24,11 @@
 //! * **Script order** — each task's loop-top marks appear in script
 //!   order, only while the model says that task is the one running, and
 //!   never from inside an ISR window.
+//! * **IPI delivery** (SMP scenarios, see [`crate::smp`]) — an `IpiSend`
+//!   probe must match the sending task's scripted target and code; every
+//!   `IpiRecv` drained inside a software-interrupt window must name a
+//!   declared semaphore and be followed by exactly one deferred give on
+//!   it before the window closes.
 //!
 //! Priority *inheritance* is not modeled: the kernel's mutexes are plain
 //! binary semaphores without an inheritance protocol, so the oracle checks
@@ -70,6 +75,27 @@ pub struct OracleStats {
     pub delays: u64,
     /// Timer ticks observed.
     pub ticks: u64,
+    /// Cross-hart IPI posts (`IpiSend` probes, SMP scenarios).
+    pub ipi_sends: u64,
+    /// Mailbox codes drained in software ISRs (`IpiRecv` probes).
+    pub ipi_recvs: u64,
+}
+
+impl OracleStats {
+    /// Accumulates `other` into `self` (coverage aggregation across
+    /// schedules or harts).
+    pub fn merge(&mut self, other: &OracleStats) {
+        self.scheds += other.scheds;
+        self.task_marks += other.task_marks;
+        self.takes_ok += other.takes_ok;
+        self.takes_blocked += other.takes_blocked;
+        self.gives += other.gives;
+        self.isr_gives += other.isr_gives;
+        self.delays += other.delays;
+        self.ticks += other.ticks;
+        self.ipi_sends += other.ipi_sends;
+        self.ipi_recvs += other.ipi_recvs;
+    }
 }
 
 struct Model<'a> {
@@ -93,6 +119,8 @@ struct Model<'a> {
     in_isr: Option<u32>,
     /// Task selected by the `Sched` probe of the open ISR window.
     sched: Option<usize>,
+    /// Semaphore named by an `IpiRecv` whose deferred give is still due.
+    ipi_give: Option<usize>,
     stats: OracleStats,
 }
 
@@ -114,6 +142,7 @@ impl<'a> Model<'a> {
             current: 0,
             in_isr: None,
             sched: None,
+            ipi_give: None,
             stats: OracleStats::default(),
         }
     }
@@ -257,11 +286,24 @@ impl<'a> Model<'a> {
                 self.stats.delays += 1;
             }
             Probe::IsrGiveNoWake | Probe::IsrGiveWoke { .. } => {
-                if self.in_isr != Some(csr::CAUSE_EXTERNAL) {
-                    return fail("ISR give probe outside an external-interrupt window".into());
-                }
-                let Some(s) = self.spec.ext_sem else {
-                    return fail("ISR give probe with no bound external semaphore".into());
+                let s = match self.in_isr {
+                    Some(csr::CAUSE_EXTERNAL) => {
+                        let Some(s) = self.spec.ext_sem else {
+                            return fail("ISR give probe with no bound external semaphore".into());
+                        };
+                        s
+                    }
+                    Some(csr::CAUSE_SOFTWARE) => {
+                        let Some(s) = self.ipi_give.take() else {
+                            return fail(
+                                "ISR give in a software window without a drained IPI code".into(),
+                            );
+                        };
+                        s
+                    }
+                    _ => {
+                        return fail("ISR give probe outside an interrupt window".into());
+                    }
                 };
                 let woke = match p {
                     Probe::IsrGiveWoke { id } => Some(id),
@@ -269,6 +311,45 @@ impl<'a> Model<'a> {
                 };
                 self.give(cycle, s, woke)?;
                 self.stats.isr_gives += 1;
+            }
+            Probe::IpiSend { target, code } => {
+                if self.in_isr.is_some() {
+                    return fail("ipi_send inside an ISR window".into());
+                }
+                let Some(Action::IpiGive { target: t, sem }) =
+                    self.action.get(self.current).copied().flatten()
+                else {
+                    return fail(format!(
+                        "ipi_send from task {} not posting an IPI",
+                        self.current
+                    ));
+                };
+                if target as usize != t || code as usize != sem + 1 {
+                    return fail(format!(
+                        "ipi_send (target {target}, code {code}) does not match scripted \
+                         IpiGive (target {t}, sem {sem})"
+                    ));
+                }
+                self.action[self.current] = None;
+                self.stats.ipi_sends += 1;
+            }
+            Probe::IpiRecv { code } => {
+                if self.in_isr != Some(csr::CAUSE_SOFTWARE) {
+                    return fail("ipi_recv outside a software-interrupt window".into());
+                }
+                let Some(s) = (code as usize).checked_sub(1) else {
+                    return fail("ipi_recv drained the reserved code 0".into());
+                };
+                if s >= self.counts.len() {
+                    return fail(format!("ipi_recv code {code} names no declared semaphore"));
+                }
+                if let Some(p) = self.ipi_give {
+                    return fail(format!(
+                        "ipi_recv with the give for sem {p} still outstanding"
+                    ));
+                }
+                self.ipi_give = Some(s);
+                self.stats.ipi_recvs += 1;
             }
             Probe::Sched { id } => {
                 if self.in_isr.is_none() {
@@ -330,7 +411,10 @@ impl<'a> Model<'a> {
         }
         let script = &self.spec.tasks[t].script;
         self.action[t] = match script[step as usize] {
-            a @ (Action::Delay(_) | Action::SemTake(_) | Action::SemGive(_)) => Some(a),
+            a @ (Action::Delay(_)
+            | Action::SemTake(_)
+            | Action::SemGive(_)
+            | Action::IpiGive { .. }) => Some(a),
             Action::Busy(_) | Action::Yield => None,
         };
         self.next_step[t] = (step as usize + 1) % script.len();
@@ -360,6 +444,11 @@ impl<'a> Model<'a> {
             TraceEvent::MretRetired => {
                 if self.in_isr.is_none() {
                     return fail("mret outside an ISR window".into());
+                }
+                if let Some(s) = self.ipi_give {
+                    return fail(format!(
+                        "ISR returned with the drained IPI give for sem {s} never applied"
+                    ));
                 }
                 let Some(id) = self.sched.take() else {
                     return fail("ISR returned without a sched probe".into());

@@ -46,6 +46,15 @@ pub enum Action {
     SemGive(usize),
     /// Voluntary `k_yield`.
     Yield,
+    /// Cross-hart give (SMP scenarios only, see [`crate::smp`]): ring
+    /// hart `target`'s doorbell with the code of semaphore `sem`; the
+    /// target's ISR drain performs the give against its local copy.
+    IpiGive {
+        /// Destination hart id.
+        target: usize,
+        /// Semaphore index the IPI code resolves to on the target.
+        sem: usize,
+    },
 }
 
 /// One generated task: a distinct priority and a cyclic script.
@@ -136,8 +145,9 @@ pub fn scenario_for_seed(core: CoreKind, preset: Preset, seed: u64) -> ScenarioS
 
 /// Emits one task body: a loop-top mark per script step, then the step's
 /// action. The builder wraps the body in an endless loop, so the script
-/// repeats cyclically.
-fn emit_task(ctx: &mut freertos_lite::TaskCtx, task_id: u32, script: &[Action]) {
+/// repeats cyclically. Shared with the SMP scenario runner, hence
+/// `pub(crate)`.
+pub(crate) fn emit_task(ctx: &mut freertos_lite::TaskCtx, task_id: u32, script: &[Action]) {
     for (step, act) in script.iter().enumerate() {
         ctx.trace_mark(probe::task_mark(task_id, step as u32));
         match *act {
@@ -146,6 +156,7 @@ fn emit_task(ctx: &mut freertos_lite::TaskCtx, task_id: u32, script: &[Action]) 
             Action::SemTake(s) => ctx.sem_take(&format!("s{s}")),
             Action::SemGive(s) => ctx.sem_give(&format!("s{s}")),
             Action::Yield => ctx.yield_now(),
+            Action::IpiGive { target, sem } => ctx.ipi_give(target as u32, &format!("s{sem}")),
         }
     }
 }

@@ -49,6 +49,13 @@ pub const MMIO_CONSOLE: u32 = MMIO_BASE + 0x10;
 pub const MMIO_HALT: u32 = MMIO_BASE + 0x14;
 /// Trace marker used by the benchmarks to delimit iterations.
 pub const MMIO_TRACE: u32 = MMIO_BASE + 0x18;
+/// Inter-processor interrupt doorbell (SMP only): writing
+/// `(target_hart << 8) | code` pushes `code` into the target hart's
+/// mailbox and raises its software-interrupt line.
+pub const MMIO_IPI_SEND: u32 = MMIO_BASE + 0x1C;
+/// IPI mailbox head (SMP only): reading pops the oldest pending code for
+/// this hart, or 0 when the mailbox is empty.
+pub const MMIO_IPI_RECV: u32 = MMIO_BASE + 0x20;
 /// One past the last MMIO byte.
 pub const MMIO_END: u32 = MMIO_BASE + 0x100;
 

@@ -41,6 +41,7 @@ pub mod events;
 pub mod layout;
 pub mod platform;
 pub mod scheduler;
+pub mod smp;
 pub mod stats;
 pub mod system;
 pub mod trace;
@@ -51,7 +52,9 @@ pub use config::{ConfigError, Preset, RtosUnitConfig};
 pub use cv32rt::Cv32rtUnit;
 pub use events::{EventTrace, PhaseCode, TraceEvent, TraceMark, TraceSink};
 pub use platform::{Mmio, Platform};
+pub use rvsim_mem::BusMasterStats;
 pub use scheduler::{HwScheduler, SchedEntry};
+pub use smp::{SmpShared, SmpSystem};
 pub use stats::{LatencyStats, SwitchRecord};
 pub use system::System;
 pub use unit::{RtosUnit, UnitStats};

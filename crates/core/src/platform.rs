@@ -16,10 +16,21 @@
 use crate::ctxqueue::CtxQueue;
 use crate::events::{EventTrace, PhaseCode, TraceEvent, TraceMark, TraceSink};
 use crate::layout::*;
+use crate::smp::SmpShared;
 use rvsim_cores::engine::{BusResponse, DataBus};
 use rvsim_cores::CoreKind;
 use rvsim_isa::csr;
 use rvsim_mem::{AccessSize, Arbiter, Cache, Mem};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// This platform's attachment to an SMP composition: its hart id (= bus
+/// master index) and the shared bus/mailbox state.
+#[derive(Debug)]
+struct SmpLink {
+    hart: usize,
+    shared: Rc<RefCell<SmpShared>>,
+}
 
 /// Memory-mapped devices: CLINT-like timer/software-interrupt block plus
 /// simulation conveniences (console, halt, trace markers).
@@ -154,6 +165,9 @@ pub struct Platform {
     /// Event sink; `None` (the default) makes every record site a single
     /// `Option` check and nothing else.
     trace: Option<EventTrace>,
+    /// SMP attachment; `None` (the default) keeps the single-hart fast
+    /// path byte-identical to the pre-SMP platform.
+    smp: Option<SmpLink>,
 }
 
 impl Platform {
@@ -171,6 +185,41 @@ impl Platform {
             cycle: 0,
             mmio: Mmio::new(timer_period),
             trace: None,
+            smp: None,
+        }
+    }
+
+    /// Attaches this platform to an SMP composition as bus master `hart`.
+    /// From here on, core-side DMEM traffic competes for the shared bus
+    /// and the IPI doorbell registers become live.
+    pub fn attach_smp(&mut self, hart: usize, shared: Rc<RefCell<SmpShared>>) {
+        self.smp = Some(SmpLink { hart, shared });
+    }
+
+    /// This platform's hart id within its SMP composition (0 standalone).
+    pub fn hart_id(&self) -> usize {
+        self.smp.as_ref().map_or(0, |link| link.hart)
+    }
+
+    /// Whether an IPI is queued for this hart (drives `mip.MSIP` in
+    /// addition to the local `msip` latch).
+    pub fn ipi_pending(&self) -> bool {
+        match &self.smp {
+            Some(link) => link.shared.borrow().ipi_pending(link.hart),
+            None => false,
+        }
+    }
+
+    /// Charges the shared bus for a `beats`-cycle transaction, returning
+    /// the arbitration wait in cycles. Zero when standalone.
+    fn shared_bus_wait(&mut self, beats: u32) -> u32 {
+        match &self.smp {
+            Some(link) => link
+                .shared
+                .borrow_mut()
+                .bus
+                .acquire(link.hart, self.cycle, beats) as u32,
+            None => 0,
         }
     }
 
@@ -266,6 +315,30 @@ impl DataBus for Platform {
         self.arb.core_request();
 
         if Self::is_mmio(addr) {
+            // IPI doorbell registers, live only with an SMP attachment;
+            // intercepted here so `Mmio` itself stays single-hart.
+            if let Some(link) = &self.smp {
+                match (addr & !0x3, write) {
+                    (MMIO_IPI_SEND, Some(v)) => {
+                        link.shared
+                            .borrow_mut()
+                            .send_ipi((v >> 8) as usize, v & 0xFF);
+                        return BusResponse {
+                            data: 0,
+                            extra_latency: 0,
+                        };
+                    }
+                    (MMIO_IPI_RECV, None) => {
+                        let hart = link.hart;
+                        let code = link.shared.borrow_mut().recv_ipi(hart);
+                        return BusResponse {
+                            data: code,
+                            extra_latency: 1,
+                        };
+                    }
+                    _ => {}
+                }
+            }
             return match write {
                 Some(v) => {
                     self.mmio.write(addr, v, self.cycle);
@@ -309,22 +382,28 @@ impl DataBus for Platform {
                         write: write.is_some(),
                     });
                 }
-                let extra = if write.is_some() {
+                let mut extra = if write.is_some() {
                     out.latency.saturating_sub(1)
                 } else {
                     out.latency
                 };
+                // Only traffic that leaves the cache (refills,
+                // write-throughs) crosses the shared SMP bus.
+                if out.bus_cycles > 0 {
+                    extra += self.shared_bus_wait(out.bus_cycles);
+                }
                 BusResponse {
                     data,
                     extra_latency: extra,
                 }
             }
             None => {
-                // Tightly coupled single-cycle SRAM (§6.1).
+                // Tightly coupled single-cycle SRAM (§6.1). Uncached
+                // cores put every access on the shared SMP bus.
                 let extra = if write.is_some() { 0 } else { 1 };
                 BusResponse {
                     data,
-                    extra_latency: extra,
+                    extra_latency: extra + self.shared_bus_wait(1),
                 }
             }
         }

@@ -159,6 +159,18 @@ impl System {
         self.ext_schedule.sort_unstable_by(|a, b| b.cmp(a)); // pop from the back
     }
 
+    /// Attaches this system to an SMP composition as `hart`: the guest
+    /// reads the id via `mhartid`, DMEM traffic arbitrates on the shared
+    /// bus, and queued IPIs raise `mip.MSIP`.
+    pub fn attach_smp(
+        &mut self,
+        hart: usize,
+        shared: std::rc::Rc<std::cell::RefCell<crate::smp::SmpShared>>,
+    ) {
+        self.core.state.csrs.mhartid = hart as u32;
+        self.platform.attach_smp(hart, shared);
+    }
+
     /// The RTOSUnit attached to this system, if any.
     pub fn rtos_unit(&self) -> Option<&RtosUnit> {
         match &self.unit {
@@ -195,6 +207,14 @@ impl System {
         LatencyStats::from_records(&self.records)
     }
 
+    /// The `mcause` of the open interrupt episode — the ISR was entered
+    /// but its `mret` has not retired yet — or `None` between episodes.
+    /// Checkers use this to stop a run at a consistent point instead of
+    /// mid-ISR.
+    pub fn isr_cause(&self) -> Option<u32> {
+        self.open_episode.map(|(_, _, cause)| cause)
+    }
+
     /// Whether the guest has halted.
     pub fn halted(&self) -> bool {
         self.core.halted() || self.platform.mmio.halted
@@ -217,8 +237,12 @@ impl System {
             self.platform.raise_external_irq();
         }
 
-        // Refresh mip and record rising edges as trigger timestamps.
-        let mask = self.platform.mmio.pending_mask();
+        // Refresh mip and record rising edges as trigger timestamps. A
+        // queued IPI asserts MSIP alongside the local doorbell latch.
+        let mut mask = self.platform.mmio.pending_mask();
+        if self.platform.ipi_pending() {
+            mask |= csr::MIP_MSIP;
+        }
         let rising = mask & !self.prev_mask;
         for (bit, cause) in [
             (csr::MIP_MTIP, csr::CAUSE_TIMER),
@@ -274,6 +298,10 @@ impl System {
     /// attention latch and the engine's custom-instruction stop.
     fn quiescent_budget(&mut self, now: u64, end: u64) -> u64 {
         if !self.unit.as_coproc().is_idle() {
+            return 0;
+        }
+        // A queued IPI needs the per-cycle path to assert MSIP.
+        if self.platform.ipi_pending() {
             return 0;
         }
         let mask = self.platform.mmio.pending_mask();

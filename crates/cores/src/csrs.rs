@@ -24,6 +24,8 @@ pub struct Csrs {
     pub mscratch: u32,
     /// Cycle counter (read-only from guest code).
     pub mcycle: u32,
+    /// Hardware thread id (read-only; set by the SMP composition).
+    pub mhartid: u32,
 }
 
 impl Csrs {
@@ -39,6 +41,7 @@ impl Csrs {
             csr::MCAUSE => self.mcause,
             csr::MSCRATCH => self.mscratch,
             csr::MCYCLE => self.mcycle,
+            csr::MHARTID => self.mhartid,
             _ => 0,
         }
     }
@@ -54,7 +57,7 @@ impl Csrs {
             csr::MEPC => self.mepc = value & !0b1,
             csr::MCAUSE => self.mcause = value,
             csr::MSCRATCH => self.mscratch = value,
-            csr::MCYCLE => {}
+            csr::MCYCLE | csr::MHARTID => {}
             _ => {}
         }
     }

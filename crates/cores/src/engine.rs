@@ -130,7 +130,7 @@ pub mod stop_events {
     pub const ALL: u32 = INTERRUPT_ENTERED | MRET_RETIRED | HALTED | EXCEPTION_ENTERED;
 }
 
-fn event_bit(ev: CoreEvent) -> u32 {
+pub(crate) fn event_bit(ev: CoreEvent) -> u32 {
     match ev {
         CoreEvent::InterruptEntered { .. } => stop_events::INTERRUPT_ENTERED,
         CoreEvent::ExceptionEntered { .. } => stop_events::EXCEPTION_ENTERED,

@@ -65,6 +65,8 @@ pub struct GoldenCore {
     pub mcause: u32,
     /// `mscratch`.
     pub mscratch: u32,
+    /// `mhartid` (read-only from guest code).
+    pub mhartid: u32,
     /// Data memory (same window as the engine-side bus RAM).
     pub mem: Mem,
     imem: Mem,
@@ -87,6 +89,7 @@ impl GoldenCore {
             mepc: 0,
             mcause: 0,
             mscratch: 0,
+            mhartid: 0,
             mem: Mem::new(dmem_base, dmem_size),
             imem: Mem::new(imem_base, imem_size),
             halted: false,
@@ -154,6 +157,7 @@ impl GoldenCore {
             // mcycle is timing — the golden model has no clock. The
             // generator never reads it; a stray read diverges loudly.
             csr::MCYCLE => 0,
+            csr::MHARTID => self.mhartid,
             _ => 0,
         }
     }
@@ -162,8 +166,8 @@ impl GoldenCore {
         match addr {
             csr::MSTATUS => self.mstatus = value,
             csr::MIE => self.mie = value,
-            // mip is platform-owned; mcycle is read-only.
-            csr::MIP | csr::MCYCLE => {}
+            // mip is platform-owned; mcycle and mhartid are read-only.
+            csr::MIP | csr::MCYCLE | csr::MHARTID => {}
             csr::MTVEC => self.mtvec = value & !0b11,
             csr::MEPC => self.mepc = value & !0b1,
             csr::MCAUSE => self.mcause = value,

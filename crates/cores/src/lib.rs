@@ -23,6 +23,7 @@
 
 pub mod coproc;
 pub mod counters;
+pub mod cpu;
 pub mod csrs;
 pub mod engine;
 pub mod exec;
@@ -33,6 +34,7 @@ pub mod timing;
 
 pub use coproc::{Coprocessor, NullCoprocessor};
 pub use counters::CoreCounters;
+pub use cpu::{make_cpu, make_golden_cpu, CpuCore, Executed, GoldenCpu};
 pub use csrs::Csrs;
 pub use engine::{stop_events, BatchExit, CoreEngine, CoreEvent, DataBus, StepOutput, StopReason};
 pub use golden::{GoldenCore, GoldenStep};

@@ -20,6 +20,8 @@ pub const MCAUSE: u16 = 0x342;
 pub const MIP: u16 = 0x344;
 /// `mcycle` — cycle counter (read-only in this model).
 pub const MCYCLE: u16 = 0xB00;
+/// `mhartid` — hardware thread id (read-only; nonzero on SMP harts).
+pub const MHARTID: u16 = 0xF14;
 
 /// `mstatus.MIE` bit: globally enables machine interrupts.
 pub const MSTATUS_MIE: u32 = 1 << 3;
@@ -60,6 +62,7 @@ pub fn csr_name(addr: u16) -> Option<&'static str> {
         MCAUSE => "mcause",
         MIP => "mip",
         MCYCLE => "mcycle",
+        MHARTID => "mhartid",
         _ => return None,
     })
 }

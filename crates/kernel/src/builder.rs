@@ -1,13 +1,14 @@
 //! The kernel builder: declares tasks and semaphores, emits the guest
 //! image (text + initial data) for a given RTOSUnit preset.
 
-use crate::emit::LabelGen;
+use crate::emit::{self, LabelGen};
 use crate::isr::{gen_isr, IsrSpec};
 use crate::klayout::{tcb, KernelLayout, NUM_PRIOS};
+use crate::probe::{self, Probe};
 use crate::syscalls::gen_syscalls;
 use rtosunit::layout::{
     ctx_index_of, ctx_word_addr, CTX_MEPC_IDX, CTX_MSTATUS_IDX, IMEM_BASE, MMIO_CONSOLE, MMIO_HALT,
-    MMIO_TRACE,
+    MMIO_IPI_SEND, MMIO_TRACE,
 };
 use rtosunit::{Preset, System};
 use rvsim_isa::{csr, Asm, AsmError, Program, Reg};
@@ -31,6 +32,8 @@ pub enum KernelError {
     TooManyTasks(usize),
     /// No user task was declared.
     NoTasks,
+    /// An SMP task's affinity mask selects no hart of the system.
+    BadAffinity(String, u32),
 }
 
 impl fmt::Display for KernelError {
@@ -47,6 +50,9 @@ impl fmt::Display for KernelError {
             }
             KernelError::TooManyTasks(n) => write!(f, "{n} tasks exceed the capacity"),
             KernelError::NoTasks => write!(f, "at least one task is required"),
+            KernelError::BadAffinity(n, m) => {
+                write!(f, "task `{n}` affinity {m:#x} selects no hart")
+            }
         }
     }
 }
@@ -68,6 +74,7 @@ pub struct TaskCtx<'a> {
     layout: KernelLayout,
     sem_map: &'a HashMap<String, usize>,
     hw_sync: bool,
+    probe: bool,
 }
 
 impl TaskCtx<'_> {
@@ -106,6 +113,42 @@ impl TaskCtx<'_> {
     pub fn sem_give(&mut self, name: &str) {
         self.sem_a0(name);
         self.asm.call("k_sem_give");
+    }
+
+    /// Gives (V) the named semaphore *on another hart*: writes
+    /// `(target_hart << 8) | (sem index + 1)` to the IPI doorbell, which
+    /// raises the target's software interrupt; the target's ISR drains
+    /// the mailbox and performs the give locally (the image must be built
+    /// with [`KernelBuilder::ipi`] enabled on the receiving hart).
+    ///
+    /// The semaphore index is resolved against *this* image's
+    /// declaration order — SMP images built by one
+    /// [`SmpKernelBuilder`](crate::SmpKernelBuilder) share it.
+    pub fn ipi_give(&mut self, target_hart: u32, name: &str) {
+        let idx = *self
+            .sem_map
+            .get(name)
+            .unwrap_or_else(|| panic!("unknown semaphore `{name}` — declare it before build"));
+        let code = idx as u32 + 1;
+        emit::disable_irq(self.asm);
+        self.asm.li(Reg::T0, MMIO_IPI_SEND as i32);
+        self.asm.li(Reg::T1, ((target_hart << 8) | code) as i32);
+        self.asm.sw(Reg::T1, 0, Reg::T0);
+        if self.probe {
+            // Announced after the doorbell write but still inside the
+            // IRQ-off window, so the trace orders the send before any
+            // local consequence of it — and a checker that stops the run
+            // when no IPI is queued can never separate a queued send from
+            // its probe.
+            probe::emit_probe(
+                self.asm,
+                Probe::IpiSend {
+                    target: target_hart,
+                    code,
+                },
+            );
+        }
+        emit::enable_irq(self.asm);
     }
 
     /// Locks a mutex (a semaphore created with count 1).
@@ -203,6 +246,7 @@ pub struct KernelBuilder {
     ext_sem: Option<String>,
     trace_phases: bool,
     probe: bool,
+    ipi: bool,
 }
 
 impl KernelBuilder {
@@ -217,7 +261,16 @@ impl KernelBuilder {
             ext_sem: None,
             trace_phases: false,
             probe: false,
+            ipi: false,
         }
+    }
+
+    /// Enables the ISR's IPI drain loop (SMP images): software interrupts
+    /// also empty the hart's `MMIO_IPI_RECV` mailbox, giving semaphore
+    /// `code - 1` per popped code. Single-hart images leave this off.
+    pub fn ipi(&mut self, on: bool) -> &mut Self {
+        self.ipi = on;
+        self
     }
 
     /// Instruments the ISR with typed phase marks at its save/schedule
@@ -402,6 +455,7 @@ impl KernelBuilder {
                 ext_sem_addr,
                 trace_phases: self.trace_phases,
                 probe: self.probe,
+                ipi: self.ipi,
             },
         );
         gen_syscalls(&mut a, &mut lg, self.preset, self.probe);
@@ -418,6 +472,7 @@ impl KernelBuilder {
                 layout,
                 sem_map: &sem_map,
                 hw_sync,
+                probe: self.probe,
             };
             (spec.body)(&mut ctx);
             a.j(&label);

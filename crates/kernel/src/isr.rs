@@ -18,7 +18,7 @@ use crate::klayout::{tcb, KernelLayout, FRAME_BYTES};
 use crate::probe;
 use rtosunit::layout::{
     ctx_index_of, ctx_reg, CTX_MEPC_IDX, CTX_MSTATUS_IDX, CTX_REGION_BASE, CTX_SHIFT, MMIO_EXT_ACK,
-    MMIO_MSIP, MMIO_MTIME, MMIO_MTIMECMP, MMIO_TRACE,
+    MMIO_IPI_RECV, MMIO_MSIP, MMIO_MTIME, MMIO_MTIMECMP, MMIO_TRACE,
 };
 use rtosunit::{PhaseCode, Preset};
 use rvsim_isa::{csr, Asm, Reg};
@@ -43,6 +43,11 @@ pub struct IsrSpec {
     /// external-interrupt give. Like phase marks, these perturb latency
     /// and default off.
     pub probe: bool,
+    /// Drain the IPI mailbox (`MMIO_IPI_RECV`) in the software-interrupt
+    /// branch: each popped code `c` gives semaphore `c - 1` with the same
+    /// wake path as the deferred external give. Off for single-hart
+    /// images, where the drain would be dead code on the yield path.
+    pub ipi: bool,
 }
 
 impl IsrSpec {
@@ -176,6 +181,46 @@ fn emit_phase_mark(a: &mut Asm, code: PhaseCode) {
     a.sw(Reg::T1, 0, Reg::T0);
 }
 
+/// Emits an ISR-context semaphore give for the operand already in `a2`
+/// (control-block address, or hardware id with the §7 extension): bump
+/// the count, pop the highest-priority waiter into `a1` and move it back
+/// to the ready list. Shared by the deferred external-interrupt give and
+/// the IPI drain loop. Clobbers `t0`–`t2`, `a1`.
+fn emit_isr_give(a: &mut Asm, lg: &mut LabelGen, spec: &IsrSpec) {
+    if spec.hw_sync() {
+        // §7 extension: a single custom instruction gives the
+        // semaphore and wakes the waiter entirely in hardware.
+        a.hw_sem_give(Reg::Zero, Reg::A2);
+        return;
+    }
+    let done = lg.fresh("isr_give_done");
+    a.lw(Reg::T0, crate::klayout::sem::COUNT, Reg::A2);
+    a.addi(Reg::T0, Reg::T0, 1);
+    a.sw(Reg::T0, crate::klayout::sem::COUNT, Reg::A2);
+    emit::event_pop(a, lg, Reg::A2); // a1 = waiter or 0
+    if spec.probe {
+        // Announce the give's outcome while still atomic with it
+        // (the ISR runs with interrupts disabled throughout).
+        let woke = lg.fresh("isr_probe_woke");
+        let probed = lg.fresh("isr_probe_done");
+        a.bnez(Reg::A1, &woke);
+        probe::emit_probe(a, probe::Probe::IsrGiveNoWake);
+        a.j(&probed);
+        a.label(&woke);
+        probe::emit_probe_id(a, probe::Probe::IsrGiveWoke { id: 0 }.encode(), Reg::A1);
+        a.label(&probed);
+    }
+    a.beqz(Reg::A1, &done);
+    if spec.hw_sched() {
+        a.lw(Reg::T0, tcb::ID, Reg::A1);
+        a.lw(Reg::T1, tcb::PRIO, Reg::A1);
+        a.add_ready(Reg::T0, Reg::T1);
+    } else {
+        emit::ready_push_back(a, lg, Reg::A1);
+    }
+    a.label(&done);
+}
+
 /// Emits the complete ISR at label `isr`.
 ///
 /// Register discipline: in non-banked configurations everything is saved
@@ -185,7 +230,6 @@ pub fn gen_isr(a: &mut Asm, lg: &mut LabelGen, spec: &IsrSpec) {
     let l_timer = lg.fresh("isr_timer");
     let l_sw = lg.fresh("isr_sw");
     let l_sched = lg.fresh("isr_sched");
-    let l_ext_done = lg.fresh("isr_ext_done");
 
     a.label("isr");
     if !spec.banked() {
@@ -211,41 +255,10 @@ pub fn gen_isr(a: &mut Asm, lg: &mut LabelGen, spec: &IsrSpec) {
     a.li(Reg::T0, MMIO_EXT_ACK as i32);
     a.sw(Reg::Zero, 0, Reg::T0);
     if let Some(sem) = spec.ext_sem_addr {
-        if spec.hw_sync() {
-            // §7 extension: a single custom instruction gives the
-            // semaphore and wakes the waiter entirely in hardware.
-            a.li(Reg::A2, sem as i32);
-            a.hw_sem_give(Reg::Zero, Reg::A2);
-        } else {
-            a.li(Reg::A2, sem as i32);
-            // Semaphore give from the ISR: bump the count, wake the
-            // highest-priority waiter (it re-takes the count on retry).
-            a.lw(Reg::T0, crate::klayout::sem::COUNT, Reg::A2);
-            a.addi(Reg::T0, Reg::T0, 1);
-            a.sw(Reg::T0, crate::klayout::sem::COUNT, Reg::A2);
-            emit::event_pop(a, lg, Reg::A2); // a1 = waiter or 0
-            if spec.probe {
-                // Announce the give's outcome while still atomic with it
-                // (the ISR runs with interrupts disabled throughout).
-                let woke = lg.fresh("isr_probe_woke");
-                let probed = lg.fresh("isr_probe_done");
-                a.bnez(Reg::A1, &woke);
-                probe::emit_probe(a, probe::Probe::IsrGiveNoWake);
-                a.j(&probed);
-                a.label(&woke);
-                probe::emit_probe_id(a, probe::Probe::IsrGiveWoke { id: 0 }.encode(), Reg::A1);
-                a.label(&probed);
-            }
-            a.beqz(Reg::A1, &l_ext_done);
-            if spec.hw_sched() {
-                a.lw(Reg::T0, tcb::ID, Reg::A1);
-                a.lw(Reg::T1, tcb::PRIO, Reg::A1);
-                a.add_ready(Reg::T0, Reg::T1);
-            } else {
-                emit::ready_push_back(a, lg, Reg::A1);
-            }
-            a.label(&l_ext_done);
-        }
+        // Semaphore give from the ISR: bump the count, wake the
+        // highest-priority waiter (it re-takes the count on retry).
+        a.li(Reg::A2, sem as i32);
+        emit_isr_give(a, lg, spec);
     }
     a.j(&l_sched);
 
@@ -263,10 +276,45 @@ pub fn gen_isr(a: &mut Asm, lg: &mut LabelGen, spec: &IsrSpec) {
     }
     a.j(&l_sched);
 
-    // --- software interrupt (voluntary yield): clear the line.
+    // --- software interrupt (voluntary yield, or an IPI): clear the line.
     a.label(&l_sw);
     a.li(Reg::T0, MMIO_MSIP as i32);
     a.sw(Reg::Zero, 0, Reg::T0);
+    if spec.ipi {
+        // Drain the IPI mailbox: each code `c` gives semaphore `c - 1`
+        // (cross-hart wakeup). A code arriving after the final 0 read
+        // keeps `mip.MSIP` asserted, so the ISR re-enters after `mret`
+        // and no wakeup is lost.
+        let drain = lg.fresh("isr_ipi_drain");
+        let drained = lg.fresh("isr_ipi_drained");
+        a.label(&drain);
+        a.li(Reg::T0, MMIO_IPI_RECV as i32);
+        a.lw(Reg::A2, 0, Reg::T0); // a2 = code, or 0 when empty
+        a.beqz(Reg::A2, &drained);
+        if spec.probe {
+            // Announce the pop with the code as payload (computed store:
+            // base-with-code-0 plus the live code).
+            a.li(Reg::T0, probe::Probe::IpiRecv { code: 0 }.encode() as i32);
+            a.add(Reg::T1, Reg::T0, Reg::A2);
+            a.li(Reg::T0, MMIO_TRACE as i32);
+            a.sw(Reg::T1, 0, Reg::T0);
+        }
+        a.addi(Reg::A2, Reg::A2, -1); // semaphore index
+        if !spec.hw_sync() {
+            // index -> control-block address; with §7 the hardware id
+            // in a2 is already the operand.
+            a.slli(
+                Reg::A2,
+                Reg::A2,
+                crate::klayout::SEM_BYTES.trailing_zeros() as i32,
+            );
+            a.li(Reg::T0, KernelLayout::SEMS as i32);
+            a.add(Reg::A2, Reg::A2, Reg::T0);
+        }
+        emit_isr_give(a, lg, spec);
+        a.j(&drain);
+        a.label(&drained);
+    }
     // fall through
 
     // --- scheduling: select the next task into a0 (TCB pointer).
@@ -331,6 +379,7 @@ mod tests {
             ext_sem_addr: Some(KernelLayout::SEMS),
             trace_phases: false,
             probe: false,
+            ipi: false,
         }
     }
 
@@ -380,6 +429,21 @@ mod tests {
             // the MMIO address and the tagged phase code, so two marks
             // cost at most 10 instructions.
             assert!(traced <= plain + 10, "{p}: marks must stay cheap");
+        }
+    }
+
+    #[test]
+    fn ipi_drain_is_opt_in() {
+        for p in [Preset::Vanilla, Preset::Slt, Preset::SltHs] {
+            let plain = isr_len(p);
+            let mut a = Asm::new(0);
+            let mut lg = LabelGen::new();
+            let mut s = spec(p);
+            s.ipi = true;
+            gen_isr(&mut a, &mut lg, &s);
+            a.ebreak();
+            let with_ipi = a.finish().expect("ISR assembles").words.len();
+            assert!(with_ipi > plain, "{p}: the drain loop adds instructions");
         }
     }
 

@@ -40,7 +40,9 @@ pub mod emit;
 pub mod isr;
 pub mod klayout;
 pub mod probe;
+pub mod smp;
 pub mod syscalls;
 
 pub use builder::{GuestImage, KernelBuilder, KernelError, TaskCtx};
 pub use klayout::KernelLayout;
+pub use smp::{SmpImage, SmpKernelBuilder};

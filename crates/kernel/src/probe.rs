@@ -73,6 +73,20 @@ pub enum Probe {
         /// Task id of the selected task.
         id: u32,
     },
+    /// A task posted an inter-processor give: `code` (semaphore index + 1)
+    /// was written to `MMIO_IPI_SEND` addressed at hart `target`.
+    IpiSend {
+        /// Destination hart id.
+        target: u32,
+        /// IPI code (`semaphore index + 1`; 0 never travels).
+        code: u32,
+    },
+    /// The ISR's IPI drain loop popped `code` from this hart's mailbox and
+    /// gave the corresponding semaphore (an `IsrGive*` probe follows).
+    IpiRecv {
+        /// IPI code (`semaphore index + 1`).
+        code: u32,
+    },
 }
 
 const KIND_TAKE_OK: u32 = 1;
@@ -83,6 +97,8 @@ const KIND_DELAY_DONE: u32 = 5;
 const KIND_ISR_GIVE_NOWAKE: u32 = 6;
 const KIND_ISR_GIVE_WOKE: u32 = 7;
 const KIND_SCHED: u32 = 8;
+const KIND_IPI_SEND: u32 = 9;
+const KIND_IPI_RECV: u32 = 10;
 
 impl Probe {
     /// The TRACE-register encoding of this probe.
@@ -96,6 +112,14 @@ impl Probe {
             Probe::IsrGiveNoWake => (KIND_ISR_GIVE_NOWAKE, 0),
             Probe::IsrGiveWoke { id } => (KIND_ISR_GIVE_WOKE, id),
             Probe::Sched { id } => (KIND_SCHED, id),
+            Probe::IpiSend { target, code } => {
+                debug_assert!(target < 0x100 && code < 0x100);
+                (KIND_IPI_SEND, (target << 8) | code)
+            }
+            Probe::IpiRecv { code } => {
+                debug_assert!(code < 0x100);
+                (KIND_IPI_RECV, code)
+            }
         };
         PROBE_BASE | (kind << 16) | payload
     }
@@ -115,6 +139,11 @@ impl Probe {
             KIND_ISR_GIVE_NOWAKE => Some(Probe::IsrGiveNoWake),
             KIND_ISR_GIVE_WOKE => Some(Probe::IsrGiveWoke { id }),
             KIND_SCHED => Some(Probe::Sched { id }),
+            KIND_IPI_SEND => Some(Probe::IpiSend {
+                target: (id >> 8) & 0xff,
+                code: id & 0xff,
+            }),
+            KIND_IPI_RECV => Some(Probe::IpiRecv { code: id & 0xff }),
             _ => None,
         }
     }
@@ -170,6 +199,8 @@ mod tests {
             Probe::IsrGiveNoWake,
             Probe::IsrGiveWoke { id: 0 },
             Probe::Sched { id: 15 },
+            Probe::IpiSend { target: 3, code: 2 },
+            Probe::IpiRecv { code: 1 },
         ];
         for p in all {
             assert_eq!(Probe::decode(p.encode()), Some(p));

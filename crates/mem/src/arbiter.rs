@@ -116,6 +116,92 @@ impl Arbiter {
     }
 }
 
+/// Per-master statistics of a [`BusArbiter`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BusMasterStats {
+    /// Transactions granted to this master.
+    pub grants: u64,
+    /// Total cycles this master spent waiting for the bus.
+    pub wait_cycles: u64,
+    /// Longest single wait, in cycles.
+    pub max_wait: u64,
+}
+
+/// Multi-master shared-bus arbiter for the SMP composition: N harts'
+/// memory ports funnel into one backing store.
+///
+/// Timing-only model. Each hart calls [`acquire`](Self::acquire) at the
+/// simulated time its access issues; the arbiter serves transactions in
+/// **arrival order** (FIFO), with the bus parked on the last owner so a
+/// lone master never waits. Because every master has at most one
+/// transaction outstanding (harts stall on their own accesses), arrival
+/// order gives a hard fairness bound: a request waits behind at most one
+/// in-flight transaction per *other* master, i.e. no master ever waits
+/// more than `(N - 1) × max_beats` cycles.
+///
+/// ```
+/// use rvsim_mem::BusArbiter;
+/// let mut bus = BusArbiter::new(2);
+/// assert_eq!(bus.acquire(0, 100, 4), 0); // idle bus: immediate grant
+/// assert_eq!(bus.acquire(1, 101, 4), 3); // busy until 104
+/// assert_eq!(bus.acquire(0, 120, 1), 0); // long idle: no wait
+/// ```
+#[derive(Debug, Clone)]
+pub struct BusArbiter {
+    free_at: u64,
+    owner: Option<usize>,
+    stats: Vec<BusMasterStats>,
+}
+
+impl BusArbiter {
+    /// Creates an idle bus shared by `masters` harts.
+    pub fn new(masters: usize) -> BusArbiter {
+        BusArbiter {
+            free_at: 0,
+            owner: None,
+            stats: vec![BusMasterStats::default(); masters],
+        }
+    }
+
+    /// Number of masters sharing the bus.
+    pub fn masters(&self) -> usize {
+        self.stats.len()
+    }
+
+    /// Requests a `beats`-cycle transaction for `master` at time `now`,
+    /// returning the wait (in cycles) before the grant. `now` values must
+    /// be non-decreasing across calls — the simulation issues requests in
+    /// arrival order.
+    ///
+    /// The bus is *parked*: a master that already owns the bus re-acquires
+    /// it without waiting, so a single master always sees zero wait.
+    pub fn acquire(&mut self, master: usize, now: u64, beats: u32) -> u64 {
+        let wait = if self.owner == Some(master) {
+            0
+        } else {
+            self.free_at.saturating_sub(now)
+        };
+        let start = now + wait;
+        self.free_at = self.free_at.max(start) + u64::from(beats);
+        self.owner = Some(master);
+        let s = &mut self.stats[master];
+        s.grants += 1;
+        s.wait_cycles += wait;
+        s.max_wait = s.max_wait.max(wait);
+        wait
+    }
+
+    /// Statistics for one master.
+    pub fn master_stats(&self, master: usize) -> BusMasterStats {
+        self.stats[master]
+    }
+
+    /// Statistics for all masters, in hart order.
+    pub fn all_stats(&self) -> &[BusMasterStats] {
+        &self.stats
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -168,5 +254,89 @@ mod tests {
             arb.end_cycle();
         }
         assert!((arb.idle_fraction() - 0.5).abs() < 1e-9);
+    }
+
+    /// Drives `n` masters that each re-issue a `beats`-cycle transaction
+    /// the moment their previous one completes (≤ 1 outstanding each,
+    /// like a stalling hart), for `horizon` cycles.
+    fn pounding_masters(n: usize, beats: u32, horizon: u64) -> BusArbiter {
+        let mut bus = BusArbiter::new(n);
+        let mut ready = vec![0u64; n];
+        for t in 0..horizon {
+            for (m, r) in ready.iter_mut().enumerate() {
+                if *r <= t {
+                    let wait = bus.acquire(m, t, beats);
+                    *r = t + wait + u64::from(beats);
+                }
+            }
+        }
+        bus
+    }
+
+    #[test]
+    fn lone_master_never_waits() {
+        let mut bus = BusArbiter::new(1);
+        // Back-to-back, gapped, and bursty issue patterns.
+        for (now, beats) in [(0, 4), (4, 4), (5, 1), (100, 8), (101, 1)] {
+            assert_eq!(bus.acquire(0, now, beats), 0, "at cycle {now}");
+        }
+        let s = bus.master_stats(0);
+        assert_eq!((s.grants, s.wait_cycles, s.max_wait), (5, 0, 0));
+    }
+
+    #[test]
+    fn two_contending_masters_stay_within_the_round_robin_bound() {
+        let beats = 4u32;
+        let bus = pounding_masters(2, beats, 10_000);
+        for m in 0..2 {
+            let s = bus.master_stats(m);
+            assert!(s.grants > 1_000, "master {m}: only {} grants", s.grants);
+            assert!(
+                s.max_wait <= u64::from(beats),
+                "master {m} waited {} > (N-1)×beats = {beats}",
+                s.max_wait
+            );
+        }
+        // Saturated symmetric masters share the bandwidth evenly.
+        let g0 = bus.master_stats(0).grants as i64;
+        let g1 = bus.master_stats(1).grants as i64;
+        assert!((g0 - g1).abs() <= 1, "grants diverged: {g0} vs {g1}");
+    }
+
+    #[test]
+    fn four_contending_masters_stay_within_the_round_robin_bound() {
+        let beats = 4u32;
+        let bus = pounding_masters(4, beats, 10_000);
+        let bound = u64::from(beats) * 3;
+        let grants: Vec<u64> = (0..4).map(|m| bus.master_stats(m).grants).collect();
+        for m in 0..4 {
+            let s = bus.master_stats(m);
+            assert!(s.grants > 500, "master {m}: only {} grants", s.grants);
+            assert!(
+                s.max_wait <= bound,
+                "master {m} waited {} > (N-1)×beats = {bound}",
+                s.max_wait
+            );
+        }
+        let (min, max) = (grants.iter().min().unwrap(), grants.iter().max().unwrap());
+        assert!(max - min <= 1, "grants diverged: {grants:?}");
+    }
+
+    #[test]
+    fn sporadic_master_is_not_starved_by_a_hammering_one() {
+        let mut bus = BusArbiter::new(2);
+        let mut hammer_ready = 0u64;
+        for t in 0..1_000u64 {
+            if hammer_ready <= t {
+                let wait = bus.acquire(0, t, 1);
+                hammer_ready = t + wait + 1;
+            }
+            if t % 10 == 5 {
+                bus.acquire(1, t, 1);
+            }
+        }
+        let s = bus.master_stats(1);
+        assert_eq!(s.grants, 100);
+        assert!(s.max_wait <= 1, "sporadic master starved: {}", s.max_wait);
     }
 }

@@ -17,6 +17,6 @@ pub mod arbiter;
 pub mod cache;
 pub mod ram;
 
-pub use arbiter::{Arbiter, PortClient};
+pub use arbiter::{Arbiter, BusArbiter, BusMasterStats, PortClient};
 pub use cache::{Cache, CacheConfig, CacheOutcome, WritePolicy};
 pub use ram::{AccessSize, Mem};

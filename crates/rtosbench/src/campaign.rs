@@ -21,8 +21,11 @@ use crate::runner;
 use crate::workloads::{self, Workload};
 use freertos_lite::{GuestImage, KernelError};
 use rtosunit::cv32rt::Cv32rtStats;
+use rtosunit::layout::{DMEM_BASE, IMEM_BASE};
 use rtosunit::waterfall::{self, EpisodeWaterfall};
-use rtosunit::{LatencyStats, Preset, SwitchRecord, System, TraceMark, UnitStats};
+use rtosunit::{
+    BusMasterStats, LatencyStats, Preset, SmpSystem, SwitchRecord, System, TraceMark, UnitStats,
+};
 use rvsim_cores::{CoreCounters, CoreKind};
 use rvsim_isa::csr;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -181,6 +184,11 @@ pub struct RunSpec {
     /// Use the cycle-by-cycle reference loop instead of batched stepping
     /// (differential testing and throughput baselines).
     pub stepwise: bool,
+    /// Hart count. 1 (the default) runs the classic single-core
+    /// [`System`]; ≥ 2 runs an [`SmpSystem`] with the measured image on
+    /// hart 0 and memory-pounding contention workers on the others, so
+    /// the measured latencies include shared-bus arbitration delay.
+    pub harts: usize,
 }
 
 impl RunSpec {
@@ -194,7 +202,15 @@ impl RunSpec {
             overrides: Vec::new(),
             filter: FilterPolicy::Standard,
             stepwise: false,
+            harts: 1,
         }
+    }
+
+    /// Sets the hart count (SMP contention axis) and returns `self`.
+    pub fn with_harts(mut self, harts: usize) -> RunSpec {
+        assert!(harts >= 1, "a run needs at least one hart");
+        self.harts = harts;
+        self
     }
 
     /// The effective label of this run.
@@ -210,6 +226,9 @@ impl RunSpec {
         );
         if self.workload.param() != 0 {
             l.push_str(&format!("@{}", self.workload.param()));
+        }
+        if self.harts != 1 {
+            l.push_str(&format!("/{}harts", self.harts));
         }
         l
     }
@@ -243,6 +262,9 @@ pub struct SimOutcome {
     /// Latency waterfall of the filtered episodes (phase widths come from
     /// kernel phase marks when the workload emits them).
     pub waterfall: Vec<EpisodeWaterfall>,
+    /// Per-hart shared-bus statistics (index = hart id); present only for
+    /// SMP runs (`harts > 1`).
+    pub bus: Option<Vec<BusMasterStats>>,
 }
 
 impl SimOutcome {
@@ -267,6 +289,8 @@ pub struct RunOutcome {
     pub workload: &'static str,
     /// Workload parameter (0 when unused).
     pub param: u32,
+    /// Hart count the run executed on (1 = classic single-core path).
+    pub harts: usize,
     /// Simulation measurements (None for analytic runs).
     pub sim: Option<SimOutcome>,
     /// Analytic model output (None for simulated runs).
@@ -493,6 +517,11 @@ impl Campaign {
                     .with("preset", o.preset.label())
                     .with("workload", o.workload)
                     .with("param", o.param);
+                // Emitted only for SMP runs so single-core campaigns stay
+                // byte-identical to the pre-SMP v1 artifacts.
+                if o.harts != 1 {
+                    run.push("harts", o.harts);
+                }
                 match &o.sim {
                     Some(sim) => {
                         let mut j = Json::object()
@@ -532,6 +561,19 @@ impl Campaign {
                                 None => Json::Null,
                             },
                         );
+                        if let Some(bus) = &sim.bus {
+                            j.push(
+                                "bus",
+                                bus.iter()
+                                    .map(|m| {
+                                        Json::object()
+                                            .with("grants", m.grants)
+                                            .with("wait_cycles", m.wait_cycles)
+                                            .with("max_wait", m.max_wait)
+                                    })
+                                    .collect::<Vec<_>>(),
+                            );
+                        }
                         if self.telemetry {
                             let mut counters = Json::object();
                             for (name, value) in sim.counters.named() {
@@ -618,6 +660,7 @@ fn execute_run(index: usize, spec: &RunSpec) -> RunOutcome {
         preset: spec.preset,
         workload: spec.workload.name(),
         param: spec.workload.param(),
+        harts: spec.harts,
         sim,
         analytic,
         host_nanos: started.elapsed().as_nanos() as u64,
@@ -630,23 +673,88 @@ fn simulate(
     run_cycles: u64,
     ext_irq_interval: u64,
 ) -> SimOutcome {
+    if spec.harts > 1 {
+        return simulate_smp(spec, image, run_cycles, ext_irq_interval);
+    }
     let mut sys = System::new(spec.core, spec.preset);
     for o in &spec.overrides {
         o.apply(&mut sys);
     }
     image.install(&mut sys);
-    if ext_irq_interval > 0 {
-        let mut at = ext_irq_interval;
-        while at < run_cycles {
-            sys.schedule_external_irq(at);
-            at += ext_irq_interval;
-        }
-    }
+    schedule_ext_irqs(&mut sys, run_cycles, ext_irq_interval);
     if spec.stepwise {
         sys.run_stepwise(run_cycles);
     } else {
         sys.run(run_cycles);
     }
+    harvest(&mut sys, spec, None)
+}
+
+/// The SMP variant of [`simulate`]: the measured image boots on hart 0,
+/// every other hart runs a bare-metal load/store loop over its private
+/// DMEM bank — functionally invisible, but every access contends for the
+/// shared bus, stretching hart 0's switch latencies (the `fig_smp` axis).
+fn simulate_smp(
+    spec: &RunSpec,
+    image: &GuestImage,
+    run_cycles: u64,
+    ext_irq_interval: u64,
+) -> SimOutcome {
+    let mut smp = SmpSystem::new(spec.core, spec.preset, spec.harts);
+    for o in &spec.overrides {
+        o.apply(smp.hart_mut(0));
+    }
+    image.install(smp.hart_mut(0));
+    let pounder = contention_program();
+    for h in 1..spec.harts {
+        smp.load_program(h, &pounder);
+    }
+    schedule_ext_irqs(smp.hart_mut(0), run_cycles, ext_irq_interval);
+    smp.run(run_cycles);
+    let bus: Vec<BusMasterStats> = {
+        let shared = smp.shared();
+        let shared = shared.borrow();
+        (0..spec.harts).map(|h| shared.bus_stats(h)).collect()
+    };
+    harvest(smp.hart_mut(0), spec, Some(bus))
+}
+
+fn schedule_ext_irqs(sys: &mut System, run_cycles: u64, interval: u64) {
+    if interval > 0 {
+        let mut at = interval;
+        while at < run_cycles {
+            sys.schedule_external_irq(at);
+            at += interval;
+        }
+    }
+}
+
+/// An endless load/store walk over the hart's private DMEM bank: pure
+/// shared-bus pressure, no functional footprint outside its own bank.
+///
+/// The walk visits 8 addresses 4 KiB apart — the same cache set on both
+/// cached cores (CVA6: 64 sets × 16 B lines; NaxRiscv: 64 sets × 64 B
+/// lines) with more tags than either's 4 ways — so every iteration
+/// misses (and write-back evicts) instead of settling into the cache
+/// and going silent on the bus.
+fn contention_program() -> rvsim_isa::Program {
+    use rvsim_isa::{Asm, Reg};
+    let mut a = Asm::new(IMEM_BASE);
+    a.li(Reg::T4, 4096);
+    a.label("pound");
+    a.li(Reg::T2, DMEM_BASE as i32);
+    a.li(Reg::T1, 8);
+    a.label("slot");
+    a.sw(Reg::T3, 0, Reg::T2);
+    a.lw(Reg::T3, 4, Reg::T2);
+    a.add(Reg::T2, Reg::T2, Reg::T4);
+    a.addi(Reg::T1, Reg::T1, -1);
+    a.bne(Reg::T1, Reg::Zero, "slot");
+    a.j("pound");
+    a.finish().expect("contention program assembles")
+}
+
+fn harvest(sys: &mut System, spec: &RunSpec, bus: Option<Vec<BusMasterStats>>) -> SimOutcome {
     let raw_records = sys.take_records();
     let records = spec.filter.apply(spec.core, &raw_records);
     let latencies: Vec<u64> = records.iter().map(SwitchRecord::latency).collect();
@@ -665,6 +773,7 @@ fn simulate(
         ctx_queue: sys.platform.ctx_queue_stats(),
         counters: sys.core.counters(),
         waterfall,
+        bus,
     }
 }
 
@@ -786,6 +895,40 @@ mod tests {
         assert_eq!(a.trace_marks, b.trace_marks);
         assert_eq!(a.counters, b.counters);
         assert_eq!(a.waterfall, b.waterfall);
+    }
+
+    #[test]
+    fn smp_contention_stretches_latency_and_reports_bus_stats() {
+        let w = workloads::by_name("pingpong_semaphore").expect("exists");
+        let solo = RunSpec::new(CoreKind::Cv32e40p, Preset::Vanilla, WorkloadSpec::Suite(w));
+        let contended = solo.clone().with_harts(4);
+        let c = CampaignSpec::new("test_smp")
+            .with(solo)
+            .with(contended)
+            .run(2);
+        assert!(
+            c.outcomes[1].label.ends_with("/pingpong_semaphore/4harts"),
+            "SMP label missing the harts suffix: {}",
+            c.outcomes[1].label
+        );
+        let a = c.outcomes[0].sim.as_ref().expect("sim");
+        let b = c.outcomes[1].sim.as_ref().expect("sim");
+        assert!(a.bus.is_none(), "single-core runs carry no bus stats");
+        let bus = b.bus.as_ref().expect("SMP run reports bus stats");
+        assert_eq!(bus.len(), 4);
+        assert!(bus[1].grants > 0, "contention workers never hit the bus");
+        let (sa, sb) = (a.stats().expect("stats"), b.stats().expect("stats"));
+        assert!(
+            sb.mean > sa.mean,
+            "bus contention must stretch mean switch latency: {} !> {}",
+            sb.mean,
+            sa.mean
+        );
+        let rendered = c.to_json().render();
+        assert!(rendered.contains("\"harts\": 4"));
+        assert!(rendered.contains("\"wait_cycles\""));
+        // The single-core run's JSON is unchanged by the SMP axis.
+        assert!(!rendered.contains("\"harts\": 1"));
     }
 
     #[test]

@@ -4,16 +4,24 @@
 //! * every timing engine executes ≥ 10 000 random instructions in
 //!   lockstep with the golden architectural executor;
 //! * every ISR variant survives 1 000 randomized kernel schedules
-//!   checked event-by-event against the host-side scheduler oracle.
+//!   checked event-by-event against the host-side scheduler oracle;
+//! * 500 randomized *multi-core* schedules pass the per-hart oracle plus
+//!   the IPI conservation check (no cross-core wakeup lost);
+//! * the single-core campaign artifact is byte-identical to the
+//!   pre-SMP-refactor baseline (pinned digest).
 //!
-//! Seeds are fixed, so both gates are deterministic; failure messages
+//! Seeds are fixed, so all gates are deterministic; failure messages
 //! name the seed for replay via the `checkfuzz` bin.
 
+use rtosunit_suite::bench::campaign::{CampaignSpec, RunSpec, WorkloadSpec};
+use rtosunit_suite::bench::workloads;
 use rtosunit_suite::check::{
-    episode_for_seed, run_episode, run_scenario, scenario_for_seed, OracleStats, ORACLE_PRESETS,
+    episode_for_seed, run_episode, run_scenario, run_smp_scenario, scenario_for_seed,
+    smp_scenario_for_seed, OracleStats, ORACLE_PRESETS,
 };
 use rtosunit_suite::cores::CoreKind;
 use rtosunit_suite::isa::progen::GenConfig;
+use rtosunit_suite::unit::Preset;
 
 #[test]
 fn lockstep_ten_thousand_random_instructions_per_engine() {
@@ -46,14 +54,7 @@ fn oracle_thousand_schedules_per_isr_variant() {
             let spec = scenario_for_seed(core, preset, seed);
             let stats = run_scenario(&spec)
                 .unwrap_or_else(|v| panic!("{preset} core={core} seed={seed}: {v}"));
-            total.scheds += stats.scheds;
-            total.task_marks += stats.task_marks;
-            total.takes_ok += stats.takes_ok;
-            total.takes_blocked += stats.takes_blocked;
-            total.gives += stats.gives;
-            total.isr_gives += stats.isr_gives;
-            total.delays += stats.delays;
-            total.ticks += stats.ticks;
+            total.merge(&stats);
         }
         // The gate is only meaningful if the schedules actually exercised
         // the kernel: thousands of checked scheduling decisions and every
@@ -66,4 +67,73 @@ fn oracle_thousand_schedules_per_isr_variant() {
         assert!(total.isr_gives > 10, "{preset}: few ISR gives");
         assert!(total.delays > 100, "{preset}: few delays");
     }
+}
+
+#[test]
+fn oracle_five_hundred_multicore_schedules() {
+    // 300 two-hart plus 200 four-hart schedules, rotating every timing
+    // engine and every ISR variant. Each schedule replays every hart's
+    // trace against its own model AND checks IPI conservation: every
+    // send matched by a drain or still visibly queued — a lost
+    // cross-core wakeup fails the gate.
+    let mut total = OracleStats::default();
+    for seed in 0..500u64 {
+        let harts = if seed < 300 { 2 } else { 4 };
+        let core = CoreKind::ALL[(seed % 3) as usize];
+        let preset = ORACLE_PRESETS[(seed % ORACLE_PRESETS.len() as u64) as usize];
+        let spec = smp_scenario_for_seed(core, preset, harts, seed);
+        let stats = run_smp_scenario(&spec)
+            .unwrap_or_else(|v| panic!("{preset} core={core} harts={harts} seed={seed}: {v}"));
+        total.merge(&stats);
+    }
+    // The gate must have exercised the cross-core path, not just n
+    // independent kernels: thousands of scheduling decisions and a
+    // healthy population of IPIs drained into deferred gives.
+    assert!(total.scheds > 5_000, "scheds {}", total.scheds);
+    assert!(total.ipi_sends > 500, "ipi_sends {}", total.ipi_sends);
+    assert!(total.ipi_recvs > 500, "ipi_recvs {}", total.ipi_recvs);
+    assert!(
+        total.isr_gives >= total.ipi_recvs,
+        "every drained IPI defers a give"
+    );
+    assert!(
+        total.takes_blocked > 100,
+        "takes_blocked {}",
+        total.takes_blocked
+    );
+}
+
+/// FNV-1a, the digest the pre-refactor baseline was pinned with.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+#[test]
+fn single_core_campaign_artifact_is_byte_identical_to_pre_smp_baseline() {
+    // Pinned on the commit immediately before the CpuCore/SMP refactor:
+    // the rendered campaign JSON for this fixed matrix hashed to the
+    // value below. Single-core users must see bit-for-bit identical
+    // measurements and artifacts after the refactor — a drift here means
+    // the SMP plumbing leaked into the classic path (e.g. an extra JSON
+    // key, a changed timing) and must be fixed, not re-pinned.
+    let w = workloads::by_name("pingpong_semaphore").expect("suite workload exists");
+    let mut spec = CampaignSpec::new("smp_equiv");
+    for core in CoreKind::ALL {
+        for preset in [Preset::Vanilla, Preset::Slt] {
+            spec.runs
+                .push(RunSpec::new(core, preset, WorkloadSpec::Suite(w)));
+        }
+    }
+    let rendered = spec.run(4).to_json().render();
+    assert_eq!(rendered.len(), 35753, "artifact length drifted");
+    assert_eq!(
+        fnv1a(rendered.as_bytes()),
+        0xa270_a007_f9dc_103d,
+        "artifact bytes drifted from the pre-refactor baseline"
+    );
 }
