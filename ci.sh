@@ -26,6 +26,36 @@ test -s results/trace_dump_smp.json
 python3 -c "import json; json.load(open('results/trace_dump.json')); json.load(open('results/trace_dump_smp.json'))" 2>/dev/null \
   || echo "   (python3 unavailable — relying on the binary's self-validation)"
 
+echo "== tail-latency figure + schema-v3 smoke test"
+# Quick bursty-arrival sweep; the artifact carries the full telemetry
+# schema (per-run histograms, percentiles, SLO misses, aggregate).
+cargo run -q --release -p rtosunit-bench --bin fig_tail -- --quick > /dev/null
+test -s results/fig_tail_quick.json
+python3 -c "
+import json
+d = json.load(open('results/fig_tail_quick.json'))
+assert d['schema'] == 'rtosunit-campaign-v3', d['schema']
+for run in d['runs']:
+    h = run['latency_hist']
+    assert 'p99.9' in h['latency']['percentiles'], run['name']
+    assert h['slo'] is not None and 'miss_rate' in h['slo'], run['name']
+assert 'aggregate' in d
+" 2>/dev/null || echo "   (python3 unavailable — relying on tests/perfgate.rs)"
+
+echo "== perfdiff regression gate (deterministic metrics, zero tolerance)"
+cargo run -q --release -p rtosunit-bench --bin perfdiff -- \
+  ci/perf_baseline.json results/fig_tail_quick.json --no-throughput --tolerance 0 > /dev/null
+
+echo "== perfdiff throughput gate (relative mode, 10% tolerance)"
+cargo bench -q -p rtosunit-bench --bench bench_campaign > /dev/null
+cargo run -q --release -p rtosunit-bench --bin perfdiff -- \
+  ci/bench_baseline.json results/BENCH_campaign.json --relative --tolerance 0.10
+
+echo "== guest flamegraph smoke test"
+cargo run -q --release -p rtosunit-bench --bin guest_profile > /dev/null
+test -s results/flamegraph.folded
+test -s results/guest_profile.txt
+
 echo "== examples smoke test"
 for ex in quickstart sensor_control_loop wcet_analysis config_explorer; do
   echo "   example: $ex"

@@ -41,8 +41,11 @@ fn main() {
     );
 
     let batched_par = fig9_spec(false).run(workers);
+    // A stable record name (no worker count) so perfdiff can match it
+    // against a baseline captured on a host with a different core count.
+    println!("batched_parallel uses {workers} workers");
     bench.record(
-        format!("fig9_matrix/batched_parallel_{workers}w"),
+        "fig9_matrix/batched_parallel",
         u128::from(batched_par.host_nanos),
         Some((batched_par.simulated_cycles() as f64, "cycles")),
     );

@@ -12,8 +12,9 @@
 //!
 //! The machine-readable campaign artifact lands in `results/fig_smp.json`.
 
-use rtosbench::{workloads, CampaignSpec, RunSpec, WorkloadSpec};
+use rtosbench::{workloads, CampaignSpec, Json, RunSpec, WorkloadSpec};
 use rtosunit::Preset;
+use rvsim_check::{run_smp_scenario, smp_scenario_for_seed};
 use rvsim_cores::CoreKind;
 
 /// Hart counts of the sweep (1 = the uncontended baseline).
@@ -25,7 +26,9 @@ const PRESETS: [Preset; 2] = [Preset::Vanilla, Preset::Slt];
 
 fn main() {
     let w = workloads::by_name("pingpong_semaphore").expect("suite workload exists");
-    let mut spec = CampaignSpec::new("fig_smp").with_progress();
+    let mut spec = CampaignSpec::new("fig_smp")
+        .with_telemetry()
+        .with_progress();
     for core in CoreKind::ALL {
         for preset in PRESETS {
             for harts in HART_COUNTS {
@@ -34,7 +37,10 @@ fn main() {
             }
         }
     }
-    let campaign = spec.run(rtosunit_bench::default_workers());
+    let mut campaign = spec.run(rtosunit_bench::default_workers());
+    let bus = bus_section(&campaign);
+    campaign.attach_section("verification", verification_section());
+    campaign.attach_section("bus_contention", bus);
 
     let mut out = String::new();
     out.push_str("# Switch latency vs. cores contending on the shared bus\n");
@@ -85,4 +91,59 @@ fn main() {
         Err(e) => eprintln!("# campaign artifact not written: {e}"),
     }
     println!("# {}", campaign.throughput_summary());
+}
+
+/// Runs the SMP scheduler oracle on a representative configuration per
+/// hart count and exports its coverage counters — the artifact carries
+/// its own verification context next to the measured latencies.
+fn verification_section() -> Json {
+    let mut section = Json::object();
+    for harts in HART_COUNTS.iter().filter(|&&h| h > 1) {
+        let scenario = smp_scenario_for_seed(CoreKind::Cv32e40p, Preset::Slt, *harts, 7);
+        let entry = match run_smp_scenario(&scenario) {
+            Ok(stats) => {
+                let mut j = Json::object().with("pass", true);
+                for (name, value) in stats.named() {
+                    j.push(name, value);
+                }
+                j
+            }
+            Err(v) => Json::object()
+                .with("pass", false)
+                .with("violation", v.to_string()),
+        };
+        section.push(&format!("oracle_{harts}harts"), entry);
+    }
+    section
+}
+
+/// Aggregates every SMP run's per-hart [`BusMasterStats`] into one
+/// contention summary: grants and wait cycles summed per hart index,
+/// worst-case single wait across the whole campaign.
+fn bus_section(campaign: &rtosbench::Campaign) -> Json {
+    let max_harts = HART_COUNTS.iter().copied().max().unwrap_or(1);
+    let mut grants = vec![0u64; max_harts];
+    let mut waits = vec![0u64; max_harts];
+    let mut max_wait = vec![0u64; max_harts];
+    for sim in campaign.outcomes.iter().filter_map(|o| o.sim.as_ref()) {
+        if let Some(bus) = &sim.bus {
+            for (h, m) in bus.iter().enumerate() {
+                grants[h] += m.grants;
+                waits[h] += m.wait_cycles;
+                max_wait[h] = max_wait[h].max(m.max_wait);
+            }
+        }
+    }
+    Json::object().with(
+        "per_hart",
+        (0..max_harts)
+            .map(|h| {
+                Json::object()
+                    .with("hart", h)
+                    .with("grants", grants[h])
+                    .with("wait_cycles", waits[h])
+                    .with("max_wait", max_wait[h])
+            })
+            .collect::<Vec<_>>(),
+    )
 }

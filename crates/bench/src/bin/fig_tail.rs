@@ -1,0 +1,75 @@
+//! Tail-latency figure: the open-loop bursty-arrival sweep.
+//!
+//! Mean switch latency (Fig. 9) hides exactly what a real-time system
+//! cares about — the tail. This figure drives the deferred-interrupt
+//! workload with a Markov-modulated *open-loop* arrival process
+//! ([`rtosbench::tail`]): interrupts land on a precomputed schedule
+//! whether or not the guest has finished the previous switch, so
+//! queueing delay during bursts shows up in the distribution instead of
+//! being coordinated away. Per `(preset, arrival rate)` cell the v3
+//! campaign telemetry reports exact p50/p99/p99.9/p99.99 and the SLO
+//! miss rate against a fixed latency budget.
+//!
+//! `--quick` shrinks the cycle budget for CI smoke runs (the same spec
+//! shape, so the committed perf baseline stays comparable). The
+//! machine-readable artifact lands in `results/fig_tail.json`
+//! (`results/fig_tail_quick.json` with `--quick`).
+
+use rtosbench::tail::{self, SLO_CYCLES};
+use rtosunit::hist::REPORTED_PERCENTILES;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let mut spec = tail::tail_spec(quick);
+    spec = spec.with_progress();
+    let campaign = spec.run(rtosunit_bench::default_workers());
+
+    let mut out = String::new();
+    out.push_str("# Tail switch latency under open-loop bursty arrivals\n");
+    out.push_str(&format!(
+        "# (CV32E40P, deferred interrupt handling; SLO budget = {SLO_CYCLES} cycles)\n\n"
+    ));
+    out.push_str("| preset | mean gap | switches | p50 | p90 | p99 | p99.9 | p99.99 | max | SLO miss rate |\n");
+    out.push_str("|---|---|---|---|---|---|---|---|---|---|\n");
+    for o in &campaign.outcomes {
+        let sim = o.sim.as_ref().expect("tail runs all simulate");
+        let m = &sim.metrics;
+        let pcts: Vec<String> = REPORTED_PERCENTILES
+            .iter()
+            .map(|(_, p)| match m.latency.percentile(*p) {
+                Some(v) => v.to_string(),
+                None => "-".to_string(),
+            })
+            .collect();
+        let slo = m.slo.expect("tail campaign sets a campaign-wide SLO");
+        out.push_str(&format!(
+            "| {} | {} | {} | {} | {} | {:.4} |\n",
+            o.preset.label(),
+            o.param,
+            m.latency.count(),
+            pcts.join(" | "),
+            m.latency.max().map_or("-".to_string(), |v| v.to_string()),
+            slo.miss_rate(),
+        ));
+    }
+    out.push('\n');
+    out.push_str(&rtosunit_bench::paper_note(&[
+        "open-loop arrivals keep bursts on schedule, so queue delay lands in the tail instead of being coordinated away",
+        "the gap sweep pushes the system toward saturation; p99.9 separates presets long before the mean moves",
+        "hardware-assisted presets cut the SLO miss rate by shortening every switch the burst stacks up",
+    ]));
+    rtosunit_bench::emit(
+        if quick {
+            "fig_tail_quick.txt"
+        } else {
+            "fig_tail.txt"
+        },
+        &out,
+    );
+
+    match campaign.write_json("results") {
+        Ok(path) => println!("# campaign artifact: {}", path.display()),
+        Err(e) => eprintln!("# campaign artifact not written: {e}"),
+    }
+    println!("# {}", campaign.throughput_summary());
+}

@@ -22,7 +22,7 @@ use rtosbench::json::Json;
 use rtosbench::workloads;
 use rtosunit::waterfall;
 use rtosunit::{Preset, SmpSystem, System};
-use rtosunit_bench::chrome_trace::{chrome_trace, chrome_trace_smp};
+use rtosunit_bench::chrome_trace::{chrome_trace, chrome_trace_smp, validate};
 use rvsim_cores::CoreKind;
 
 /// Cycle budget: enough for dozens of timer-driven episodes while the
@@ -86,6 +86,11 @@ fn main() {
             names.contains(&required),
             "trace is missing `{required}` events"
         );
+    }
+    // Structural invariants of the emitted JSON: timestamps monotone per
+    // track, phase widths tiling every episode slice exactly.
+    if let Err(e) = validate(&parsed) {
+        panic!("trace self-validation failed: {e}");
     }
 
     let dir = std::path::Path::new("results");
@@ -177,6 +182,9 @@ fn dump_smp(core: CoreKind, preset: Preset, dir: &std::path::Path) {
                 "SMP trace is missing the `{want}` track"
             );
         }
+    }
+    if let Err(e) = validate(&parsed) {
+        panic!("SMP trace self-validation failed: {e}");
     }
     // Both harts must have taken interrupts (hart 0: the IPI wakeups,
     // hart 1: at least the timer ticks driving `delay`).

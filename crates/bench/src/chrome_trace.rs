@@ -211,6 +211,97 @@ fn emit_hart(
     }
 }
 
+/// Structural self-validation of an emitted trace document, run by the
+/// `trace_dump` smoke test on its own output:
+///
+/// 1. **Timestamps are monotone per track** — within each `(pid, tid)`
+///    track (and each named counter series, which share tid 0 across
+///    harts), `ts` never goes backwards in emission order, so Perfetto's
+///    slice nesting is well-defined.
+/// 2. **Phase widths tile every episode** — for each episode slice, the
+///    phase slices on its companion `phases` track that start inside it
+///    sum exactly to the episode's duration: the emitted JSON itself
+///    upholds the waterfall invariant, not just the in-memory episodes
+///    it was rendered from.
+///
+/// # Errors
+///
+/// Returns a description of the first violated invariant (event index,
+/// track and values) — the callers `assert!` on it.
+pub fn validate(doc: &Json) -> Result<(), String> {
+    use std::collections::HashMap;
+    let events = doc
+        .get("traceEvents")
+        .and_then(Json::as_array)
+        .ok_or_else(|| "document has no traceEvents array".to_string())?;
+    let mut last_ts: HashMap<(u64, u64, String), u64> = HashMap::new();
+    let mut episodes: Vec<(u64, u64, u64)> = Vec::new();
+    let mut phases: HashMap<u64, Vec<(u64, u64)>> = HashMap::new();
+    for (i, e) in events.iter().enumerate() {
+        let ph = e.get("ph").and_then(Json::as_str).unwrap_or("");
+        if ph == "M" {
+            continue; // metadata carries no timestamp
+        }
+        let pid = e.get("pid").and_then(Json::as_u64).unwrap_or(0);
+        let tid = e.get("tid").and_then(Json::as_u64).unwrap_or(0);
+        let ts = e
+            .get("ts")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| format!("event {i} (ph `{ph}`) has no integer ts"))?;
+        // Counter series share tid 0 across harts; their name is the track.
+        let series = if ph == "C" {
+            e.get("name")
+                .and_then(Json::as_str)
+                .unwrap_or("")
+                .to_string()
+        } else {
+            String::new()
+        };
+        let key = (pid, tid, series);
+        if let Some(&prev) = last_ts.get(&key) {
+            if ts < prev {
+                return Err(format!(
+                    "event {i}: ts {ts} goes backwards on track pid {pid} tid {tid} (previous {prev})"
+                ));
+            }
+        }
+        last_ts.insert(key, ts);
+        if ph == "X" {
+            let dur = e
+                .get("dur")
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("event {i}: complete slice without dur"))?;
+            // Track layout: tid_base = 3·hart, episodes = base+1, phases
+            // = base+2 — so the residue mod 3 identifies the track kind.
+            if tid % 3 == TID_EPISODES {
+                episodes.push((tid, ts, dur));
+            } else if tid % 3 == TID_PHASES {
+                phases.entry(tid).or_default().push((ts, dur));
+            }
+        }
+    }
+    if episodes.is_empty() {
+        return Err("trace contains no switch-episode slices".to_string());
+    }
+    for (tid, ts, latency) in episodes {
+        let sum: u64 = phases
+            .get(&(tid + 1))
+            .map(|v| {
+                v.iter()
+                    .filter(|(pts, _)| *pts >= ts && *pts < ts + latency.max(1))
+                    .map(|(_, dur)| dur)
+                    .sum()
+            })
+            .unwrap_or(0);
+        if sum != latency {
+            return Err(format!(
+                "episode at ts {ts} (tid {tid}): phase widths sum to {sum}, episode latency is {latency}"
+            ));
+        }
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -350,6 +441,69 @@ mod tests {
             e.get("tid").and_then(Json::as_u64) == Some(3 + TID_EPISODES)
                 && e.get("ph").and_then(Json::as_str) == Some("X")
         }));
+    }
+
+    #[test]
+    fn validate_accepts_emitted_documents_and_rejects_tampering() {
+        let (trace, episodes) = sample();
+        let doc = chrome_trace("test", &trace, &episodes);
+        validate(&doc).expect("single-core document validates");
+        let (t0, e0) = sample();
+        let (t1, e1) = sample();
+        let smp = chrome_trace_smp("smp-test", &[(t0, e0), (t1, e1)]);
+        validate(&smp).expect("SMP document validates");
+
+        // Shrink one phase slice: the tiling invariant must trip.
+        let mut broken = doc.clone();
+        if let Some(Json::Array(events)) = broken_events(&mut broken) {
+            let phase = events
+                .iter_mut()
+                .find(|e| {
+                    e.get("tid").and_then(Json::as_u64) == Some(TID_PHASES)
+                        && e.get("ph").and_then(Json::as_str) == Some("X")
+                })
+                .expect("a phase slice exists");
+            set_key(phase, "dur", Json::UInt(1));
+        }
+        let err = validate(&broken).expect_err("tampered dur must fail");
+        assert!(err.contains("phase widths sum"), "{err}");
+
+        // Rewind one event's timestamp: monotonicity must trip.
+        let mut rewound = chrome_trace("test", &sample().0, &sample().1);
+        if let Some(Json::Array(events)) = broken_events(&mut rewound) {
+            let last_instant = events
+                .iter_mut()
+                .rev()
+                .find(|e| e.get("ph").and_then(Json::as_str) == Some("i"))
+                .expect("an instant event exists");
+            set_key(last_instant, "ts", Json::UInt(0));
+        }
+        let err = validate(&rewound).expect_err("rewound ts must fail");
+        assert!(err.contains("goes backwards"), "{err}");
+    }
+
+    /// Mutable access to a document's `traceEvents` array.
+    fn broken_events(doc: &mut Json) -> Option<&mut Json> {
+        match doc {
+            Json::Object(pairs) => pairs
+                .iter_mut()
+                .find(|(k, _)| k == "traceEvents")
+                .map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Overwrites `key` in an event object.
+    fn set_key(event: &mut Json, key: &str, value: Json) {
+        if let Json::Object(pairs) = event {
+            for (k, v) in pairs.iter_mut() {
+                if k == key {
+                    *v = value;
+                    return;
+                }
+            }
+        }
+        panic!("event has no `{key}` field");
     }
 
     #[test]

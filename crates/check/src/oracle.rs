@@ -96,6 +96,23 @@ impl OracleStats {
         self.ipi_sends += other.ipi_sends;
         self.ipi_recvs += other.ipi_recvs;
     }
+
+    /// `(name, value)` pairs in declaration order — the stable export
+    /// used by campaign telemetry sections and reports.
+    pub fn named(&self) -> [(&'static str, u64); 10] {
+        [
+            ("scheds", self.scheds),
+            ("task_marks", self.task_marks),
+            ("takes_ok", self.takes_ok),
+            ("takes_blocked", self.takes_blocked),
+            ("gives", self.gives),
+            ("isr_gives", self.isr_gives),
+            ("delays", self.delays),
+            ("ticks", self.ticks),
+            ("ipi_sends", self.ipi_sends),
+            ("ipi_recvs", self.ipi_recvs),
+        ]
+    }
 }
 
 struct Model<'a> {

@@ -38,6 +38,7 @@ pub mod config;
 pub mod ctxqueue;
 pub mod cv32rt;
 pub mod events;
+pub mod hist;
 pub mod layout;
 pub mod platform;
 pub mod scheduler;
@@ -51,6 +52,7 @@ pub mod waterfall;
 pub use config::{ConfigError, Preset, RtosUnitConfig};
 pub use cv32rt::Cv32rtUnit;
 pub use events::{EventTrace, PhaseCode, TraceEvent, TraceMark, TraceSink};
+pub use hist::{LatencyHistogram, SloCounter, SwitchMetrics, REPORTED_PERCENTILES};
 pub use platform::{Mmio, Platform};
 pub use rvsim_mem::BusMasterStats;
 pub use scheduler::{HwScheduler, SchedEntry};

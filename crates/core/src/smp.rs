@@ -157,6 +157,21 @@ impl SmpSystem {
         self.harts[hart].load_program(program);
     }
 
+    /// Turns the guest PC profiler on or off on *every* hart. Per-hart
+    /// profiles come back through [`take_profiles`](Self::take_profiles),
+    /// so SMP runs get per-hart cycle attribution.
+    pub fn set_profiling(&mut self, on: bool) {
+        for sys in &mut self.harts {
+            sys.set_profiling(on);
+        }
+    }
+
+    /// Takes every hart's accumulated profile (index = hart id), turning
+    /// profiling off. Harts that were not profiling yield `None`.
+    pub fn take_profiles(&mut self) -> Vec<Option<rvsim_cores::PcProfile>> {
+        self.harts.iter_mut().map(System::take_profile).collect()
+    }
+
     /// Whether the measured hart (hart 0) has halted.
     pub fn halted(&self) -> bool {
         self.harts[0].halted()

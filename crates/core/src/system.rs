@@ -227,6 +227,19 @@ impl System {
         self.platform.enable_tracing(capacity);
     }
 
+    /// Turns the guest PC profiler on or off (see
+    /// [`CoreEngine::set_profiling`]). Off by default; profiling never
+    /// changes timing. Retrieve the result through
+    /// [`take_profile`](Self::take_profile).
+    pub fn set_profiling(&mut self, on: bool) {
+        self.core.set_profiling(on);
+    }
+
+    /// Takes the accumulated cycle-per-PC profile, turning profiling off.
+    pub fn take_profile(&mut self) -> Option<rvsim_cores::PcProfile> {
+        self.core.take_profile()
+    }
+
     /// Advances the system by one cycle.
     pub fn step(&mut self) {
         self.platform.begin_cycle();

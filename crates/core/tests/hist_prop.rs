@@ -1,0 +1,85 @@
+//! Property tests for the streaming latency histogram (`rtosunit::hist`):
+//! merge is associative/commutative, percentiles stay within one bucket of
+//! an exact oracle, and recorded counts are conserved under merge.
+//!
+//! The deterministic (Rng64-seeded) versions of these properties run
+//! unconditionally inside `hist.rs`; this file re-states them over
+//! proptest-generated inputs for wider coverage.
+
+#![cfg(feature = "proptest")]
+// Default-off: requires the external `proptest` crate (network). See the
+// crate's Cargo.toml for how to enable.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use rtosunit::hist::REPORTED_PERCENTILES;
+use rtosunit::LatencyHistogram;
+
+fn hist_of(samples: &[u64]) -> LatencyHistogram {
+    let mut h = LatencyHistogram::new();
+    for &s in samples {
+        h.record(s);
+    }
+    h
+}
+
+proptest! {
+    #[test]
+    fn merge_is_commutative(a in vec(any::<u64>(), 0..200), b in vec(any::<u64>(), 0..200)) {
+        let (ha, hb) = (hist_of(&a), hist_of(&b));
+        let mut ab = ha.clone();
+        ab.merge(&hb);
+        let mut ba = hb.clone();
+        ba.merge(&ha);
+        prop_assert_eq!(ab, ba);
+    }
+
+    #[test]
+    fn merge_is_associative(
+        a in vec(any::<u64>(), 0..150),
+        b in vec(any::<u64>(), 0..150),
+        c in vec(any::<u64>(), 0..150),
+    ) {
+        let (ha, hb, hc) = (hist_of(&a), hist_of(&b), hist_of(&c));
+        let mut left = ha.clone();
+        left.merge(&hb);
+        left.merge(&hc);
+        let mut bc = hb.clone();
+        bc.merge(&hc);
+        let mut right = ha.clone();
+        right.merge(&bc);
+        prop_assert_eq!(left, right);
+    }
+
+    #[test]
+    fn merge_conserves_counts(parts in vec(vec(any::<u64>(), 0..100), 1..8)) {
+        let mut acc = LatencyHistogram::new();
+        for part in &parts {
+            acc.merge(&hist_of(part));
+        }
+        let expected: usize = parts.iter().map(Vec::len).sum();
+        prop_assert_eq!(acc.count(), expected as u64);
+    }
+
+    #[test]
+    fn percentiles_stay_within_one_bucket_of_the_oracle(
+        mut samples in vec(0u64..1 << 40, 1..500),
+    ) {
+        let h = hist_of(&samples);
+        samples.sort_unstable();
+        for (_, p) in REPORTED_PERCENTILES {
+            let rank = ((p / 100.0 * samples.len() as f64).ceil() as usize)
+                .clamp(1, samples.len());
+            let exact = samples[rank - 1];
+            let reported = h.percentile(p).expect("non-empty");
+            // Upper-bound convention, clamped to the recorded max: the
+            // report can only exceed the oracle by the bucket width
+            // (≤ exact/31), never undershoot it.
+            prop_assert!(reported >= exact);
+            prop_assert!(
+                reported - exact <= exact / 31 + 1,
+                "p{}: {} vs exact {}", p, reported, exact
+            );
+        }
+    }
+}

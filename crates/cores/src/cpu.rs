@@ -13,6 +13,7 @@ use crate::coproc::Coprocessor;
 use crate::engine::{CoreEngine, CoreEvent, DataBus, StopReason};
 use crate::golden::{GoldenCore, GoldenStep};
 use crate::models::{make_engine, CoreKind};
+use crate::profile::PcProfile;
 use crate::state::ArchState;
 use rvsim_isa::Program;
 
@@ -76,6 +77,19 @@ pub trait CpuCore {
 
     /// Display name of the modelled core.
     fn core_name(&self) -> &'static str;
+
+    /// Turns guest PC profiling on (fresh bins) or off. Profiling never
+    /// changes timing or architectural behaviour. Default: unsupported
+    /// no-op (the golden executor has no cycle model worth profiling).
+    fn set_profiling(&mut self, on: bool) {
+        let _ = on;
+    }
+
+    /// Takes the accumulated cycle-per-PC profile, turning profiling off.
+    /// Default: `None` (profiling unsupported).
+    fn take_profile(&mut self) -> Option<PcProfile> {
+        None
+    }
 }
 
 impl CpuCore for CoreEngine {
@@ -151,6 +165,14 @@ impl CpuCore for CoreEngine {
 
     fn core_name(&self) -> &'static str {
         self.params.name
+    }
+
+    fn set_profiling(&mut self, on: bool) {
+        CoreEngine::set_profiling(self, on);
+    }
+
+    fn take_profile(&mut self) -> Option<PcProfile> {
+        CoreEngine::take_profile(self)
     }
 }
 

@@ -10,6 +10,7 @@
 use crate::coproc::Coprocessor;
 use crate::counters::CoreCounters;
 use crate::exec::{execute, MemRequest};
+use crate::profile::PcProfile;
 use crate::state::ArchState;
 use crate::timing::TimingParams;
 use rvsim_isa::{decode, disassemble, Instr, Program};
@@ -188,6 +189,8 @@ pub struct CoreEngine {
     trace: VecDeque<(u64, u32)>,
     trace_depth: usize,
     counters: CoreCounters,
+    profiler: Option<Box<PcProfile>>,
+    wfi_pc: u32,
 }
 
 impl std::fmt::Debug for CoreEngine {
@@ -221,6 +224,8 @@ impl CoreEngine {
             trace: VecDeque::new(),
             trace_depth: 64,
             counters: CoreCounters::default(),
+            profiler: None,
+            wfi_pc: 0,
         }
     }
 
@@ -285,6 +290,49 @@ impl CoreEngine {
     /// per-cycle or through batched [`run_until`](Self::run_until).
     pub fn counters(&self) -> CoreCounters {
         self.counters
+    }
+
+    /// Turns the guest PC profiler on (fresh bins over the instruction
+    /// memory) or off. Profiling only *counts* — timing, architectural
+    /// state and events are unchanged, and because cycles are attributed
+    /// at issue time (like the activity counters) the profile is
+    /// bit-identical between per-cycle and batched execution.
+    pub fn set_profiling(&mut self, on: bool) {
+        self.profiler = on.then(|| {
+            Box::new(PcProfile::new(
+                self.imem.base(),
+                self.imem.end() - self.imem.base(),
+            ))
+        });
+    }
+
+    /// The accumulated profile, if profiling is on.
+    pub fn profile(&self) -> Option<&PcProfile> {
+        self.profiler.as_deref()
+    }
+
+    /// Takes the accumulated profile, turning profiling off.
+    pub fn take_profile(&mut self) -> Option<PcProfile> {
+        self.profiler.take().map(|p| *p)
+    }
+
+    /// Folds a profile into ranked basic blocks using this engine's own
+    /// instruction decoder (see [`PcProfile::hot_blocks`]).
+    pub fn hot_blocks(&mut self, profile: &PcProfile) -> Vec<crate::profile::HotBlock> {
+        profile.hot_blocks(|pc| self.peek(pc))
+    }
+
+    /// Renders a profile as folded-stack lines under `root` (see
+    /// [`PcProfile::folded`]).
+    pub fn folded_profile(&mut self, profile: &PcProfile, root: &str) -> String {
+        profile.folded(root, |pc| self.peek(pc))
+    }
+
+    #[inline]
+    fn attribute(&mut self, pc: u32, cycles: u64) {
+        if let Some(p) = &mut self.profiler {
+            p.add(pc, cycles);
+        }
     }
 
     fn fetch(&mut self, pc: u32) -> Instr {
@@ -392,6 +440,8 @@ impl CoreEngine {
                 self.wfi_wait = false;
             } else {
                 self.counters.wfi_cycles += 1;
+                let pc = self.wfi_pc;
+                self.attribute(pc, 1);
                 return out;
             }
         }
@@ -404,6 +454,9 @@ impl CoreEngine {
                 coproc.on_interrupt_entry(&mut self.state, cause);
                 self.busy = self.params.irq_entry_latency.saturating_sub(1);
                 self.counters.stall_irq_entry += u64::from(self.busy);
+                // The whole entry flush is charged to the handler's first
+                // instruction — ISR prologues show their true entry cost.
+                self.attribute(target, 1 + u64::from(self.busy));
                 out.event = Some(CoreEvent::InterruptEntered { cause });
                 return out;
             }
@@ -426,6 +479,7 @@ impl CoreEngine {
                 self.state.pc = target;
                 self.busy = self.params.irq_entry_latency.saturating_sub(1);
                 self.counters.stall_irq_entry += u64::from(self.busy);
+                self.attribute(target, 1 + u64::from(self.busy));
                 out.event = Some(CoreEvent::ExceptionEntered {
                     cause: rvsim_isa::csr::CAUSE_MISALIGNED_FETCH,
                 });
@@ -438,11 +492,13 @@ impl CoreEngine {
             if let Instr::Custom { op, .. } = instr {
                 if coproc.custom_stall(op) {
                     self.counters.stall_coproc += 1;
+                    self.attribute(pc, 1);
                     return out;
                 }
             }
             if matches!(instr, Instr::Mret) && coproc.mret_stall() {
                 self.counters.stall_coproc += 1;
+                self.attribute(pc, 1);
                 return out;
             }
 
@@ -490,6 +546,7 @@ impl CoreEngine {
                     self.state.pc = target;
                     self.busy = self.params.irq_entry_latency.saturating_sub(1);
                     self.counters.stall_irq_entry += u64::from(self.busy);
+                    self.attribute(target, 1 + u64::from(self.busy));
                     out.event = Some(CoreEvent::ExceptionEntered { cause });
                     return out;
                 }
@@ -530,16 +587,20 @@ impl CoreEngine {
 
             if outcome.halt {
                 self.halted = true;
+                self.attribute(pc, 1);
                 out.event = Some(CoreEvent::Halted);
                 return out;
             }
             if outcome.is_wfi {
                 self.wfi_wait = true;
+                self.wfi_pc = pc;
+                self.attribute(pc, 1);
                 return out;
             }
             if outcome.is_mret {
                 self.busy = latency.saturating_sub(1);
                 self.counters.stall_mret += u64::from(self.busy);
+                self.attribute(pc, 1 + u64::from(self.busy));
                 if self.busy == 0 {
                     coproc.on_mret(&mut self.state);
                     out.event = Some(CoreEvent::MretRetired);
@@ -567,7 +628,11 @@ impl CoreEngine {
             self.busy = latency.saturating_sub(1);
             // Issue-time stall attribution: the drain length is fully
             // decided here, so the batched path (which bulk-skips the
-            // drain) ends up with identical counters.
+            // drain) ends up with identical counters. The profiler uses
+            // the same trick: the full `1 + busy` cost lands on the
+            // issuing PC now (on the *second* PC of a superscalar pair —
+            // the first `continue`d without consuming the cycle).
+            self.attribute(pc, 1 + u64::from(self.busy));
             let stall = u64::from(self.busy);
             if stall > 0 {
                 match instr {
@@ -663,6 +728,8 @@ impl CoreEngine {
                 bus.advance_cycles(remaining);
                 self.cycle += remaining;
                 self.counters.wfi_cycles += remaining;
+                let pc = self.wfi_pc;
+                self.attribute(pc, remaining);
                 self.state.csrs.mcycle = self.cycle as u32;
                 return BatchExit {
                     cycles: max_cycles,
@@ -958,6 +1025,7 @@ mod tests {
 
         let mut slow = CoreEngine::new(TimingParams::cv32e40p(), 0, 0x1_0000);
         slow.load_program(&p);
+        slow.set_profiling(true);
         let mut slow_bus = SramBus {
             mem: Mem::new(0x2000_0000, 0x100),
         };
@@ -966,6 +1034,7 @@ mod tests {
 
         let mut fast = CoreEngine::new(TimingParams::cv32e40p(), 0, 0x1_0000);
         fast.load_program(&p);
+        fast.set_profiling(true);
         let mut fast_bus = SramBus {
             mem: Mem::new(0x2000_0000, 0x100),
         };
@@ -989,6 +1058,63 @@ mod tests {
         assert!(slow.counters().stall_mem > 0, "load stalls recorded");
         assert!(slow.counters().wfi_cycles > 0, "wfi park recorded");
         assert!(slow.counters().decode_hits > slow.counters().decode_misses);
+        // The PC profiler uses the same issue-time attribution, so the
+        // batched and per-cycle profiles are bit-identical and account
+        // for every consumed cycle (the run ends parked in wfi, not
+        // mid-drain, so attribution equals consumption exactly).
+        let fast_profile = fast.take_profile().expect("profiling was on");
+        let slow_profile = slow.take_profile().expect("profiling was on");
+        assert_eq!(fast_profile, slow_profile, "profiles diverged");
+        assert_eq!(slow_profile.total_cycles(), slow_cycles);
+        assert_eq!(slow_profile.other, 0);
+        // The park cycles land on the `wfi` PC; inside the loop body the
+        // div stall dominates.
+        let mut ranked: Vec<(u32, u64)> = slow_profile.nonzero().collect();
+        ranked.sort_by_key(|&(_, c)| std::cmp::Reverse(c));
+        let mut name_of = |pc: u32| {
+            slow.disassemble_at(pc)
+                .map(|d| d.split_whitespace().next().unwrap_or("").to_string())
+        };
+        assert_eq!(name_of(ranked[0].0).as_deref(), Some("wfi"), "park cycles");
+        assert_eq!(name_of(ranked[1].0).as_deref(), Some("div"), "div stall");
+    }
+
+    #[test]
+    fn profiling_never_changes_timing_or_state() {
+        // The same program as the batching test, run with and without the
+        // profiler: cycles, retirement, PC and registers must match
+        // exactly (the profiler only counts).
+        let mut a = Asm::new(0);
+        a.li(Reg::T0, 0x2000_0000u32 as i32);
+        a.li(Reg::T1, 25);
+        a.label("loop");
+        a.sw(Reg::T1, 0, Reg::T0);
+        a.lw(Reg::T2, 0, Reg::T0);
+        a.div(Reg::T2, Reg::T2, Reg::T1);
+        a.addi(Reg::T1, Reg::T1, -1);
+        a.bnez(Reg::T1, "loop");
+        a.ebreak();
+        let p = a.finish().unwrap();
+        let run = |profiled: bool| {
+            let mut e = CoreEngine::new(TimingParams::naxriscv(), 0, 0x1_0000);
+            e.load_program(&p);
+            e.set_profiling(profiled);
+            let mut bus = SramBus {
+                mem: Mem::new(0x2000_0000, 0x100),
+            };
+            let mut co = NullCoprocessor;
+            e.run_with(&mut bus, &mut co, 50_000, |_, _| {});
+            assert!(e.halted());
+            e
+        };
+        let off = run(false);
+        let on = run(true);
+        assert_eq!(off.cycle(), on.cycle(), "profiling changed the cycle count");
+        assert_eq!(off.retired(), on.retired());
+        assert_eq!(off.state.pc, on.state.pc);
+        assert_eq!(off.counters(), on.counters());
+        assert!(off.profile().is_none());
+        assert_eq!(on.profile().expect("on").total_cycles(), on.cycle());
     }
 
     #[test]

@@ -29,6 +29,7 @@ pub mod engine;
 pub mod exec;
 pub mod golden;
 pub mod models;
+pub mod profile;
 pub mod state;
 pub mod timing;
 
@@ -39,5 +40,6 @@ pub use csrs::Csrs;
 pub use engine::{stop_events, BatchExit, CoreEngine, CoreEvent, DataBus, StepOutput, StopReason};
 pub use golden::{GoldenCore, GoldenStep};
 pub use models::{make_engine, CoreKind};
+pub use profile::{hot_block_report, HotBlock, PcProfile};
 pub use state::{ArchState, Bank};
 pub use timing::TimingParams;

@@ -21,10 +21,12 @@ use crate::runner;
 use crate::workloads::{self, Workload};
 use freertos_lite::{GuestImage, KernelError};
 use rtosunit::cv32rt::Cv32rtStats;
+use rtosunit::hist::{LatencyHistogram, SloCounter};
 use rtosunit::layout::{DMEM_BASE, IMEM_BASE};
 use rtosunit::waterfall::{self, EpisodeWaterfall};
 use rtosunit::{
-    BusMasterStats, LatencyStats, Preset, SmpSystem, SwitchRecord, System, TraceMark, UnitStats,
+    BusMasterStats, LatencyStats, Preset, SmpSystem, SwitchMetrics, SwitchRecord, System,
+    TraceMark, UnitStats,
 };
 use rvsim_cores::{CoreCounters, CoreKind};
 use rvsim_isa::csr;
@@ -136,6 +138,26 @@ pub enum WorkloadSpec {
         /// Interval of injected external interrupts (0 = none).
         ext_irq_interval: u64,
     },
+    /// A custom guest kernel driven by an *open-loop* external-interrupt
+    /// arrival process: instead of a fixed interval, `arrivals` computes
+    /// the full list of injection cycles from `(param, run_cycles)` —
+    /// bursty/Markov-modulated tail-latency workloads (ROADMAP item 4).
+    /// Arrivals land whether or not the guest has caught up, so queueing
+    /// delay shows up in the measured latencies.
+    OpenLoop {
+        /// Display name.
+        name: &'static str,
+        /// Free parameter forwarded to `build` and `arrivals` (e.g. the
+        /// mean inter-arrival time).
+        param: u32,
+        /// Kernel builder.
+        build: fn(u32, Preset) -> Result<GuestImage, KernelError>,
+        /// Cycle budget for the run.
+        run_cycles: u64,
+        /// Arrival-cycle generator — a plain `fn` pointer, so specs stay
+        /// `Send + Sync`; determinism is the generator's contract.
+        arrivals: fn(u32, u64) -> Vec<u64>,
+    },
     /// A closed-form model evaluation (no simulation) — area scaling,
     /// WCET analysis. The result lands in [`RunOutcome::analytic`].
     Analytic {
@@ -153,14 +175,18 @@ impl WorkloadSpec {
     pub fn name(&self) -> &'static str {
         match self {
             WorkloadSpec::Suite(w) => w.name,
-            WorkloadSpec::Custom { name, .. } | WorkloadSpec::Analytic { name, .. } => name,
+            WorkloadSpec::Custom { name, .. }
+            | WorkloadSpec::OpenLoop { name, .. }
+            | WorkloadSpec::Analytic { name, .. } => name,
         }
     }
 
     fn param(&self) -> u32 {
         match self {
             WorkloadSpec::Suite(_) => 0,
-            WorkloadSpec::Custom { param, .. } | WorkloadSpec::Analytic { param, .. } => *param,
+            WorkloadSpec::Custom { param, .. }
+            | WorkloadSpec::OpenLoop { param, .. }
+            | WorkloadSpec::Analytic { param, .. } => *param,
         }
     }
 }
@@ -184,6 +210,10 @@ pub struct RunSpec {
     /// Use the cycle-by-cycle reference loop instead of batched stepping
     /// (differential testing and throughput baselines).
     pub stepwise: bool,
+    /// Per-run SLO latency budget in cycles; falls back to the campaign's
+    /// [`CampaignSpec::slo`] when `None`. Misses are counted exactly at
+    /// harvest time and reported in the v3 telemetry artifact.
+    pub slo: Option<u64>,
     /// Hart count. 1 (the default) runs the classic single-core
     /// [`System`]; ≥ 2 runs an [`SmpSystem`] with the measured image on
     /// hart 0 and memory-pounding contention workers on the others, so
@@ -202,6 +232,7 @@ impl RunSpec {
             overrides: Vec::new(),
             filter: FilterPolicy::Standard,
             stepwise: false,
+            slo: None,
             harts: 1,
         }
     }
@@ -210,6 +241,12 @@ impl RunSpec {
     pub fn with_harts(mut self, harts: usize) -> RunSpec {
         assert!(harts >= 1, "a run needs at least one hart");
         self.harts = harts;
+        self
+    }
+
+    /// Sets this run's SLO latency budget (cycles) and returns `self`.
+    pub fn with_slo(mut self, threshold: u64) -> RunSpec {
+        self.slo = Some(threshold);
         self
     }
 
@@ -262,6 +299,11 @@ pub struct SimOutcome {
     /// Latency waterfall of the filtered episodes (phase widths come from
     /// kernel phase marks when the workload emits them).
     pub waterfall: Vec<EpisodeWaterfall>,
+    /// Streaming latency/phase histograms with optional exact SLO
+    /// accounting, built over `waterfall` at harvest time. Emitted in the
+    /// v3 telemetry artifact; mergeable across runs for the campaign
+    /// aggregate.
+    pub metrics: SwitchMetrics,
     /// Per-hart shared-bus statistics (index = hart id); present only for
     /// SMP runs (`harts > 1`).
     pub bus: Option<Vec<BusMasterStats>>,
@@ -315,10 +357,15 @@ pub struct CampaignSpec {
     pub name: &'static str,
     /// The runs, executed in any order, aggregated in this order.
     pub runs: Vec<RunSpec>,
-    /// Emit extended telemetry in the artifact (schema v2): per-run host
-    /// wall-time, core counters and waterfall summaries. Off by default —
-    /// standard artifacts stay byte-identical to the v1 schema.
+    /// Emit extended telemetry in the artifact (schema v3): per-run host
+    /// wall-time, core counters, waterfall summaries, latency histograms
+    /// with percentiles and SLO accounting, plus a campaign-wide
+    /// aggregate. Off by default — standard artifacts stay byte-identical
+    /// to the v1 schema.
     pub telemetry: bool,
+    /// Campaign-wide SLO latency budget (cycles), used by every run that
+    /// does not set its own [`RunSpec::slo`].
+    pub slo: Option<u64>,
     /// Print a live progress line to stderr while the campaign runs.
     pub progress: bool,
 }
@@ -330,13 +377,20 @@ impl CampaignSpec {
             name,
             runs: Vec::new(),
             telemetry: false,
+            slo: None,
             progress: false,
         }
     }
 
-    /// Enables extended artifact telemetry (schema v2).
+    /// Enables extended artifact telemetry (schema v3).
     pub fn with_telemetry(mut self) -> CampaignSpec {
         self.telemetry = true;
+        self
+    }
+
+    /// Sets the campaign-wide SLO latency budget (cycles).
+    pub fn with_slo(mut self, threshold: u64) -> CampaignSpec {
+        self.slo = Some(threshold);
         self
     }
 
@@ -388,12 +442,13 @@ impl CampaignSpec {
                 let tx = tx.clone();
                 let next = &next;
                 let runs = &self.runs;
+                let default_slo = self.slo;
                 scope.spawn(move || loop {
                     let i = next.fetch_add(1, Ordering::Relaxed);
                     if i >= runs.len() {
                         break;
                     }
-                    if tx.send((i, execute_run(i, &runs[i]))).is_err() {
+                    if tx.send((i, execute_run(i, &runs[i], default_slo))).is_err() {
                         break;
                     }
                 });
@@ -420,6 +475,7 @@ impl CampaignSpec {
                 .map(|o| o.expect("worker delivered every claimed run"))
                 .collect(),
             host_nanos: started.elapsed().as_nanos() as u64,
+            sections: Vec::new(),
         }
     }
 }
@@ -454,12 +510,16 @@ pub struct Campaign {
     pub name: &'static str,
     /// Worker threads used (does not affect the results).
     pub workers: usize,
-    /// Whether the JSON artifact carries extended (v2) telemetry.
+    /// Whether the JSON artifact carries extended (v3) telemetry.
     pub telemetry: bool,
     /// One outcome per spec run, in spec order.
     pub outcomes: Vec<RunOutcome>,
     /// Host wall-clock time of the whole campaign, nanoseconds.
     pub host_nanos: u64,
+    /// Extra named artifact sections (e.g. oracle verification context),
+    /// emitted after `runs` in attachment order. Empty by default, so
+    /// plain campaigns stay byte-identical to the v1 schema.
+    pub sections: Vec<(String, Json)>,
 }
 
 impl Campaign {
@@ -500,12 +560,44 @@ impl Campaign {
         self.outcomes.iter().find(|o| o.label == label)
     }
 
+    /// Attaches a named extra section to the JSON artifact (rendered
+    /// after `runs`, in attachment order).
+    pub fn attach_section(&mut self, name: &str, section: Json) {
+        self.sections.push((name.to_string(), section));
+    }
+
+    /// Campaign-wide switch metrics: every simulated run's histograms
+    /// merged (deterministic regardless of worker count — the merge is
+    /// commutative and the outcomes are already in spec order). The SLO
+    /// aggregate is present only when every contributing run tracked the
+    /// same threshold.
+    pub fn aggregate_metrics(&self) -> SwitchMetrics {
+        let mut agg = SwitchMetrics::new(None);
+        let mut slo: Option<SloCounter> = None;
+        let mut slo_uniform = true;
+        for sim in self.outcomes.iter().filter_map(|o| o.sim.as_ref()) {
+            agg.latency.merge(&sim.metrics.latency);
+            for (a, b) in agg.phases.iter_mut().zip(sim.metrics.phases.iter()) {
+                a.merge(b);
+            }
+            match (&mut slo, &sim.metrics.slo) {
+                (None, Some(s)) => slo = Some(*s),
+                (Some(acc), Some(s)) if acc.threshold == s.threshold => acc.merge(s),
+                (_, None) | (Some(_), Some(_)) => slo_uniform = false,
+            }
+        }
+        agg.slo = if slo_uniform { slo } else { None };
+        agg
+    }
+
     /// The machine-readable artifact. Without telemetry this is the
     /// deterministic `rtosunit-campaign-v1` schema: everything measured,
     /// nothing host-dependent (no wall-clock, no worker count). With
-    /// telemetry enabled the schema becomes `rtosunit-campaign-v2`,
-    /// adding per-run host wall-time, core counters and latency
-    /// waterfall summaries; `host_nanos` makes v2 host-dependent.
+    /// telemetry enabled the schema becomes `rtosunit-campaign-v3`,
+    /// adding per-run host wall-time, core counters, latency waterfall
+    /// summaries, per-run latency/phase histograms with percentile
+    /// reports and SLO accounting, and a campaign-wide `aggregate`;
+    /// `host_nanos` makes v3 host-dependent.
     pub fn to_json(&self) -> Json {
         let runs = self
             .outcomes
@@ -581,6 +673,7 @@ impl Campaign {
                             }
                             j.push("counters", counters);
                             j.push("waterfall", waterfall_json(&sim.waterfall));
+                            j.push("latency_hist", metrics_json(&sim.metrics));
                         }
                         run.push("sim", j);
                     }
@@ -594,7 +687,7 @@ impl Campaign {
             })
             .collect::<Vec<_>>();
         let schema = if self.telemetry {
-            "rtosunit-campaign-v2"
+            "rtosunit-campaign-v3"
         } else {
             "rtosunit-campaign-v1"
         };
@@ -605,7 +698,14 @@ impl Campaign {
             doc.push("host_nanos", self.host_nanos);
             doc.push("workers", self.workers);
         }
-        doc.with("runs", runs)
+        doc.push("runs", runs);
+        if self.telemetry {
+            doc.push("aggregate", metrics_json(&self.aggregate_metrics()));
+        }
+        for (name, section) in &self.sections {
+            doc.push(name, section.clone());
+        }
+        doc
     }
 
     /// Writes `dir/<name>.json` and returns its path.
@@ -626,18 +726,17 @@ impl Campaign {
     }
 }
 
-fn execute_run(index: usize, spec: &RunSpec) -> RunOutcome {
+fn execute_run(index: usize, spec: &RunSpec, default_slo: Option<u64>) -> RunOutcome {
     let started = Instant::now();
+    let slo = spec.slo.or(default_slo);
     let (sim, analytic) = match spec.workload {
         WorkloadSpec::Analytic { param, eval, .. } => {
             (None, Some(eval(param, spec.core, spec.preset)))
         }
         WorkloadSpec::Suite(w) => {
             let image = workloads::build(&w, spec.preset).expect("suite workload builds");
-            (
-                Some(simulate(spec, &image, w.run_cycles, w.ext_irq_interval)),
-                None,
-            )
+            let drive = IrqDrive::Periodic(w.ext_irq_interval);
+            (Some(simulate(spec, &image, w.run_cycles, drive, slo)), None)
         }
         WorkloadSpec::Custom {
             param,
@@ -647,10 +746,19 @@ fn execute_run(index: usize, spec: &RunSpec) -> RunOutcome {
             ..
         } => {
             let image = build(param, spec.preset).expect("custom workload builds");
-            (
-                Some(simulate(spec, &image, run_cycles, ext_irq_interval)),
-                None,
-            )
+            let drive = IrqDrive::Periodic(ext_irq_interval);
+            (Some(simulate(spec, &image, run_cycles, drive, slo)), None)
+        }
+        WorkloadSpec::OpenLoop {
+            param,
+            build,
+            run_cycles,
+            arrivals,
+            ..
+        } => {
+            let image = build(param, spec.preset).expect("open-loop workload builds");
+            let drive = IrqDrive::Explicit(arrivals(param, run_cycles));
+            (Some(simulate(spec, &image, run_cycles, drive, slo)), None)
         }
     };
     RunOutcome {
@@ -667,27 +775,61 @@ fn execute_run(index: usize, spec: &RunSpec) -> RunOutcome {
     }
 }
 
+/// How a run's external interrupts are injected.
+enum IrqDrive {
+    /// Fixed interval, first injection at `interval` (0 = none) — the
+    /// closed-loop suite/custom behaviour.
+    Periodic(u64),
+    /// Explicit arrival cycles (open-loop workloads); injections at or
+    /// past the cycle budget are dropped.
+    Explicit(Vec<u64>),
+}
+
+impl IrqDrive {
+    fn schedule(&self, sys: &mut System, run_cycles: u64) {
+        match self {
+            IrqDrive::Periodic(interval) => {
+                if *interval > 0 {
+                    let mut at = *interval;
+                    while at < run_cycles {
+                        sys.schedule_external_irq(at);
+                        at += interval;
+                    }
+                }
+            }
+            IrqDrive::Explicit(arrivals) => {
+                for &at in arrivals {
+                    if at > 0 && at < run_cycles {
+                        sys.schedule_external_irq(at);
+                    }
+                }
+            }
+        }
+    }
+}
+
 fn simulate(
     spec: &RunSpec,
     image: &GuestImage,
     run_cycles: u64,
-    ext_irq_interval: u64,
+    drive: IrqDrive,
+    slo: Option<u64>,
 ) -> SimOutcome {
     if spec.harts > 1 {
-        return simulate_smp(spec, image, run_cycles, ext_irq_interval);
+        return simulate_smp(spec, image, run_cycles, &drive, slo);
     }
     let mut sys = System::new(spec.core, spec.preset);
     for o in &spec.overrides {
         o.apply(&mut sys);
     }
     image.install(&mut sys);
-    schedule_ext_irqs(&mut sys, run_cycles, ext_irq_interval);
+    drive.schedule(&mut sys, run_cycles);
     if spec.stepwise {
         sys.run_stepwise(run_cycles);
     } else {
         sys.run(run_cycles);
     }
-    harvest(&mut sys, spec, None)
+    harvest(&mut sys, spec, None, slo)
 }
 
 /// The SMP variant of [`simulate`]: the measured image boots on hart 0,
@@ -698,7 +840,8 @@ fn simulate_smp(
     spec: &RunSpec,
     image: &GuestImage,
     run_cycles: u64,
-    ext_irq_interval: u64,
+    drive: &IrqDrive,
+    slo: Option<u64>,
 ) -> SimOutcome {
     let mut smp = SmpSystem::new(spec.core, spec.preset, spec.harts);
     for o in &spec.overrides {
@@ -709,24 +852,14 @@ fn simulate_smp(
     for h in 1..spec.harts {
         smp.load_program(h, &pounder);
     }
-    schedule_ext_irqs(smp.hart_mut(0), run_cycles, ext_irq_interval);
+    drive.schedule(smp.hart_mut(0), run_cycles);
     smp.run(run_cycles);
     let bus: Vec<BusMasterStats> = {
         let shared = smp.shared();
         let shared = shared.borrow();
         (0..spec.harts).map(|h| shared.bus_stats(h)).collect()
     };
-    harvest(smp.hart_mut(0), spec, Some(bus))
-}
-
-fn schedule_ext_irqs(sys: &mut System, run_cycles: u64, interval: u64) {
-    if interval > 0 {
-        let mut at = interval;
-        while at < run_cycles {
-            sys.schedule_external_irq(at);
-            at += interval;
-        }
-    }
+    harvest(smp.hart_mut(0), spec, Some(bus), slo)
 }
 
 /// An endless load/store walk over the hart's private DMEM bank: pure
@@ -754,12 +887,18 @@ fn contention_program() -> rvsim_isa::Program {
     a.finish().expect("contention program assembles")
 }
 
-fn harvest(sys: &mut System, spec: &RunSpec, bus: Option<Vec<BusMasterStats>>) -> SimOutcome {
+fn harvest(
+    sys: &mut System,
+    spec: &RunSpec,
+    bus: Option<Vec<BusMasterStats>>,
+    slo: Option<u64>,
+) -> SimOutcome {
     let raw_records = sys.take_records();
     let records = spec.filter.apply(spec.core, &raw_records);
     let latencies: Vec<u64> = records.iter().map(SwitchRecord::latency).collect();
     let trace_marks = sys.platform.mmio.trace_marks.clone();
     let waterfall = waterfall::decompose(&records, &trace_marks);
+    let metrics = SwitchMetrics::from_episodes(&waterfall, slo);
     SimOutcome {
         raw_records,
         records,
@@ -773,8 +912,67 @@ fn harvest(sys: &mut System, spec: &RunSpec, bus: Option<Vec<BusMasterStats>>) -
         ctx_queue: sys.platform.ctx_queue_stats(),
         counters: sys.core.counters(),
         waterfall,
+        metrics,
         bus,
     }
+}
+
+/// Renders one [`LatencyHistogram`] as its summary plus the standard
+/// percentile report ([`rtosunit::hist::REPORTED_PERCENTILES`]). Empty
+/// histograms render as `null` fields so readers need no special cases.
+fn histogram_json(h: &LatencyHistogram) -> Json {
+    let mut j = Json::object().with("count", h.count());
+    match (h.min(), h.max(), h.mean()) {
+        (Some(min), Some(max), Some(mean)) => {
+            j.push("min", min);
+            j.push("max", max);
+            j.push("mean", mean);
+        }
+        _ => {
+            j.push("min", Json::Null);
+            j.push("max", Json::Null);
+            j.push("mean", Json::Null);
+        }
+    }
+    let mut pcts = Json::object();
+    match h.report() {
+        Some(report) => {
+            for (name, value) in report {
+                pcts.push(name, value);
+            }
+        }
+        None => {
+            for (name, _) in rtosunit::hist::REPORTED_PERCENTILES {
+                pcts.push(name, Json::Null);
+            }
+        }
+    }
+    j.push("percentiles", pcts);
+    j
+}
+
+/// Renders a run's [`SwitchMetrics`]: the end-to-end latency histogram,
+/// one histogram per waterfall phase, and the SLO accounting (`null`
+/// when no budget is configured).
+fn metrics_json(m: &SwitchMetrics) -> Json {
+    let mut phases = Json::object();
+    for (name, hist) in m.named_phases() {
+        phases.push(name, histogram_json(hist));
+    }
+    Json::object()
+        .with("latency", histogram_json(&m.latency))
+        .with("phases", phases)
+        .with(
+            "slo",
+            match &m.slo {
+                Some(slo) => Json::object()
+                    .with("threshold", slo.threshold)
+                    .with("total", slo.total)
+                    .with("misses", slo.misses)
+                    .with("miss_rate", slo.miss_rate()),
+                None => Json::Null,
+            },
+        )
 }
 
 /// Summarises per-episode waterfalls as per-phase latency statistics.
@@ -946,7 +1144,7 @@ mod tests {
         assert!(!plain.contains("counters"));
         assert!(!plain.contains("host_nanos"));
         let rich = run().with_telemetry().run(1).to_json().render();
-        assert!(rich.contains("\"schema\": \"rtosunit-campaign-v2\""));
+        assert!(rich.contains("\"schema\": \"rtosunit-campaign-v3\""));
         for key in [
             "counters",
             "stall_exec",
@@ -954,8 +1152,12 @@ mod tests {
             "episodes",
             "host_nanos",
             "workers",
+            "latency_hist",
+            "percentiles",
+            "\"p99.99\"",
+            "aggregate",
         ] {
-            assert!(rich.contains(key), "v2 artifact missing `{key}`");
+            assert!(rich.contains(key), "v3 artifact missing `{key}`");
         }
         // The v1 body is unaffected by telemetry: strip the v2-only keys
         // conceptually by checking the shared measurements still match.

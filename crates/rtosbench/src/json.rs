@@ -86,6 +86,17 @@ impl Json {
         }
     }
 
+    /// The value as an `f64`: any numeric variant widens (`u64` values
+    /// beyond 2^53 lose precision, as in any JSON reader).
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Json::UInt(u) => Some(u as f64),
+            Json::Int(i) => Some(i as f64),
+            Json::Float(f) => Some(f),
+            _ => None,
+        }
+    }
+
     /// Parses a JSON document (the full text must be one value).
     ///
     /// Integers that fit stay exact ([`Json::UInt`]/[`Json::Int`]); other

@@ -18,8 +18,10 @@
 
 pub mod campaign;
 pub mod json;
+pub mod perfdiff;
 pub mod report;
 pub mod runner;
+pub mod tail;
 pub mod workloads;
 
 pub use campaign::{
@@ -27,5 +29,6 @@ pub use campaign::{
     WorkloadSpec,
 };
 pub use json::Json;
+pub use perfdiff::{compare, DiffOptions, DiffReport, MetricDelta};
 pub use runner::{run_suite, run_workload, run_workload_with, Fig9Row, RunResult};
 pub use workloads::{Workload, ALL as WORKLOADS};

@@ -18,6 +18,10 @@ fn run_one(core: CoreKind, preset: Preset, workload: &str, stepwise: bool) -> Sy
     let image = workloads::build(&w, preset).expect("workload builds");
     let mut sys = System::new(core, preset);
     image.install(&mut sys);
+    // Profile every run: the per-PC cycle attribution must be path-exact
+    // too (asserted below), and enabling it must not perturb any of the
+    // other equivalences.
+    sys.set_profiling(true);
     if w.ext_irq_interval > 0 {
         let mut at = w.ext_irq_interval;
         while at < w.run_cycles {
@@ -34,9 +38,14 @@ fn run_one(core: CoreKind, preset: Preset, workload: &str, stepwise: bool) -> Sy
 }
 
 fn assert_equivalent(core: CoreKind, preset: Preset, workload: &str) {
-    let fast = run_one(core, preset, workload, false);
-    let slow = run_one(core, preset, workload, true);
+    let mut fast = run_one(core, preset, workload, false);
+    let mut slow = run_one(core, preset, workload, true);
     let ctx = format!("{core:?}/{preset}/{workload}");
+    assert_eq!(
+        fast.take_profile(),
+        slow.take_profile(),
+        "{ctx}: guest PC profiles diverged"
+    );
     assert_eq!(
         fast.records(),
         slow.records(),
