@@ -23,24 +23,55 @@ echo "== trace_dump smoke test (emits + validates results/trace_dump*.json)"
 cargo run -q --release -p rtosunit-bench --bin trace_dump > /dev/null
 test -s results/trace_dump.json
 test -s results/trace_dump_smp.json
-python3 -c "import json; json.load(open('results/trace_dump.json')); json.load(open('results/trace_dump_smp.json'))" 2>/dev/null \
-  || echo "   (python3 unavailable — relying on the binary's self-validation)"
+# Foreign-parser checks below are skipped only when python3 is genuinely
+# absent; a failing assertion fails the gate (previously the assertion
+# failures hid behind the same fallback and the check was silently dead).
+if command -v python3 > /dev/null 2>&1; then HAVE_PY=1; else HAVE_PY=0; fi
+if [ "$HAVE_PY" = 1 ]; then
+  python3 -c "import json; json.load(open('results/trace_dump.json')); json.load(open('results/trace_dump_smp.json'))"
+else
+  echo "   (python3 unavailable — relying on the binary's self-validation)"
+fi
 
 echo "== tail-latency figure + schema-v3 smoke test"
 # Quick bursty-arrival sweep; the artifact carries the full telemetry
 # schema (per-run histograms, percentiles, SLO misses, aggregate).
 cargo run -q --release -p rtosunit-bench --bin fig_tail -- --quick > /dev/null
 test -s results/fig_tail_quick.json
-python3 -c "
+if [ "$HAVE_PY" = 1 ]; then
+  python3 -c "
 import json
 d = json.load(open('results/fig_tail_quick.json'))
 assert d['schema'] == 'rtosunit-campaign-v3', d['schema']
 for run in d['runs']:
-    h = run['latency_hist']
-    assert 'p99.9' in h['latency']['percentiles'], run['name']
-    assert h['slo'] is not None and 'miss_rate' in h['slo'], run['name']
+    h = run['sim']['latency_hist']
+    assert 'p99.9' in h['latency']['percentiles'], run['label']
+    assert h['slo'] is not None and 'miss_rate' in h['slo'], run['label']
 assert 'aggregate' in d
-" 2>/dev/null || echo "   (python3 unavailable — relying on tests/perfgate.rs)"
+"
+else
+  echo "   (python3 unavailable — relying on tests/perfgate.rs)"
+fi
+
+echo "== fault-injection smoke (fig_faults --quick; tier-1 campaign is tests/faults.rs)"
+# The ~200-injection tier-1 slice runs inside `cargo test` above
+# (crates/check/tests/faults.rs). This step smoke-tests the figure bin:
+# 72 classified runs across 3 cores x {vanilla, SLT, SDLOT}, every
+# outcome on the lattice, crashes quarantined as replay artifacts.
+cargo run -q --release -p rtosunit-bench --bin fig_faults -- --quick > /dev/null
+test -s results/fig_faults_quick.json
+if [ "$HAVE_PY" = 1 ]; then
+  python3 -c "
+import json
+d = json.load(open('results/fig_faults_quick.json'))
+assert d['schema'] == 'rtosunit-faultcamp-v1', d['schema']
+assert len(d['runs']) == 72, len(d['runs'])
+assert all(r['outcome'] for r in d['runs'])
+assert len(d['cells']) == 9, len(d['cells'])
+"
+else
+  echo "   (python3 unavailable — relying on tests/faults.rs)"
+fi
 
 echo "== perfdiff regression gate (deterministic metrics, zero tolerance)"
 cargo run -q --release -p rtosunit-bench --bin perfdiff -- \

@@ -31,8 +31,16 @@ fn main() {
     ));
     out.push_str("| preset | mean gap | switches | p50 | p90 | p99 | p99.9 | p99.99 | max | SLO miss rate |\n");
     out.push_str("|---|---|---|---|---|---|---|---|---|---|\n");
+    let mut broken: Vec<String> = campaign
+        .failures
+        .iter()
+        .map(|f| format!("run `{}` failed ({}): {}", f.label, f.kind.name(), f.detail))
+        .collect();
     for o in &campaign.outcomes {
-        let sim = o.sim.as_ref().expect("tail runs all simulate");
+        let Some(sim) = o.sim.as_ref() else {
+            broken.push(format!("run `{}` produced no simulation outcome", o.label));
+            continue;
+        };
         let m = &sim.metrics;
         let pcts: Vec<String> = REPORTED_PERCENTILES
             .iter()
@@ -41,7 +49,10 @@ fn main() {
                 None => "-".to_string(),
             })
             .collect();
-        let slo = m.slo.expect("tail campaign sets a campaign-wide SLO");
+        let Some(slo) = m.slo else {
+            broken.push(format!("run `{}` tracked no SLO budget", o.label));
+            continue;
+        };
         out.push_str(&format!(
             "| {} | {} | {} | {} | {} | {:.4} |\n",
             o.preset.label(),
@@ -72,4 +83,13 @@ fn main() {
         Err(e) => eprintln!("# campaign artifact not written: {e}"),
     }
     println!("# {}", campaign.throughput_summary());
+    // Partial results are still emitted above; a broken cell fails the
+    // invocation so CI (and the perf-regression gate reading the
+    // artifact) cannot mistake a half-empty figure for a healthy one.
+    if !broken.is_empty() {
+        for b in &broken {
+            eprintln!("fig_tail: {b}");
+        }
+        std::process::exit(1);
+    }
 }

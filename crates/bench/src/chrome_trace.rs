@@ -207,6 +207,22 @@ fn emit_hart(
                     Json::object().with("stores", stores).with("loads", loads),
                 ));
             }
+            TraceEvent::FaultInjected { code } => events.push(
+                instant("fault_injected", tid, cycle).with(
+                    "args",
+                    Json::object()
+                        .with("code", code)
+                        .with("kind", rvsim_cores::fault_code_name(code)),
+                ),
+            ),
+            TraceEvent::FaultDetected { detector } => events.push(
+                instant("fault_detected", tid, cycle).with(
+                    "args",
+                    Json::object()
+                        .with("detector", detector)
+                        .with("name", rtosunit::events::detector_name(detector)),
+                ),
+            ),
         }
     }
 }

@@ -23,6 +23,7 @@
 
 pub mod artifact;
 pub mod coproc;
+pub mod faultcamp;
 pub mod lockstep;
 pub mod oracle;
 pub mod scenario;
@@ -30,6 +31,10 @@ pub mod shrink;
 pub mod smp;
 
 pub use coproc::{ScratchCoproc, ScratchUnit};
+pub use faultcamp::{
+    classify_fault_events, classify_with_reference, oracle_reference, run_fault_campaign,
+    shrink_fault_events, FaultCampaign, FaultOutcome, FaultRunRecord, FaultRunReport,
+};
 pub use lockstep::{
     default_irq_plan, episode_for_seed, run_episode, EpisodeSpec, EpisodeStats, Fault, IrqEvent,
     Mismatch,

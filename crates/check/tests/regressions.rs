@@ -4,6 +4,7 @@
 //! engine, the kernel, or the harness itself — so fixes stay covered
 //! deterministically after the nightly fuzz range moves past them.
 
+use rvsim_check::faultcamp::{classify_fault_events, fault_plan_for, FaultOutcome};
 use rvsim_check::{episode_for_seed, run_episode, run_scenario, scenario_for_seed, ORACLE_PRESETS};
 use rvsim_cores::CoreKind;
 use rvsim_isa::progen::GenConfig;
@@ -54,6 +55,23 @@ fn regression_seeds_stay_clean() {
                 if let Err(v) = run_scenario(&spec) {
                     panic!("regression oracle {preset} {core} seed={seed}: {v}");
                 }
+            }
+            ["faultcamp", preset, core, scenario_seed, fault_seed, outcome] => {
+                let preset = preset_from_lower(preset);
+                let core = core_from_name(core);
+                let scenario_seed: u64 = scenario_seed.parse().expect("scenario seed");
+                let fault_seed: u64 = fault_seed.parse().expect("fault seed");
+                let expected = FaultOutcome::from_name(outcome)
+                    .unwrap_or_else(|| panic!("unknown fault outcome {outcome:?}"));
+                let spec = scenario_for_seed(core, preset, scenario_seed);
+                let plan = fault_plan_for(&spec, fault_seed, 2);
+                let report = classify_fault_events(&spec, plan.events().to_vec());
+                assert_eq!(
+                    report.outcome, expected,
+                    "regression faultcamp {preset} {core} scen={scenario_seed} \
+                     fault={fault_seed}: {}",
+                    report.detail
+                );
             }
             _ => panic!("malformed regression line {line:?}"),
         }

@@ -28,6 +28,43 @@ pub const PHASE_MARK_BASE: u32 = 0x5048_0000;
 /// Mask selecting the phase-mark tag bits of a TRACE value.
 pub const PHASE_MARK_MASK: u32 = 0xffff_0000;
 
+/// High half-word tagging a TRACE write as a kernel *fault detection*
+/// mark (`"FD"` in ASCII): the self-protecting kernel announces canary,
+/// watchdog and checksum hits through this namespace. Disjoint from the
+/// phase (`"PH"`), probe (`'k'`) and task-mark namespaces.
+pub const FAULT_MARK_BASE: u32 = 0x4644_0000;
+
+/// Detector code: a per-task stack canary was clobbered.
+pub const DETECT_CANARY: u32 = 1;
+/// Detector code: the guest watchdog expired (idle never petted it).
+pub const DETECT_WATCHDOG: u32 = 2;
+/// Detector code: the TCB checksum self-check failed.
+pub const DETECT_CHECKSUM: u32 = 3;
+/// Detector code: the degradation path killed the corrupted task and
+/// rescheduled (emitted after the triggering detection mark).
+pub const DETECT_TASK_KILLED: u32 = 4;
+
+/// Encodes a detector code as a TRACE-register fault-detection mark.
+pub fn fault_mark(detector: u32) -> u32 {
+    FAULT_MARK_BASE | (detector & !PHASE_MARK_MASK)
+}
+
+/// Decodes a TRACE value as a fault-detection mark, if it is one.
+pub fn decode_fault_mark(value: u32) -> Option<u32> {
+    (value & PHASE_MARK_MASK == FAULT_MARK_BASE).then_some(value & !PHASE_MARK_MASK)
+}
+
+/// Stable short name of a detector code (artifact/trace naming).
+pub fn detector_name(detector: u32) -> &'static str {
+    match detector {
+        DETECT_CANARY => "canary",
+        DETECT_WATCHDOG => "watchdog",
+        DETECT_CHECKSUM => "checksum",
+        DETECT_TASK_KILLED => "task_killed",
+        _ => "unknown",
+    }
+}
+
 /// ISR phase boundaries the instrumented kernel announces (paper Fig. 4:
 /// the save, schedule and restore sections of the ISR). Together with the
 /// hardware-visible trigger/entry/`mret` timestamps these decompose one
@@ -127,6 +164,18 @@ pub enum TraceEvent {
     },
     /// The guest halted the simulation.
     Halted,
+    /// A planned fault was injected this cycle (see
+    /// [`rvsim_cores::FaultKind::code`]).
+    FaultInjected {
+        /// The fault-kind code (`1..=9`).
+        code: u32,
+    },
+    /// The self-protecting kernel detected a fault (canary / watchdog /
+    /// checksum; see [`detector_name`]).
+    FaultDetected {
+        /// The detector code.
+        detector: u32,
+    },
 }
 
 impl TraceEvent {
@@ -141,6 +190,8 @@ impl TraceEvent {
             TraceEvent::CacheAccess { .. } => "cache",
             TraceEvent::UnitOp { .. } => "unit_op",
             TraceEvent::Halted => "halted",
+            TraceEvent::FaultInjected { .. } => "fault_injected",
+            TraceEvent::FaultDetected { .. } => "fault_detected",
         }
     }
 }

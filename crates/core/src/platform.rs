@@ -168,6 +168,9 @@ pub struct Platform {
     /// SMP attachment; `None` (the default) keeps the single-hart fast
     /// path byte-identical to the pre-SMP platform.
     smp: Option<SmpLink>,
+    /// Armed bus-error latch (fault injection): the next data-memory load
+    /// returns the all-ones poison pattern instead of the stored word.
+    bus_error_armed: bool,
 }
 
 impl Platform {
@@ -186,7 +189,15 @@ impl Platform {
             mmio: Mmio::new(timer_period),
             trace: None,
             smp: None,
+            bus_error_armed: false,
         }
+    }
+
+    /// Arms a bus-error response: the next core data-memory *load*
+    /// returns `0xFFFF_FFFF` instead of the stored word (fault
+    /// injection). Consumed by that load; idempotent until then.
+    pub fn arm_bus_error(&mut self) {
+        self.bus_error_armed = true;
     }
 
     /// Attaches this platform to an SMP composition as bus master `hart`.
@@ -346,7 +357,10 @@ impl DataBus for Platform {
                         match addr & !0x3 {
                             MMIO_TRACE => self.record(match PhaseCode::decode(v) {
                                 Some(p) => TraceEvent::Phase(p),
-                                None => TraceEvent::GuestMark { value: v },
+                                None => match crate::events::decode_fault_mark(v) {
+                                    Some(detector) => TraceEvent::FaultDetected { detector },
+                                    None => TraceEvent::GuestMark { value: v },
+                                },
                             }),
                             MMIO_HALT => self.record(TraceEvent::Halted),
                             _ => {}
@@ -368,6 +382,13 @@ impl DataBus for Platform {
             Some(v) => {
                 self.dmem.write(addr, size, v);
                 0
+            }
+            None if self.bus_error_armed => {
+                // Poisoned response: the slave still performs the read
+                // (timing is unchanged) but the returned beats are junk.
+                self.dmem.read(addr, size);
+                self.bus_error_armed = false;
+                0xFFFF_FFFF
             }
             None => self.dmem.read(addr, size),
         };

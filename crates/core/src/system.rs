@@ -9,7 +9,8 @@ use crate::platform::Platform;
 use crate::stats::{LatencyStats, SwitchRecord};
 use crate::unit::{RtosUnit, UnitStats};
 use rvsim_cores::{
-    make_engine, stop_events, Coprocessor, CoreEngine, CoreEvent, CoreKind, NullCoprocessor,
+    make_engine, stop_events, Coprocessor, CoreEngine, CoreEvent, CoreKind, DataBus, FaultKind,
+    FaultPlan, NullCoprocessor,
 };
 use rvsim_isa::{csr, Program};
 
@@ -75,6 +76,8 @@ pub struct System {
     pending_triggers: [Option<u64>; 3],
     open_episode: Option<(u64, u64, u32)>,
     ext_schedule: Vec<u64>,
+    /// Fault-injection schedule; `None` (the default) costs nothing.
+    fault_plan: Option<FaultPlan>,
 }
 
 fn cause_slot(cause: u32) -> usize {
@@ -111,6 +114,7 @@ impl System {
             pending_triggers: [None; 3],
             open_episode: None,
             ext_schedule: Vec::new(),
+            fault_plan: None,
         }
     }
 
@@ -157,6 +161,62 @@ impl System {
     pub fn schedule_external_irq(&mut self, cycle: u64) {
         self.ext_schedule.push(cycle);
         self.ext_schedule.sort_unstable_by(|a, b| b.cmp(a)); // pop from the back
+    }
+
+    /// Attaches a deterministic fault-injection schedule. The quiescence
+    /// horizon is bounded one cycle short of every due fault, so batched
+    /// and stepwise execution stay bit-identical with a plan attached.
+    pub fn attach_fault_plan(&mut self, plan: FaultPlan) {
+        self.fault_plan = Some(plan);
+    }
+
+    /// The attached fault plan, if any.
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.fault_plan.as_ref()
+    }
+
+    /// Number of faults injected so far.
+    pub fn faults_applied(&self) -> usize {
+        self.fault_plan.as_ref().map_or(0, |p| p.applied())
+    }
+
+    /// Applies one due fault. Register flips land on the *active* bank
+    /// without marking the register dirty (a silent upset); memory flips
+    /// go straight to the DMEM backing store (the cache model is
+    /// timing-only, so stored bits live there).
+    fn apply_fault(&mut self, kind: FaultKind) {
+        match kind {
+            FaultKind::RegFlip { reg, bit } => {
+                let bank = self.core.state.active_bank();
+                let v = self.core.state.bank_read(bank, reg);
+                self.core.state.bank_write_clean(bank, reg, v ^ (1 << bit));
+            }
+            FaultKind::CsrFlip { csr, bit } => {
+                let v = self.core.state.csrs.read(csr);
+                self.core.state.csrs.write(csr, v ^ (1 << bit));
+            }
+            FaultKind::MemFlip { addr, bit } => {
+                let addr = addr & !0x3;
+                if self.platform.dmem.contains(addr) {
+                    let w = self.platform.dmem.read_word(addr);
+                    self.platform.dmem.write_word(addr, w ^ (1 << bit));
+                }
+            }
+            FaultKind::CacheUpset { addr } => self.platform.invalidate_line(addr),
+            FaultKind::BusError => self.platform.arm_bus_error(),
+            FaultKind::SpuriousIrq => self.platform.raise_external_irq(),
+            FaultKind::DropIrq => {
+                self.ext_schedule.pop();
+            }
+            FaultKind::DelayIrq { delay } => {
+                if let Some(next) = self.ext_schedule.pop() {
+                    self.schedule_external_irq(next + u64::from(delay));
+                }
+            }
+            FaultKind::SpuriousIpi => self.platform.mmio.msip = true,
+        }
+        self.platform
+            .record(TraceEvent::FaultInjected { code: kind.code() });
     }
 
     /// Attaches this system to an SMP composition as `hart`: the guest
@@ -245,6 +305,14 @@ impl System {
         self.platform.begin_cycle();
         let now = self.platform.cycle();
 
+        // Faults strike before interrupt sampling, so a spurious /
+        // dropped / delayed IRQ due this cycle shapes this cycle's mask.
+        if self.fault_plan.is_some() {
+            while let Some(ev) = self.fault_plan.as_mut().and_then(|p| p.take_due(now)) {
+                self.apply_fault(ev.kind);
+            }
+        }
+
         while self.ext_schedule.last().is_some_and(|&c| c <= now) {
             self.ext_schedule.pop();
             self.platform.raise_external_irq();
@@ -328,6 +396,11 @@ impl System {
             horizon = horizon.min((now + delta).saturating_sub(1));
         }
         if let Some(&next) = self.ext_schedule.last() {
+            horizon = horizon.min(next.saturating_sub(1));
+        }
+        // Stop short of the next planned fault: injection needs the
+        // per-cycle path, keeping batched == stepwise with a plan.
+        if let Some(next) = self.fault_plan.as_ref().and_then(|p| p.next_cycle()) {
             horizon = horizon.min(next.saturating_sub(1));
         }
         horizon.saturating_sub(now)

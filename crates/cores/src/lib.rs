@@ -27,6 +27,7 @@ pub mod cpu;
 pub mod csrs;
 pub mod engine;
 pub mod exec;
+pub mod fault;
 pub mod golden;
 pub mod models;
 pub mod profile;
@@ -38,6 +39,7 @@ pub use counters::CoreCounters;
 pub use cpu::{make_cpu, make_golden_cpu, CpuCore, Executed, GoldenCpu};
 pub use csrs::Csrs;
 pub use engine::{stop_events, BatchExit, CoreEngine, CoreEvent, DataBus, StepOutput, StopReason};
+pub use fault::{fault_code_name, FaultEvent, FaultKind, FaultPlan, FaultTargets};
 pub use golden::{GoldenCore, GoldenStep};
 pub use models::{make_engine, CoreKind};
 pub use profile::{hot_block_report, HotBlock, PcProfile};

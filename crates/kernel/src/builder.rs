@@ -3,8 +3,9 @@
 
 use crate::emit::{self, LabelGen};
 use crate::isr::{gen_isr, IsrSpec};
-use crate::klayout::{tcb, KernelLayout, NUM_PRIOS};
+use crate::klayout::{canary_addr, tcb, tcb_checksum, KernelLayout, CANARY_MAGIC, NUM_PRIOS};
 use crate::probe::{self, Probe};
+use crate::protect::{self, ProtectSpec};
 use crate::syscalls::gen_syscalls;
 use rtosunit::layout::{
     ctx_index_of, ctx_word_addr, CTX_MEPC_IDX, CTX_MSTATUS_IDX, IMEM_BASE, MMIO_CONSOLE, MMIO_HALT,
@@ -247,6 +248,8 @@ pub struct KernelBuilder {
     trace_phases: bool,
     probe: bool,
     ipi: bool,
+    protect: bool,
+    protect_kill: bool,
 }
 
 impl KernelBuilder {
@@ -262,7 +265,28 @@ impl KernelBuilder {
             trace_phases: false,
             probe: false,
             ipi: false,
+            protect: false,
+            protect_kill: true,
         }
+    }
+
+    /// Enables kernel self-protection ([`crate::protect`]): stack
+    /// canaries checked on every switch, the tick watchdog the idle loop
+    /// must pet, and the TCB checksum self-check. Real extra kernel work
+    /// — perturbs latency, so it defaults off.
+    pub fn protect(&mut self, on: bool) -> &mut Self {
+        self.protect = on;
+        self
+    }
+
+    /// Degradation policy for a clobbered canary (with
+    /// [`protect`](Self::protect) on): `true` (the default) kills the
+    /// corrupted task and reschedules; `false` halts. Hardware-scheduled
+    /// presets always halt — their ready lists cannot be edited from
+    /// software.
+    pub fn protect_kill(&mut self, kill: bool) -> &mut Self {
+        self.protect_kill = kill;
+        self
     }
 
     /// Enables the ISR's IPI drain loop (SMP images): software interrupts
@@ -357,10 +381,16 @@ impl KernelBuilder {
             }
         }
         // The idle task: lowest priority, always ready, parks in wfi.
+        // With self-protection on it also pets the watchdog each pass —
+        // idle running at all is the liveness signal being monitored.
+        let pet_watchdog = self.protect;
         self.tasks.push(TaskSpec {
             name: "idle".to_string(),
             prio: 0,
-            body: Box::new(|t: &mut TaskCtx| {
+            body: Box::new(move |t: &mut TaskCtx| {
+                if pet_watchdog {
+                    protect::emit_watchdog_pet(t.asm_mut());
+                }
                 t.asm_mut().wfi();
             }),
         });
@@ -456,6 +486,10 @@ impl KernelBuilder {
                 trace_phases: self.trace_phases,
                 probe: self.probe,
                 ipi: self.ipi,
+                protect: self.protect.then_some(ProtectSpec {
+                    n_tasks: n,
+                    kill: self.protect_kill && !self.preset.has_sched(),
+                }),
             },
         );
         gen_syscalls(&mut a, &mut lg, self.preset, self.probe);
@@ -545,6 +579,15 @@ impl KernelBuilder {
                     data.push((layout.sem_addr(j), *initial));
                 }
             }
+        }
+        if self.protect {
+            // Plant the canaries and the expected TCB checksum; the
+            // watchdog counter starts at DMEM's zero default.
+            for i in 0..n {
+                data.push((canary_addr(i), CANARY_MAGIC));
+            }
+            let prios: Vec<u32> = task_names.iter().map(|(_, p)| u32::from(*p)).collect();
+            data.push((KernelLayout::TCB_CHECKSUM, tcb_checksum(&prios)));
         }
 
         Ok(GuestImage {

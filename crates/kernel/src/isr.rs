@@ -16,6 +16,7 @@
 use crate::emit::{self, LabelGen};
 use crate::klayout::{tcb, KernelLayout, FRAME_BYTES};
 use crate::probe;
+use crate::protect::{self, ProtectSpec};
 use rtosunit::layout::{
     ctx_index_of, ctx_reg, CTX_MEPC_IDX, CTX_MSTATUS_IDX, CTX_REGION_BASE, CTX_SHIFT, MMIO_EXT_ACK,
     MMIO_IPI_RECV, MMIO_MSIP, MMIO_MTIME, MMIO_MTIMECMP, MMIO_TRACE,
@@ -48,6 +49,11 @@ pub struct IsrSpec {
     /// wake path as the deferred external give. Off for single-hart
     /// images, where the drain would be dead code on the yield path.
     pub ipi: bool,
+    /// Self-protection ([`crate::protect`]): per-switch canary and TCB
+    /// checksum sweeps plus the tick watchdog. The checks are real
+    /// kernel work and *change the measured latency*, so they default
+    /// off ([`None`]) and the unprotected byte streams are unchanged.
+    pub protect: Option<ProtectSpec>,
 }
 
 impl IsrSpec {
@@ -265,6 +271,9 @@ pub fn gen_isr(a: &mut Asm, lg: &mut LabelGen, spec: &IsrSpec) {
     // --- timer tick: in software configurations walk the delay list and
     // re-arm the comparator; with (T) both moved to hardware (§4.4).
     a.label(&l_timer);
+    if spec.protect.is_some() {
+        protect::emit_watchdog_check(a, lg);
+    }
     if !spec.hw_sched() {
         emit::delay_tick(a, lg);
         a.li(Reg::T0, MMIO_MTIME as i32);
@@ -319,6 +328,9 @@ pub fn gen_isr(a: &mut Asm, lg: &mut LabelGen, spec: &IsrSpec) {
 
     // --- scheduling: select the next task into a0 (TCB pointer).
     a.label(&l_sched);
+    if let Some(p) = &spec.protect {
+        protect::emit_integrity_checks(a, lg, p);
+    }
     if spec.hw_sched() {
         a.get_hw_sched(Reg::A0);
         a.slli(Reg::T0, Reg::A0, 2);
@@ -380,6 +392,7 @@ mod tests {
             trace_phases: false,
             probe: false,
             ipi: false,
+            protect: None,
         }
     }
 
@@ -444,6 +457,26 @@ mod tests {
             a.ebreak();
             let with_ipi = a.finish().expect("ISR assembles").words.len();
             assert!(with_ipi > plain, "{p}: the drain loop adds instructions");
+        }
+    }
+
+    #[test]
+    fn protection_is_opt_in_and_grows_the_isr() {
+        for p in [Preset::Vanilla, Preset::Slt] {
+            let plain = isr_len(p);
+            let mut a = Asm::new(0);
+            let mut lg = LabelGen::new();
+            let mut s = spec(p);
+            s.protect = Some(ProtectSpec {
+                n_tasks: 3,
+                kill: p == Preset::Vanilla,
+            });
+            gen_isr(&mut a, &mut lg, &s);
+            a.ebreak();
+            let protected = a.finish().expect("ISR assembles").words.len();
+            // The sweeps are substantial real work — the whole point is
+            // that protection overhead shows in the measured latency.
+            assert!(protected > plain + 20, "{p}: checks must add code");
         }
     }
 

@@ -55,6 +55,32 @@ pub mod sem {
     pub const WAIT_HEAD: i32 = 4;
 }
 
+/// Magic word planted at the *base* (lowest address) of every task stack
+/// when self-protection is on. A stack overflow or an injected upset
+/// clobbers it; the protected ISR checks all canaries on every switch.
+pub const CANARY_MAGIC: u32 = 0xC0DE_FA11;
+
+/// Ticks the watchdog counter may reach before the protected ISR
+/// declares the idle task starved (idle pets the counter back to zero).
+pub const WATCHDOG_LIMIT: u32 = 64;
+
+/// Address of task `i`'s stack canary word (the stack grows down from
+/// `stack_top(i)`, so the base word is the last to be overwritten).
+pub fn canary_addr(i: usize) -> u32 {
+    KernelLayout::STACKS + (i as u32) * STACK_BYTES
+}
+
+/// The build-time XOR checksum over the static fields of `n` TCBs with
+/// the given priorities: `xor_i(id ^ (prio << 8))`, seeded with a
+/// non-zero constant so an all-zero memory image never verifies.
+pub fn tcb_checksum(prios: &[u32]) -> u32 {
+    let mut x = 0x5EED_0001u32;
+    for (id, &prio) in prios.iter().enumerate() {
+        x ^= (id as u32) ^ (prio << 8);
+    }
+    x
+}
+
 /// Kernel global variables (absolute addresses).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct KernelLayout {
@@ -82,6 +108,13 @@ impl KernelLayout {
     pub const DELAY_HEAD: u32 = Self::READY_TAIL + (NUM_PRIOS as u32) * 4;
     /// Task-id → TCB-pointer lookup table (paper §4.4), `MAX_TASKS` words.
     pub const LOOKUP: u32 = Self::DELAY_HEAD + 4;
+    /// Guest watchdog counter: bumped by every timer tick, zeroed
+    /// ("petted") by the idle loop. Crossing [`WATCHDOG_LIMIT`] in the
+    /// ISR means idle was starved — the system is wedged or runaway.
+    pub const WATCHDOG: u32 = Self::LOOKUP + (MAX_TASKS as u32) * 4;
+    /// Expected XOR checksum over the static TCB fields (id, priority),
+    /// written at build time and recomputed by the protected ISR.
+    pub const TCB_CHECKSUM: u32 = Self::WATCHDOG + 4;
     /// Base of the semaphore control blocks.
     pub const SEMS: u32 = Self::GLOBALS + 0x100;
     /// Base of the TCB array.
@@ -150,7 +183,7 @@ mod tests {
     #[test]
     fn regions_do_not_overlap() {
         let l = KernelLayout::new(MAX_TASKS, 8);
-        assert!(KernelLayout::LOOKUP + (MAX_TASKS as u32) * 4 <= KernelLayout::SEMS);
+        const { assert!(KernelLayout::TCB_CHECKSUM + 4 <= KernelLayout::SEMS) };
         assert!(l.sem_addr(7) + SEM_BYTES <= KernelLayout::TCBS);
         assert!(l.tcb_addr(MAX_TASKS - 1) + TCB_BYTES <= KernelLayout::STACKS);
         // Stacks must stay clear of the fixed context region.

@@ -40,9 +40,11 @@ pub mod emit;
 pub mod isr;
 pub mod klayout;
 pub mod probe;
+pub mod protect;
 pub mod smp;
 pub mod syscalls;
 
 pub use builder::{GuestImage, KernelBuilder, KernelError, TaskCtx};
 pub use klayout::KernelLayout;
+pub use protect::ProtectSpec;
 pub use smp::{SmpImage, SmpKernelBuilder};

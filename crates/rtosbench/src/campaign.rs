@@ -30,9 +30,10 @@ use rtosunit::{
 };
 use rvsim_cores::{CoreCounters, CoreKind};
 use rvsim_isa::csr;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// How a run's raw switch episodes are reduced to measured latencies.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -368,6 +369,18 @@ pub struct CampaignSpec {
     pub slo: Option<u64>,
     /// Print a live progress line to stderr while the campaign runs.
     pub progress: bool,
+    /// Per-run host wall-time watchdog. When set, simulation proceeds in
+    /// chunks (cycle-exact with the unchunked run) and a run that blows
+    /// the budget fails as [`FailureKind::TimedOut`] instead of hanging
+    /// the whole campaign on one runaway guest.
+    pub wall_limit: Option<Duration>,
+    /// How many times a panicked or timed-out run is retried (with a
+    /// short exponential backoff) before its failure is recorded. Build
+    /// failures are deterministic and never retried.
+    pub retries: u32,
+    /// Directory to write one replayable JSON artifact per failed run
+    /// into (`<campaign>_run<index>.json`). `None` disables quarantine.
+    pub quarantine: Option<std::path::PathBuf>,
 }
 
 impl CampaignSpec {
@@ -379,7 +392,28 @@ impl CampaignSpec {
             telemetry: false,
             slo: None,
             progress: false,
+            wall_limit: None,
+            retries: 1,
+            quarantine: None,
         }
+    }
+
+    /// Sets the per-run host wall-time watchdog.
+    pub fn with_wall_limit(mut self, limit: Duration) -> CampaignSpec {
+        self.wall_limit = Some(limit);
+        self
+    }
+
+    /// Sets the retry budget for panicked / timed-out runs.
+    pub fn with_retries(mut self, retries: u32) -> CampaignSpec {
+        self.retries = retries;
+        self
+    }
+
+    /// Enables quarantine artifacts for failed runs under `dir`.
+    pub fn with_quarantine(mut self, dir: impl Into<std::path::PathBuf>) -> CampaignSpec {
+        self.quarantine = Some(dir.into());
+        self
     }
 
     /// Enables extended artifact telemetry (schema v3).
@@ -430,11 +464,18 @@ impl CampaignSpec {
     /// count; 1 = sequential). Outcomes are aggregated in spec order, so
     /// the result — including its JSON rendering — is identical for every
     /// worker count.
+    ///
+    /// The executor is crash-tolerant: every run executes under
+    /// `catch_unwind`, so one panicking or runaway run costs exactly its
+    /// own result. The campaign always completes, carrying partial
+    /// results plus a [`Campaign::failures`] report (and, with
+    /// [`with_quarantine`](Self::with_quarantine), one replayable JSON
+    /// artifact per failure).
     pub fn run(&self, workers: usize) -> Campaign {
         let started = Instant::now();
         let n = self.runs.len();
         let workers = workers.clamp(1, n.max(1));
-        let mut outcomes: Vec<Option<RunOutcome>> = (0..n).map(|_| None).collect();
+        let mut slots: Vec<Option<Result<RunOutcome, RunFailure>>> = (0..n).map(|_| None).collect();
         let next = AtomicUsize::new(0);
         std::thread::scope(|scope| {
             let (tx, rx) = mpsc::channel();
@@ -443,40 +484,216 @@ impl CampaignSpec {
                 let next = &next;
                 let runs = &self.runs;
                 let default_slo = self.slo;
+                let wall_limit = self.wall_limit;
+                let retries = self.retries;
                 scope.spawn(move || loop {
                     let i = next.fetch_add(1, Ordering::Relaxed);
                     if i >= runs.len() {
                         break;
                     }
-                    if tx.send((i, execute_run(i, &runs[i], default_slo))).is_err() {
+                    let result =
+                        execute_with_recovery(i, &runs[i], default_slo, wall_limit, retries);
+                    if tx.send((i, result)).is_err() {
                         break;
                     }
                 });
             }
             drop(tx);
             let mut done = 0usize;
-            for (i, outcome) in rx {
+            for (i, result) in rx {
                 done += 1;
                 if self.progress {
-                    progress_line(self.name, done, n, &outcome.label);
+                    let label = match &result {
+                        Ok(o) => o.label.clone(),
+                        Err(f) => format!("{} FAILED ({})", f.label, f.kind.name()),
+                    };
+                    progress_line(self.name, done, n, &label);
                 }
-                outcomes[i] = Some(outcome);
+                slots[i] = Some(result);
             }
             if self.progress {
                 finish_progress();
             }
         });
+        let mut outcomes = Vec::with_capacity(n);
+        let mut failures = Vec::new();
+        for (i, slot) in slots.into_iter().enumerate() {
+            match slot {
+                Some(Ok(o)) => outcomes.push(o),
+                Some(Err(f)) => failures.push(f),
+                // Defensive: a worker died between claiming the index and
+                // delivering — the run is reported lost, not the campaign.
+                None => failures.push(RunFailure {
+                    index: i,
+                    label: self.runs[i].label(),
+                    kind: FailureKind::Lost,
+                    detail: "worker terminated without delivering this run".to_string(),
+                    attempts: 0,
+                }),
+            }
+        }
+        if let Some(dir) = &self.quarantine {
+            for f in &failures {
+                quarantine_failure(dir, self.name, self, f);
+            }
+        }
         Campaign {
             name: self.name,
             workers,
             telemetry: self.telemetry,
-            outcomes: outcomes
-                .into_iter()
-                .map(|o| o.expect("worker delivered every claimed run"))
-                .collect(),
+            outcomes,
+            failures,
             host_nanos: started.elapsed().as_nanos() as u64,
             sections: Vec::new(),
         }
+    }
+}
+
+/// Why one campaign run produced no outcome.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailureKind {
+    /// The guest kernel failed to build (deterministic — never retried).
+    Build,
+    /// The simulation panicked; caught by the worker's `catch_unwind`.
+    Panicked,
+    /// The per-run wall-time watchdog expired (runaway guest).
+    TimedOut,
+    /// A worker died without delivering the claimed run.
+    Lost,
+}
+
+impl FailureKind {
+    /// Stable short name (artifacts, progress lines).
+    pub fn name(self) -> &'static str {
+        match self {
+            FailureKind::Build => "build",
+            FailureKind::Panicked => "panicked",
+            FailureKind::TimedOut => "timed_out",
+            FailureKind::Lost => "lost",
+        }
+    }
+}
+
+/// One failed run: everything needed to report and replay it.
+#[derive(Debug, Clone)]
+pub struct RunFailure {
+    /// Index into [`CampaignSpec::runs`].
+    pub index: usize,
+    /// Effective label of the failed run.
+    pub label: String,
+    /// Failure class.
+    pub kind: FailureKind,
+    /// Human-readable detail (panic message, timeout report, builder
+    /// error).
+    pub detail: String,
+    /// Execution attempts made (1 = failed first try, no retries left).
+    pub attempts: u32,
+}
+
+impl RunFailure {
+    /// Renders the failure for the artifact's `failures` section.
+    pub fn to_json(&self) -> Json {
+        Json::object()
+            .with("index", self.index)
+            .with("label", self.label.as_str())
+            .with("kind", self.kind.name())
+            .with("detail", self.detail.as_str())
+            .with("attempts", u64::from(self.attempts))
+    }
+}
+
+/// Executes one run with panic isolation and bounded retry: panics and
+/// timeouts retry up to `retries` times with a short exponential
+/// backoff (transient host conditions — memory pressure, scheduler
+/// hiccups blowing a wall limit); build failures are deterministic and
+/// fail immediately.
+fn execute_with_recovery(
+    index: usize,
+    spec: &RunSpec,
+    default_slo: Option<u64>,
+    wall_limit: Option<Duration>,
+    retries: u32,
+) -> Result<RunOutcome, RunFailure> {
+    let mut attempt = 0u32;
+    loop {
+        attempt += 1;
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            execute_run(index, spec, default_slo, wall_limit)
+        }));
+        let failure = match result {
+            Ok(Ok(outcome)) => return Ok(outcome),
+            Ok(Err(mut f)) => {
+                f.attempts = attempt;
+                f
+            }
+            Err(payload) => RunFailure {
+                index,
+                label: spec.label(),
+                kind: FailureKind::Panicked,
+                detail: panic_message(payload),
+                attempts: attempt,
+            },
+        };
+        let transient = matches!(failure.kind, FailureKind::Panicked | FailureKind::TimedOut);
+        if !transient || attempt > retries {
+            return Err(failure);
+        }
+        // Bounded backoff: 10ms, 20ms, 40ms, ... capped at 200ms.
+        let backoff = Duration::from_millis((10u64 << (attempt - 1).min(5)).min(200));
+        std::thread::sleep(backoff);
+    }
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Writes one replayable quarantine artifact for a failed run:
+/// the failure report plus the full spec shape of the run (label, core,
+/// preset, workload, overrides), enough to rebuild and re-execute it.
+/// Write errors are reported to stderr, never escalated — quarantine is
+/// best-effort by design.
+fn quarantine_failure(dir: &std::path::Path, campaign: &str, spec: &CampaignSpec, f: &RunFailure) {
+    let run = &spec.runs[f.index];
+    let doc = Json::object()
+        .with("schema", "rtosunit-quarantine-v1")
+        .with("campaign", campaign)
+        .with("failure", f.to_json())
+        .with(
+            "run",
+            Json::object()
+                .with("label", run.label())
+                .with("core", run.core.name())
+                .with("preset", run.preset.label())
+                .with("workload", run.workload.name())
+                .with("param", run.workload.param())
+                .with("filter", run.filter.label())
+                .with("stepwise", run.stepwise)
+                .with("harts", run.harts)
+                .with(
+                    "overrides",
+                    run.overrides
+                        .iter()
+                        .map(|o| o.to_json())
+                        .collect::<Vec<_>>(),
+                ),
+        );
+    let write = || -> std::io::Result<()> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(format!("{campaign}_run{}.json", f.index));
+        std::fs::write(path, doc.render())
+    };
+    if let Err(e) = write() {
+        eprintln!(
+            "[{campaign}] quarantine write failed for run {}: {e}",
+            f.index
+        );
     }
 }
 
@@ -512,8 +729,13 @@ pub struct Campaign {
     pub workers: usize,
     /// Whether the JSON artifact carries extended (v3) telemetry.
     pub telemetry: bool,
-    /// One outcome per spec run, in spec order.
+    /// Successful outcomes in spec order. When every run succeeds (the
+    /// normal case) this is one outcome per spec run.
     pub outcomes: Vec<RunOutcome>,
+    /// Runs that produced no outcome, in spec order. Empty campaigns of
+    /// failures keep the artifact byte-identical to the pre-resilience
+    /// schema; any entry adds a `failures` section.
+    pub failures: Vec<RunFailure>,
     /// Host wall-clock time of the whole campaign, nanoseconds.
     pub host_nanos: u64,
     /// Extra named artifact sections (e.g. oracle verification context),
@@ -699,6 +921,15 @@ impl Campaign {
             doc.push("workers", self.workers);
         }
         doc.push("runs", runs);
+        if !self.failures.is_empty() {
+            doc.push(
+                "failures",
+                self.failures
+                    .iter()
+                    .map(RunFailure::to_json)
+                    .collect::<Vec<_>>(),
+            );
+        }
         if self.telemetry {
             doc.push("aggregate", metrics_json(&self.aggregate_metrics()));
         }
@@ -726,17 +957,35 @@ impl Campaign {
     }
 }
 
-fn execute_run(index: usize, spec: &RunSpec, default_slo: Option<u64>) -> RunOutcome {
+fn execute_run(
+    index: usize,
+    spec: &RunSpec,
+    default_slo: Option<u64>,
+    wall_limit: Option<Duration>,
+) -> Result<RunOutcome, RunFailure> {
     let started = Instant::now();
+    let deadline = wall_limit.map(|l| started + l);
     let slo = spec.slo.or(default_slo);
+    let fail = |kind: FailureKind, detail: String| RunFailure {
+        index,
+        label: spec.label(),
+        kind,
+        detail,
+        attempts: 0,
+    };
+    let built = |r: Result<GuestImage, KernelError>, what: &str| {
+        r.map_err(|e| fail(FailureKind::Build, format!("{what} failed to build: {e:?}")))
+    };
     let (sim, analytic) = match spec.workload {
         WorkloadSpec::Analytic { param, eval, .. } => {
             (None, Some(eval(param, spec.core, spec.preset)))
         }
         WorkloadSpec::Suite(w) => {
-            let image = workloads::build(&w, spec.preset).expect("suite workload builds");
+            let image = built(workloads::build(&w, spec.preset), "suite workload")?;
             let drive = IrqDrive::Periodic(w.ext_irq_interval);
-            (Some(simulate(spec, &image, w.run_cycles, drive, slo)), None)
+            let sim = simulate(spec, &image, w.run_cycles, drive, slo, deadline)
+                .map_err(|d| fail(FailureKind::TimedOut, d))?;
+            (Some(sim), None)
         }
         WorkloadSpec::Custom {
             param,
@@ -745,9 +994,11 @@ fn execute_run(index: usize, spec: &RunSpec, default_slo: Option<u64>) -> RunOut
             ext_irq_interval,
             ..
         } => {
-            let image = build(param, spec.preset).expect("custom workload builds");
+            let image = built(build(param, spec.preset), "custom workload")?;
             let drive = IrqDrive::Periodic(ext_irq_interval);
-            (Some(simulate(spec, &image, run_cycles, drive, slo)), None)
+            let sim = simulate(spec, &image, run_cycles, drive, slo, deadline)
+                .map_err(|d| fail(FailureKind::TimedOut, d))?;
+            (Some(sim), None)
         }
         WorkloadSpec::OpenLoop {
             param,
@@ -756,12 +1007,14 @@ fn execute_run(index: usize, spec: &RunSpec, default_slo: Option<u64>) -> RunOut
             arrivals,
             ..
         } => {
-            let image = build(param, spec.preset).expect("open-loop workload builds");
+            let image = built(build(param, spec.preset), "open-loop workload")?;
             let drive = IrqDrive::Explicit(arrivals(param, run_cycles));
-            (Some(simulate(spec, &image, run_cycles, drive, slo)), None)
+            let sim = simulate(spec, &image, run_cycles, drive, slo, deadline)
+                .map_err(|d| fail(FailureKind::TimedOut, d))?;
+            (Some(sim), None)
         }
     };
-    RunOutcome {
+    Ok(RunOutcome {
         index,
         label: spec.label(),
         core: spec.core,
@@ -772,7 +1025,7 @@ fn execute_run(index: usize, spec: &RunSpec, default_slo: Option<u64>) -> RunOut
         sim,
         analytic,
         host_nanos: started.elapsed().as_nanos() as u64,
-    }
+    })
 }
 
 /// How a run's external interrupts are injected.
@@ -808,15 +1061,50 @@ impl IrqDrive {
     }
 }
 
+/// Chunk size for wall-limited runs: small enough that a runaway guest
+/// is caught within milliseconds, large enough that the deadline checks
+/// are noise. Chunked execution is cycle-exact with the unchunked run —
+/// both `System::run` and `SmpSystem::run` are incremental.
+const WALL_CHECK_CHUNK: u64 = 65_536;
+
+/// Runs `step(chunk)` — which returns `true` once the guest has halted —
+/// until `run_cycles` are spent, the guest halts, or `deadline` passes
+/// (the error carries how far the run got).
+fn run_with_deadline(
+    run_cycles: u64,
+    deadline: Option<Instant>,
+    mut step: impl FnMut(u64) -> bool,
+) -> Result<(), String> {
+    let Some(deadline) = deadline else {
+        step(run_cycles);
+        return Ok(());
+    };
+    let mut done = 0u64;
+    while done < run_cycles {
+        if Instant::now() >= deadline {
+            return Err(format!(
+                "wall-time watchdog expired after {done} of {run_cycles} simulated cycles"
+            ));
+        }
+        let chunk = WALL_CHECK_CHUNK.min(run_cycles - done);
+        if step(chunk) {
+            break;
+        }
+        done += chunk;
+    }
+    Ok(())
+}
+
 fn simulate(
     spec: &RunSpec,
     image: &GuestImage,
     run_cycles: u64,
     drive: IrqDrive,
     slo: Option<u64>,
-) -> SimOutcome {
+    deadline: Option<Instant>,
+) -> Result<SimOutcome, String> {
     if spec.harts > 1 {
-        return simulate_smp(spec, image, run_cycles, &drive, slo);
+        return simulate_smp(spec, image, run_cycles, &drive, slo, deadline);
     }
     let mut sys = System::new(spec.core, spec.preset);
     for o in &spec.overrides {
@@ -824,12 +1112,16 @@ fn simulate(
     }
     image.install(&mut sys);
     drive.schedule(&mut sys, run_cycles);
-    if spec.stepwise {
-        sys.run_stepwise(run_cycles);
-    } else {
-        sys.run(run_cycles);
-    }
-    harvest(&mut sys, spec, None, slo)
+    let stepwise = spec.stepwise;
+    run_with_deadline(run_cycles, deadline, |chunk| {
+        if stepwise {
+            sys.run_stepwise(chunk);
+        } else {
+            sys.run(chunk);
+        }
+        sys.halted()
+    })?;
+    Ok(harvest(&mut sys, spec, None, slo))
 }
 
 /// The SMP variant of [`simulate`]: the measured image boots on hart 0,
@@ -842,7 +1134,8 @@ fn simulate_smp(
     run_cycles: u64,
     drive: &IrqDrive,
     slo: Option<u64>,
-) -> SimOutcome {
+    deadline: Option<Instant>,
+) -> Result<SimOutcome, String> {
     let mut smp = SmpSystem::new(spec.core, spec.preset, spec.harts);
     for o in &spec.overrides {
         o.apply(smp.hart_mut(0));
@@ -853,13 +1146,16 @@ fn simulate_smp(
         smp.load_program(h, &pounder);
     }
     drive.schedule(smp.hart_mut(0), run_cycles);
-    smp.run(run_cycles);
+    run_with_deadline(run_cycles, deadline, |chunk| {
+        smp.run(chunk);
+        smp.halted()
+    })?;
     let bus: Vec<BusMasterStats> = {
         let shared = smp.shared();
         let shared = shared.borrow();
         (0..spec.harts).map(|h| shared.bus_stats(h)).collect()
     };
-    harvest(smp.hart_mut(0), spec, Some(bus), slo)
+    Ok(harvest(smp.hart_mut(0), spec, Some(bus), slo))
 }
 
 /// An endless load/store walk over the hart's private DMEM bank: pure
@@ -1017,6 +1313,113 @@ pub fn spec_to_json(spec: &CampaignSpec) -> Json {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use freertos_lite::KernelBuilder;
+
+    fn tiny_kernel(_param: u32, preset: Preset) -> Result<GuestImage, KernelError> {
+        let mut k = KernelBuilder::new(preset);
+        k.task("a", 5, |t| t.yield_now());
+        k.task("b", 4, |t| t.yield_now());
+        k.build()
+    }
+
+    fn empty_kernel(_param: u32, preset: Preset) -> Result<GuestImage, KernelError> {
+        KernelBuilder::new(preset).build()
+    }
+
+    #[test]
+    fn campaign_survives_panics_timeouts_and_build_failures() {
+        let qdir =
+            std::env::temp_dir().join(format!("rtosbench_quarantine_test_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&qdir);
+        let good = RunSpec::new(
+            CoreKind::Cv32e40p,
+            Preset::Vanilla,
+            WorkloadSpec::Custom {
+                name: "good",
+                param: 0,
+                build: tiny_kernel,
+                run_cycles: 50_000,
+                ext_irq_interval: 0,
+            },
+        );
+        let panicking = RunSpec::new(
+            CoreKind::Cv32e40p,
+            Preset::Vanilla,
+            WorkloadSpec::Analytic {
+                name: "boom",
+                param: 0,
+                eval: |_, _, _| panic!("induced worker panic"),
+            },
+        );
+        // A runaway guest: a cycle budget that can never finish inside
+        // the wall limit. The watchdog must cut it, not hang the
+        // campaign.
+        let runaway = RunSpec::new(
+            CoreKind::Cv32e40p,
+            Preset::Vanilla,
+            WorkloadSpec::Custom {
+                name: "runaway",
+                param: 0,
+                build: tiny_kernel,
+                run_cycles: u64::MAX / 2,
+                ext_irq_interval: 0,
+            },
+        );
+        let unbuildable = RunSpec::new(
+            CoreKind::Cv32e40p,
+            Preset::Vanilla,
+            WorkloadSpec::Custom {
+                name: "nobuild",
+                param: 0,
+                build: empty_kernel,
+                run_cycles: 1_000,
+                ext_irq_interval: 0,
+            },
+        );
+        let c = CampaignSpec::new("test_resilience")
+            .with(good)
+            .with(panicking)
+            .with(runaway)
+            .with(unbuildable)
+            .with_wall_limit(Duration::from_millis(500))
+            .with_retries(1)
+            .with_quarantine(&qdir)
+            .run(2);
+        // The campaign completed with partial results: the good run's
+        // outcome plus one reported failure per broken run.
+        assert_eq!(c.outcomes.len(), 1);
+        assert_eq!(c.outcomes[0].workload, "good");
+        assert!(c.outcomes[0].sim.is_some());
+        assert_eq!(c.failures.len(), 3);
+        let by_label = |l: &str| {
+            c.failures
+                .iter()
+                .find(|f| f.label.contains(l))
+                .unwrap_or_else(|| panic!("no failure for {l}"))
+        };
+        let boom = by_label("boom");
+        assert_eq!(boom.kind, FailureKind::Panicked);
+        assert!(boom.detail.contains("induced worker panic"));
+        assert_eq!(boom.attempts, 2, "panics are retried once");
+        let runaway = by_label("runaway");
+        assert_eq!(runaway.kind, FailureKind::TimedOut);
+        assert!(runaway.detail.contains("wall-time watchdog"));
+        let nobuild = by_label("nobuild");
+        assert_eq!(nobuild.kind, FailureKind::Build);
+        assert_eq!(nobuild.attempts, 1, "build failures are never retried");
+        // The artifact reports the failures...
+        let rendered = c.to_json().render();
+        assert!(rendered.contains("\"failures\""));
+        assert!(rendered.contains("\"timed_out\""));
+        // ...and each failure left a replayable quarantine artifact.
+        for f in &c.failures {
+            let path = qdir.join(format!("test_resilience_run{}.json", f.index));
+            let body = std::fs::read_to_string(&path).expect("quarantine artifact exists");
+            assert!(body.contains("rtosunit-quarantine-v1"));
+            assert!(body.contains(f.kind.name()));
+        }
+        let _ = std::fs::remove_dir_all(&qdir);
+    }
 
     fn tiny_spec() -> CampaignSpec {
         let w = workloads::by_name("pingpong_semaphore").expect("exists");

@@ -25,8 +25,8 @@ pub mod tail;
 pub mod workloads;
 
 pub use campaign::{
-    Campaign, CampaignSpec, ConfigOverride, FilterPolicy, RunOutcome, RunSpec, SimOutcome,
-    WorkloadSpec,
+    Campaign, CampaignSpec, ConfigOverride, FailureKind, FilterPolicy, RunFailure, RunOutcome,
+    RunSpec, SimOutcome, WorkloadSpec,
 };
 pub use json::Json;
 pub use perfdiff::{compare, DiffOptions, DiffReport, MetricDelta};

@@ -11,13 +11,68 @@
 
 use rtosbench::workloads;
 use rtosunit::{Preset, System};
-use rvsim_cores::CoreKind;
+use rvsim_cores::{CoreKind, FaultEvent, FaultKind, FaultPlan};
+use rvsim_isa::Reg;
 
-fn run_one(core: CoreKind, preset: Preset, workload: &str, stepwise: bool) -> System {
+/// A tame deterministic fault plan scaled to the workload's run length:
+/// one of each benign kind, none of which can wedge the guest (they
+/// perturb timing and values, not control flow).
+fn tame_plan(run_cycles: u64) -> FaultPlan {
+    let at = |f: u64| run_cycles * f / 10;
+    FaultPlan::new(vec![
+        FaultEvent {
+            at_cycle: at(1),
+            kind: FaultKind::SpuriousIpi,
+        },
+        FaultEvent {
+            at_cycle: at(2),
+            kind: FaultKind::MemFlip {
+                addr: rtosunit::layout::DMEM_BASE + 4, // kernel tick count
+                bit: 1,
+            },
+        },
+        FaultEvent {
+            at_cycle: at(3),
+            kind: FaultKind::SpuriousIrq,
+        },
+        FaultEvent {
+            at_cycle: at(4),
+            kind: FaultKind::CacheUpset {
+                addr: rtosunit::layout::DMEM_BASE,
+            },
+        },
+        FaultEvent {
+            at_cycle: at(5),
+            kind: FaultKind::RegFlip {
+                reg: Reg::S3,
+                bit: 0,
+            },
+        },
+        FaultEvent {
+            at_cycle: at(6),
+            kind: FaultKind::BusError,
+        },
+        FaultEvent {
+            at_cycle: at(7),
+            kind: FaultKind::DelayIrq { delay: 64 },
+        },
+    ])
+}
+
+fn run_one(
+    core: CoreKind,
+    preset: Preset,
+    workload: &str,
+    stepwise: bool,
+    faulted: bool,
+) -> System {
     let w = workloads::by_name(workload).expect("workload exists");
     let image = workloads::build(&w, preset).expect("workload builds");
     let mut sys = System::new(core, preset);
     image.install(&mut sys);
+    if faulted {
+        sys.attach_fault_plan(tame_plan(w.run_cycles));
+    }
     // Profile every run: the per-PC cycle attribution must be path-exact
     // too (asserted below), and enabling it must not perturb any of the
     // other equivalences.
@@ -37,10 +92,10 @@ fn run_one(core: CoreKind, preset: Preset, workload: &str, stepwise: bool) -> Sy
     sys
 }
 
-fn assert_equivalent(core: CoreKind, preset: Preset, workload: &str) {
-    let mut fast = run_one(core, preset, workload, false);
-    let mut slow = run_one(core, preset, workload, true);
-    let ctx = format!("{core:?}/{preset}/{workload}");
+fn assert_equivalent_inner(core: CoreKind, preset: Preset, workload: &str, faulted: bool) {
+    let mut fast = run_one(core, preset, workload, false, faulted);
+    let mut slow = run_one(core, preset, workload, true, faulted);
+    let ctx = format!("{core:?}/{preset}/{workload}/faulted={faulted}");
     assert_eq!(
         fast.take_profile(),
         slow.take_profile(),
@@ -80,6 +135,18 @@ fn assert_equivalent(core: CoreKind, preset: Preset, workload: &str) {
         slow.core.counters(),
         "{ctx}: core activity counters diverged"
     );
+    assert_eq!(
+        fast.faults_applied(),
+        slow.faults_applied(),
+        "{ctx}: applied fault counts diverged"
+    );
+    if faulted {
+        assert!(fast.faults_applied() > 0, "{ctx}: plan never fired");
+    }
+}
+
+fn assert_equivalent(core: CoreKind, preset: Preset, workload: &str) {
+    assert_equivalent_inner(core, preset, workload, false);
 }
 
 #[test]
@@ -113,5 +180,19 @@ fn batched_run_matches_stepwise_for_remaining_presets() {
     ] {
         assert_equivalent(CoreKind::Cv32e40p, preset, "pingpong_semaphore");
         assert_equivalent(CoreKind::NaxRiscv, preset, "priority_chain");
+    }
+}
+
+#[test]
+fn batched_run_matches_stepwise_with_a_fault_plan() {
+    // Injection must not break the batching contract: the quiescent
+    // horizon stops short of every planned fault, so batched and
+    // stepwise runs stay bit-identical *with faults firing*.
+    for core in CoreKind::ALL {
+        for preset in [Preset::Vanilla, Preset::Slt] {
+            for workload in ["delay_periodic", "interrupt_latency"] {
+                assert_equivalent_inner(core, preset, workload, true);
+            }
+        }
     }
 }
