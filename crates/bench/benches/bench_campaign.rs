@@ -1,46 +1,91 @@
 //! Campaign-layer throughput: the Fig. 9 matrix (cores × latency presets
-//! × suite workloads) executed three ways —
+//! × suite workloads) executed four ways —
 //!
 //! 1. the seed's configuration: cycle-by-cycle stepping, one worker;
 //! 2. batched `run_until` stepping, one worker (batching speedup alone);
-//! 3. batched stepping across all host cores (batching × parallelism).
+//! 3. batched stepping across all host cores (batching × parallelism);
+//! 4. batched stepping through the block translation cache, one worker
+//!    (`fig9_blockcache`: the translated fast path's speedup over plain
+//!    batched interpretation).
 //!
-//! The three artifacts must render identically (the determinism
+//! All four artifacts must render identically (the determinism
 //! guarantee); the simulated-cycles-per-second figures quantify the
-//! speedup and land in `results/BENCH_campaign.json`.
+//! speedups and land in `results/BENCH_campaign.json`. Each variant
+//! runs [`REPS`] times with per-cell minimum host times kept, so the
+//! reported ratios compare the least-disturbed run of every cell.
 
-use rtosbench::{workloads, CampaignSpec};
+use rtosbench::{workloads, Campaign, CampaignSpec};
 use rtosunit_bench::harness::Bench;
 use rvsim_cores::CoreKind;
 
-fn fig9_spec(stepwise: bool) -> CampaignSpec {
+/// Geometric-mean per-cell speedup of `fast` over `base`: the two
+/// campaigns ran the identical matrix (and simulated identical cycles in
+/// every cell — the determinism guarantee), so each cell's
+/// simulated-cycles/s ratio reduces to its host-time ratio.
+fn geomean_speedup(base: &Campaign, fast: &Campaign) -> f64 {
+    let mut log_sum = 0.0f64;
+    let mut n = 0u32;
+    for (b, f) in base.outcomes.iter().zip(&fast.outcomes) {
+        assert_eq!(b.label, f.label, "matrix cells out of order");
+        if b.host_nanos == 0 || f.host_nanos == 0 {
+            continue;
+        }
+        log_sum += (b.host_nanos as f64 / f.host_nanos as f64).ln();
+        n += 1;
+    }
+    (log_sum / f64::from(n.max(1))).exp()
+}
+
+fn fig9_spec(stepwise: bool, blocks: bool) -> CampaignSpec {
     let presets = rtosunit_bench::latency_presets();
     let mut spec = CampaignSpec::matrix("bench_fig9", &CoreKind::ALL, &presets, &workloads::ALL);
     for run in &mut spec.runs {
         run.stepwise = stepwise;
+        run.blocks = blocks;
     }
     spec
+}
+
+/// Repetitions per campaign variant. Each cell keeps its *minimum* host
+/// time across repetitions — the run least disturbed by the host
+/// scheduler — which is what the speedup ratios should compare.
+const REPS: usize = 3;
+
+/// Runs the matrix `REPS` times and merges per-cell (and aggregate)
+/// minimum host times. Simulated results are deterministic, so the
+/// repetitions differ only in host timing.
+fn run_best(spec: impl Fn() -> CampaignSpec, workers: usize) -> Campaign {
+    let mut best = spec().run(workers);
+    for _ in 1..REPS {
+        let next = spec().run(workers);
+        for (b, n) in best.outcomes.iter_mut().zip(&next.outcomes) {
+            assert_eq!(b.label, n.label, "matrix cells out of order");
+            b.host_nanos = b.host_nanos.min(n.host_nanos);
+        }
+        best.host_nanos = best.host_nanos.min(next.host_nanos);
+    }
+    best
 }
 
 fn main() {
     let workers = rtosunit_bench::default_workers();
     let mut bench = Bench::new("campaign");
 
-    let baseline = fig9_spec(true).run(1);
+    let baseline = run_best(|| fig9_spec(true, false), 1);
     bench.record(
         "fig9_matrix/stepwise_sequential",
         u128::from(baseline.host_nanos),
         Some((baseline.simulated_cycles() as f64, "cycles")),
     );
 
-    let batched_seq = fig9_spec(false).run(1);
+    let batched_seq = run_best(|| fig9_spec(false, false), 1);
     bench.record(
         "fig9_matrix/batched_sequential",
         u128::from(batched_seq.host_nanos),
         Some((batched_seq.simulated_cycles() as f64, "cycles")),
     );
 
-    let batched_par = fig9_spec(false).run(workers);
+    let batched_par = run_best(|| fig9_spec(false, false), workers);
     // A stable record name (no worker count) so perfdiff can match it
     // against a baseline captured on a host with a different core count.
     println!("batched_parallel uses {workers} workers");
@@ -50,18 +95,40 @@ fn main() {
         Some((batched_par.simulated_cycles() as f64, "cycles")),
     );
 
+    let blockcache = run_best(|| fig9_spec(false, true), 1);
+    bench.record(
+        "fig9_matrix/fig9_blockcache",
+        u128::from(blockcache.host_nanos),
+        Some((blockcache.simulated_cycles() as f64, "cycles")),
+    );
+
     assert_eq!(
         baseline.to_json().render(),
         batched_par.to_json().render(),
         "batched parallel execution must reproduce the stepwise artifact"
     );
+    assert_eq!(
+        baseline.to_json().render(),
+        blockcache.to_json().render(),
+        "block-cache execution must reproduce the stepwise artifact"
+    );
 
     let base_rate = baseline.cycles_per_second();
     println!(
-        "speedup over stepwise sequential: batched x{:.2}, batched+{}w x{:.2}",
+        "speedup over stepwise sequential: batched x{:.2}, batched+{}w x{:.2}, blocks x{:.2}",
         batched_seq.cycles_per_second() / base_rate,
         workers,
-        batched_par.cycles_per_second() / base_rate
+        batched_par.cycles_per_second() / base_rate,
+        blockcache.cycles_per_second() / base_rate
+    );
+    // The tentpole's self-reported headline: per-cell geomean speedup of
+    // the translated fast path over the seed's stepwise configuration
+    // (the baseline every prior speedup in this series is quoted against)
+    // and over plain batched interpretation.
+    println!(
+        "blockcache geomean speedup per matrix cell: x{:.2} over stepwise, x{:.2} over batched",
+        geomean_speedup(&baseline, &blockcache),
+        geomean_speedup(&batched_seq, &blockcache),
     );
     bench.finish();
 }

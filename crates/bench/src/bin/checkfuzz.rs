@@ -2,11 +2,16 @@
 //!
 //! Drives the `rvsim-check` harness from the command line:
 //!
-//! * `checkfuzz fuzz [--secs N] [--start-seed S]` — time-boxed fuzz loop
-//!   alternating golden-model lockstep episodes and scheduler-oracle
-//!   scenarios across all cores and ISR variants. Failures are shrunk to
-//!   minimal counterexamples and written to `results/repro/*.json`;
-//!   the exit code is non-zero if anything failed.
+//! * `checkfuzz fuzz [--secs N] [--start-seed S] [--blocks]` — time-boxed
+//!   fuzz loop alternating golden-model lockstep episodes and
+//!   scheduler-oracle scenarios across all cores and ISR variants. With
+//!   `--blocks` the lockstep episodes drive the engine through the block
+//!   translation cache (batched `run_until`) instead of per-cycle
+//!   stepping — the mode is recorded in the replay artifact, so shrink
+//!   and replay reproduce under the same engine path. Failures are
+//!   shrunk to minimal counterexamples and written to
+//!   `results/repro/*.json`; the exit code is non-zero if anything
+//!   failed.
 //! * `checkfuzz replay <path>...` — re-runs replay artifacts
 //!   byte-for-byte; exit code is non-zero if any still fails.
 //! * `checkfuzz selftest` — injects a known executor bug (flipped `sltu`
@@ -30,7 +35,7 @@ const REPRO_DIR: &str = "results/repro";
 
 fn usage() -> ! {
     eprintln!(
-        "usage: checkfuzz fuzz [--secs N] [--start-seed S]\n       \
+        "usage: checkfuzz fuzz [--secs N] [--start-seed S] [--blocks]\n       \
          checkfuzz replay <path>...\n       \
          checkfuzz selftest"
     );
@@ -65,19 +70,28 @@ fn write_artifact(name: &str, doc: &Json) -> PathBuf {
 /// One fuzz iteration: even seeds run a lockstep episode (core rotating),
 /// odd seeds run an oracle scenario (core x preset rotating). Returns the
 /// artifact name written on failure.
-fn fuzz_one(seed: u64) -> Option<String> {
+fn fuzz_one(seed: u64, blocks: bool) -> Option<String> {
     let core = CoreKind::ALL[(seed / 2 % 3) as usize];
     if seed.is_multiple_of(2) {
         let cfg = GenConfig {
             len: 256,
             ..GenConfig::default()
         };
-        let ep = episode_for_seed(core, seed, cfg);
+        let mut ep = episode_for_seed(core, seed, cfg);
+        ep.blocks = blocks;
         let mismatch = run_episode(&ep).err()?;
-        eprintln!("lockstep FAIL core={core} seed={seed}: {mismatch}");
+        let mode = if blocks { " blocks" } else { "" };
+        eprintln!("lockstep{mode} FAIL core={core} seed={seed}: {mismatch}");
+        // `EpisodeSpec::blocks` rides along through the shrink (the
+        // predicate is `run_episode`, which dispatches on it) and into
+        // the artifact, so the repro replays under the same engine path.
         let small = shrink_episode(&ep);
         let m = run_episode(&small).expect_err("shrunk episode still fails");
-        let name = format!("lockstep_{core}_{seed}.json");
+        let name = if blocks {
+            format!("lockstep_blocks_{core}_{seed}.json")
+        } else {
+            format!("lockstep_{core}_{seed}.json")
+        };
         write_artifact(&name, &artifact::lockstep_to_json(&small, seed, &m));
         Some(name)
     } else {
@@ -99,20 +113,22 @@ fn fuzz_one(seed: u64) -> Option<String> {
 fn cmd_fuzz(args: &[String]) -> i32 {
     let secs = parse_flag(args, "--secs").unwrap_or(60);
     let start = parse_flag(args, "--start-seed").unwrap_or(0);
+    let blocks = args.iter().any(|a| a == "--blocks");
     let deadline = Instant::now() + Duration::from_secs(secs);
     let mut seed = start;
     let mut failures = Vec::new();
     let mut runs = 0u64;
     while Instant::now() < deadline && failures.len() < 20 {
-        if let Some(name) = fuzz_one(seed) {
+        if let Some(name) = fuzz_one(seed, blocks) {
             failures.push(name);
         }
         runs += 1;
         seed += 1;
     }
     println!(
-        "checkfuzz: {runs} runs, seeds {start}..{seed}, {} failure(s)",
-        failures.len()
+        "checkfuzz: {runs} runs, seeds {start}..{seed}, {} failure(s){}",
+        failures.len(),
+        if blocks { " [blocks]" } else { "" }
     );
     for f in &failures {
         println!("  {REPRO_DIR}/{f}");

@@ -5,6 +5,12 @@
 //! [`CampaignSpec`] and executed in parallel; the human-readable tables
 //! are derived from the in-memory outcomes and the machine-readable
 //! artifact lands in `results/fig9.json`.
+//!
+//! `--quick` restricts the matrix to one core (CI smoke; artifact
+//! `results/fig9_quick.json` so the full figure is never clobbered).
+//! `--blocks` executes every run through the block translation cache —
+//! the tables and artifact must come out identical (host-side speedup
+//! only), which is exactly what the CI smoke pass checks.
 
 use rtosbench::{report, workloads, Campaign, CampaignSpec, Fig9Row};
 use rtosunit::{trace, LatencyStats, Preset};
@@ -36,12 +42,23 @@ fn pool_row(campaign: &Campaign, core: CoreKind, preset: Preset) -> Fig9Row {
 }
 
 fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let blocks = std::env::args().any(|a| a == "--blocks");
     let presets = rtosunit_bench::latency_presets();
-    let spec = CampaignSpec::matrix("fig9", &CoreKind::ALL, &presets, &workloads::ALL);
+    let cores: &[CoreKind] = if quick {
+        &CoreKind::ALL[..1]
+    } else {
+        &CoreKind::ALL
+    };
+    let name = if quick { "fig9_quick" } else { "fig9" };
+    let mut spec = CampaignSpec::matrix(name, cores, &presets, &workloads::ALL);
+    for run in &mut spec.runs {
+        run.blocks = blocks;
+    }
     let campaign = spec.run(rtosunit_bench::default_workers());
 
     let mut out = String::new();
-    for core in CoreKind::ALL {
+    for &core in cores {
         let rows: Vec<_> = presets
             .iter()
             .map(|&p| pool_row(&campaign, core, p))
@@ -71,7 +88,7 @@ fn main() {
         "SDLO ~ SL (sw scheduling dominates); SDLOT adds jitter, some cases < 50 cycles",
         "SPLIT: lowest mean (bimodal: correct preloads save up to 31 cycles vs SLT)",
     ]));
-    rtosunit_bench::emit("fig9.txt", &out);
+    rtosunit_bench::emit(if quick { "fig9_quick.txt" } else { "fig9.txt" }, &out);
 
     match campaign.write_json("results") {
         Ok(path) => println!("# campaign artifact: {}", path.display()),

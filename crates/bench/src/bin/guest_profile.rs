@@ -2,7 +2,7 @@
 //! input plus the ranked hot-block report.
 //!
 //! ```text
-//! guest_profile [WORKLOAD] [--core NAME] [--preset LABEL] [--harts N]
+//! guest_profile [WORKLOAD] [--core NAME] [--preset LABEL] [--harts N] [--blocks]
 //! ```
 //!
 //! Runs the workload with the [`PcProfile`](rvsim_cores::PcProfile)
@@ -12,7 +12,13 @@
 //! * `results/flamegraph.folded` — folded-stack lines, one per basic
 //!   block, ready for `flamegraph.pl` / speedscope / inferno;
 //! * `results/guest_profile.txt` — the ranked hot-block table that
-//!   seeds the translation-cache work (ROADMAP item 1).
+//!   seeded the translation-cache work (ROADMAP item 1).
+//!
+//! With `--blocks` the run executes through the block translation cache
+//! (simulated timing and the profile are bit-identical either way) and
+//! the hot-block table gains per-block cache columns: dispatches, hit
+//! rate, fused macro-ops and retranslations. Single-hart only — the SMP
+//! path steps per-cycle, where the cache is inert.
 //!
 //! With `--harts N` (N > 1) the workload runs on hart 0 of an
 //! [`SmpSystem`](rtosunit::SmpSystem) while the other harts pound the
@@ -22,11 +28,13 @@
 
 use rtosbench::workloads;
 use rtosunit::{Preset, SmpSystem, System};
-use rvsim_cores::{hot_block_report, CoreKind, PcProfile};
+use rvsim_cores::{hot_block_report, hot_block_report_with_blocks, CoreKind, PcProfile};
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
-    eprintln!("usage: guest_profile [WORKLOAD] [--core NAME] [--preset LABEL] [--harts N]");
+    eprintln!(
+        "usage: guest_profile [WORKLOAD] [--core NAME] [--preset LABEL] [--harts N] [--blocks]"
+    );
     eprintln!(
         "  workloads: {}",
         names(workloads::ALL.iter().map(|w| w.name))
@@ -62,9 +70,11 @@ fn main() -> ExitCode {
     let mut core = CoreKind::Cv32e40p;
     let mut preset = Preset::Slt;
     let mut harts = 1usize;
+    let mut blocks = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
+            "--blocks" => blocks = true,
             "--core" => {
                 i += 1;
                 let Some(c) = args
@@ -117,6 +127,7 @@ fn main() -> ExitCode {
         let mut sys = System::new(core, preset);
         image.install(&mut sys);
         sys.set_profiling(true);
+        sys.set_block_cache(blocks);
         if w.ext_irq_interval > 0 {
             let mut at = w.ext_irq_interval;
             while at < w.run_cycles {
@@ -126,8 +137,12 @@ fn main() -> ExitCode {
         }
         sys.run(w.run_cycles);
         let profile = sys.take_profile().expect("profiling was enabled");
-        append_hart(&mut folded, &mut report, &mut sys, &profile, 0);
+        append_hart(&mut folded, &mut report, &mut sys, &profile, 0, blocks);
     } else {
+        if blocks {
+            eprintln!("guest_profile: --blocks is single-hart only (SMP steps per-cycle)");
+            return usage();
+        }
         let mut smp = SmpSystem::new(core, preset, harts);
         image.install(smp.hart_mut(0));
         let pounder = contention_echo();
@@ -139,7 +154,7 @@ fn main() -> ExitCode {
         let profiles = smp.take_profiles();
         for (h, profile) in profiles.iter().enumerate() {
             let profile = profile.as_ref().expect("profiling was enabled");
-            append_hart(&mut folded, &mut report, smp.hart_mut(h), profile, h);
+            append_hart(&mut folded, &mut report, smp.hart_mut(h), profile, h, false);
         }
     }
 
@@ -162,19 +177,30 @@ fn main() -> ExitCode {
     ExitCode::SUCCESS
 }
 
-/// Appends one hart's folded stacks and hot-block table.
+/// Appends one hart's folded stacks and hot-block table — with the
+/// per-block translation-cache columns when the cache was enabled.
 fn append_hart(
     folded: &mut String,
     report: &mut String,
     sys: &mut System,
     profile: &PcProfile,
     hart: usize,
+    block_cache: bool,
 ) {
     let root = format!("hart{hart}");
     folded.push_str(&sys.core.folded_profile(profile, &root));
     let blocks = sys.core.hot_blocks(profile);
     report.push_str(&format!("## {root}\n\n"));
-    report.push_str(&hot_block_report(profile, &blocks, 10));
+    if block_cache {
+        report.push_str(&hot_block_report_with_blocks(
+            profile,
+            &blocks,
+            10,
+            |start, end| sys.core.block_stats_in(start, end),
+        ));
+    } else {
+        report.push_str(&hot_block_report(profile, &blocks, 10));
+    }
     report.push('\n');
 }
 

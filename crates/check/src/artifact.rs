@@ -99,6 +99,7 @@ pub fn lockstep_to_json(ep: &EpisodeSpec, seed: u64, mismatch: &Mismatch) -> Jso
         )
         .with("max_retires", Json::UInt(ep.max_retires))
         .with("max_cycles", Json::UInt(ep.max_cycles))
+        .with("blocks", Json::Bool(ep.blocks))
         .with(
             "gen",
             Json::object()
@@ -194,6 +195,9 @@ pub fn lockstep_from_json(j: &Json) -> Option<EpisodeSpec> {
         max_retires: get_u64(j, "max_retires")?,
         max_cycles: get_u64(j, "max_cycles")?,
         fault,
+        // Absent in artifacts written before the block-cache mode existed;
+        // those replayed per-cycle and still do.
+        blocks: get_bool(j, "blocks").unwrap_or(false),
     })
 }
 
@@ -343,6 +347,7 @@ mod tests {
             },
         );
         ep.fault = Some(Fault::GoldenSltuFlip);
+        ep.blocks = true;
         let mismatch = Mismatch {
             field: "x13".into(),
             engine: 1,

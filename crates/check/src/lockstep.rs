@@ -16,10 +16,20 @@
 //! cause recomputed independently from the golden core's own CSRs.
 //! Synchronous exceptions need no plan: the golden core discovers the same
 //! misaligned access itself, and the driver merely checks cause equality.
+//!
+//! With [`EpisodeSpec::blocks`] set the engine instead runs through
+//! batched [`run_until`](rvsim_cores::CoreEngine::run_until) calls with
+//! the block translation cache enabled — same program, same golden model,
+//! but the translated fast path does the executing. State is diffed at
+//! every batch boundary and event, so a block that retires a wrong value,
+//! mis-orders a trap or survives an imem write diverges within one chunk.
+//! Interrupt lines rise at batch granularity (`at_retire` is a lower
+//! bound there), which keeps episodes deterministic while letting blocks
+//! chain freely inside a batch.
 
 use crate::coproc::{ScratchCoproc, ScratchUnit};
 use rvsim_cores::engine::{BusResponse, DataBus};
-use rvsim_cores::{make_engine, CoreEvent, CoreKind, GoldenCore, GoldenStep};
+use rvsim_cores::{make_engine, stop_events, CoreEvent, CoreKind, GoldenCore, GoldenStep};
 use rvsim_isa::progen::{generate, GenConfig, ProgramSpec};
 use rvsim_isa::{csr, Reg, Rng64};
 use rvsim_mem::{AccessSize, Mem};
@@ -82,6 +92,9 @@ pub struct EpisodeSpec {
     pub max_cycles: u64,
     /// Injected bug, if any (self-test only).
     pub fault: Option<Fault>,
+    /// Drive the engine through batched `run_until` calls with the block
+    /// translation cache enabled, instead of per-cycle stepping.
+    pub blocks: bool,
 }
 
 /// A state divergence between engine and golden model.
@@ -122,6 +135,9 @@ pub struct EpisodeStats {
     pub interrupts: u64,
     /// Whether the guest halted (vs running out of budget).
     pub halted: bool,
+    /// Translated-block dispatches (zero unless the episode ran with
+    /// [`EpisodeSpec::blocks`]).
+    pub block_hits: u64,
 }
 
 /// The engine-side data bus: flat SRAM, one extra cycle per load (enough
@@ -187,12 +203,23 @@ pub fn episode_for_seed(core: CoreKind, seed: u64, cfg: GenConfig) -> EpisodeSpe
         max_retires,
         max_cycles: 40 * max_retires,
         fault: None,
+        blocks: false,
     }
 }
 
-/// Runs one lockstep episode to completion, returning stats on agreement
-/// or the first divergence.
-pub fn run_episode(ep: &EpisodeSpec) -> Result<EpisodeStats, Mismatch> {
+/// One episode's freshly loaded execution harness: the engine under test
+/// with its bus and coprocessor, and the golden core with its own unit.
+struct Rig {
+    engine: rvsim_cores::CoreEngine,
+    bus: SramBus,
+    coproc: ScratchCoproc,
+    golden: GoldenCore,
+    golden_unit: ScratchUnit,
+    data_base: u32,
+    data_len: u32,
+}
+
+fn build_rig(ep: &EpisodeSpec) -> Rig {
     let mut program = ep.spec.emit();
     // Fill the unused remainder of imem with `ebreak`: control flow that
     // escapes the program (e.g. a controlled mret whose target register
@@ -206,14 +233,46 @@ pub fn run_episode(ep: &EpisodeSpec) -> Result<EpisodeStats, Mismatch> {
 
     let mut engine = make_engine(ep.core, IMEM_BASE, IMEM_SIZE);
     engine.load_program(&program);
-    let mut bus = SramBus {
-        mem: Mem::new(data_base, data_len),
-    };
-    let mut coproc = ScratchCoproc(ScratchUnit::new());
-
     let mut golden = GoldenCore::new(IMEM_BASE, IMEM_SIZE, data_base, data_len);
     golden.load_program(&program);
-    let mut golden_unit = ScratchUnit::new();
+
+    Rig {
+        engine,
+        bus: SramBus {
+            mem: Mem::new(data_base, data_len),
+        },
+        coproc: ScratchCoproc(ScratchUnit::new()),
+        golden,
+        golden_unit: ScratchUnit::new(),
+        data_base,
+        data_len,
+    }
+}
+
+/// Runs one lockstep episode to completion, returning stats on agreement
+/// or the first divergence. Per-cycle by default; with
+/// [`EpisodeSpec::blocks`] set the engine runs through the batched block
+/// translation cache path instead.
+pub fn run_episode(ep: &EpisodeSpec) -> Result<EpisodeStats, Mismatch> {
+    if ep.blocks {
+        run_episode_batched(ep)
+    } else {
+        run_episode_cycle(ep)
+    }
+}
+
+/// The per-cycle reference driver: golden catch-up and full state diff at
+/// every retire boundary.
+fn run_episode_cycle(ep: &EpisodeSpec) -> Result<EpisodeStats, Mismatch> {
+    let Rig {
+        mut engine,
+        mut bus,
+        mut coproc,
+        mut golden,
+        mut golden_unit,
+        data_base,
+        data_len,
+    } = build_rig(ep);
 
     let mut stats = EpisodeStats::default();
     let mut mip: u32 = 0;
@@ -304,6 +363,132 @@ pub fn run_episode(ep: &EpisodeSpec) -> Result<EpisodeStats, Mismatch> {
 
     stats.retired = engine.retired();
     stats.cycles = engine.cycle();
+    if golden.retired() != engine.retired() {
+        return Err(Mismatch {
+            field: "retire count".into(),
+            engine: engine.retired() as u32,
+            golden: golden.retired() as u32,
+            retired: engine.retired(),
+            cycle: engine.cycle(),
+        });
+    }
+    diff_memory(&engine, &bus, &golden, data_base, data_len)?;
+    Ok(stats)
+}
+
+/// The batched driver: the block translation cache is enabled and the
+/// engine runs in `CHUNK`-cycle `run_until` batches; the golden core
+/// catches up by the batch's retire delta and the full state is diffed at
+/// every batch boundary. Events surface on the batch's final cycle, so
+/// interrupt and exception causes are checked exactly as in the per-cycle
+/// driver.
+fn run_episode_batched(ep: &EpisodeSpec) -> Result<EpisodeStats, Mismatch> {
+    // Big enough for blocks to chain several times per batch, small
+    // enough that a planned interrupt line is never starved for long.
+    const CHUNK: u64 = 64;
+
+    let Rig {
+        mut engine,
+        mut bus,
+        mut coproc,
+        mut golden,
+        mut golden_unit,
+        data_base,
+        data_len,
+    } = build_rig(ep);
+    engine.set_block_cache(true);
+
+    let mut stats = EpisodeStats::default();
+    let mut mip: u32 = 0;
+    let mut next_irq = 0usize;
+
+    loop {
+        if engine.retired() >= ep.max_retires || engine.cycle() >= ep.max_cycles {
+            break;
+        }
+        // Raise planned lines that are due at this retire count. Inside a
+        // batch the count runs ahead unobserved, so a line rises at the
+        // first batch boundary at or after its `at_retire`.
+        while let Some(ev) = ep.irqs.get(next_irq) {
+            if engine.retired() >= ev.at_retire {
+                mip |= ev.mask;
+                next_irq += 1;
+            } else {
+                break;
+            }
+        }
+        // A parked core with nothing pending never wakes: jump the plan
+        // forward, or end the episode once it is exhausted.
+        if engine.waiting_for_interrupt() && mip & engine.state.csrs.mie == 0 {
+            match ep.irqs.get(next_irq) {
+                Some(ev) => {
+                    mip |= ev.mask;
+                    next_irq += 1;
+                    continue;
+                }
+                None => break,
+            }
+        }
+
+        // `mip` is constant for the whole batch — exactly the `run_until`
+        // batching contract.
+        engine.state.csrs.mip = mip;
+        let before = engine.retired();
+        let budget = CHUNK.min(ep.max_cycles - engine.cycle());
+        let exit = engine.run_until(&mut bus, &mut coproc, stop_events::ALL, budget);
+        let retires = engine.retired() - before;
+
+        golden.mip = mip;
+        for _ in 0..retires {
+            step_golden(&mut golden, &mut golden_unit, ep.fault, &mut stats)?;
+        }
+
+        match exit.event {
+            Some(CoreEvent::InterruptEntered { cause }) => {
+                stats.interrupts += 1;
+                match golden.take_interrupt() {
+                    Some(gc) if gc == cause => {}
+                    other => {
+                        return Err(Mismatch {
+                            field: "interrupt cause".into(),
+                            engine: cause,
+                            golden: other.unwrap_or(0),
+                            retired: engine.retired(),
+                            cycle: engine.cycle(),
+                        });
+                    }
+                }
+                mip = 0;
+                golden.mip = 0;
+            }
+            Some(CoreEvent::ExceptionEntered { cause }) => {
+                stats.exceptions += 1;
+                match step_golden(&mut golden, &mut golden_unit, ep.fault, &mut stats)? {
+                    GoldenStep::Trap(gc) if gc == cause => {}
+                    other => {
+                        return Err(Mismatch {
+                            field: format!("exception cause ({other:?} on golden side)"),
+                            engine: cause,
+                            golden: golden.mcause,
+                            retired: engine.retired(),
+                            cycle: engine.cycle(),
+                        });
+                    }
+                }
+            }
+            _ => {}
+        }
+
+        diff_state(&engine, &golden)?;
+        if engine.halted() {
+            stats.halted = true;
+            break;
+        }
+    }
+
+    stats.retired = engine.retired();
+    stats.cycles = engine.cycle();
+    stats.block_hits = engine.counters().block_hits;
     if golden.retired() != engine.retired() {
         return Err(Mismatch {
             field: "retire count".into(),
@@ -439,6 +624,54 @@ mod tests {
             let stats = run_episode(&ep).unwrap_or_else(|m| panic!("{core}: {m}"));
             assert!(stats.retired > 0);
         }
+    }
+
+    #[test]
+    fn blocks_episodes_agree_and_engage_on_all_cores() {
+        let cfg = GenConfig {
+            len: 96,
+            ..GenConfig::default()
+        };
+        for core in CoreKind::ALL {
+            let mut hits = 0;
+            for seed in [7, 42, 99] {
+                let mut ep = episode_for_seed(core, seed, cfg);
+                ep.blocks = true;
+                let stats = run_episode(&ep).unwrap_or_else(|m| panic!("{core} seed {seed}: {m}"));
+                assert!(stats.retired > 0);
+                hits += stats.block_hits;
+            }
+            assert!(hits > 0, "{core}: block cache never engaged");
+        }
+    }
+
+    #[test]
+    fn blocks_episodes_are_deterministic() {
+        let cfg = GenConfig {
+            len: 64,
+            ..GenConfig::default()
+        };
+        let mut ep = episode_for_seed(CoreKind::NaxRiscv, 11, cfg);
+        ep.blocks = true;
+        assert_eq!(run_episode(&ep), run_episode(&ep.clone()));
+    }
+
+    #[test]
+    fn blocks_episodes_catch_the_injected_sltu_fault() {
+        let cfg = GenConfig {
+            len: 200,
+            ..GenConfig::default()
+        };
+        let caught = (0..20).any(|seed| {
+            let mut ep = episode_for_seed(CoreKind::Cv32e40p, seed, cfg);
+            ep.fault = Some(Fault::GoldenSltuFlip);
+            ep.blocks = true;
+            run_episode(&ep).is_err()
+        });
+        assert!(
+            caught,
+            "no seed in 0..20 tripped the injected sltu fault under blocks"
+        );
     }
 
     #[test]

@@ -29,3 +29,33 @@ fn ten_thousand_random_instructions_per_engine() {
         }
     }
 }
+
+#[test]
+fn ten_thousand_random_instructions_per_engine_with_blocks() {
+    // Same seeds, same golden model, but the engine executes through the
+    // block translation cache: every translated block must retire the
+    // exact architectural state the golden core computes.
+    let cfg = GenConfig {
+        len: 256,
+        ..GenConfig::default()
+    };
+    for core in CoreKind::ALL {
+        let mut retired = 0u64;
+        let mut block_hits = 0u64;
+        let mut seed = 0u64;
+        while retired < 10_000 {
+            assert!(
+                seed < 64,
+                "{core}: seed budget exhausted at {retired} retires"
+            );
+            let mut ep = episode_for_seed(core, seed, cfg);
+            ep.blocks = true;
+            let stats =
+                run_episode(&ep).unwrap_or_else(|m| panic!("{core} seed {seed} (blocks): {m}"));
+            retired += stats.retired;
+            block_hits += stats.block_hits;
+            seed += 1;
+        }
+        assert!(block_hits > 0, "{core}: block cache never engaged");
+    }
+}

@@ -11,7 +11,10 @@ use rvsim_isa::progen::{GenConfig, GenOp, ProgramSpec};
 use rvsim_isa::Reg;
 
 /// Wraps a handcrafted op sequence in an episode (default windows, no
-/// injected fault) and runs it on `core`.
+/// injected fault) and runs it on `core` — once per-cycle and once
+/// through the block translation cache. Both modes must agree with the
+/// golden model, and on the architectural outcome (retires, traps,
+/// halt) with each other.
 fn run_directed(core: CoreKind, ops: &[GenOp], irqs: &[IrqEvent]) -> EpisodeStats {
     let cfg = GenConfig {
         len: ops.len(),
@@ -24,8 +27,27 @@ fn run_directed(core: CoreKind, ops: &[GenOp], irqs: &[IrqEvent]) -> EpisodeStat
         max_retires: 2_000,
         max_cycles: 80_000,
         fault: None,
+        blocks: false,
     };
-    run_episode(&ep).unwrap_or_else(|m| panic!("{core}: {m}"))
+    let stats = run_episode(&ep).unwrap_or_else(|m| panic!("{core}: {m}"));
+    let blocked = run_episode(&EpisodeSpec {
+        blocks: true,
+        ..ep.clone()
+    })
+    .unwrap_or_else(|m| panic!("{core} (blocks): {m}"));
+    // Cycle counts may differ (a parked wfi sleeps out whole batch
+    // budgets; the driver raises interrupt lines at batch granularity),
+    // but the architectural outcome must not.
+    assert_eq!(
+        EpisodeStats {
+            cycles: stats.cycles,
+            block_hits: 0,
+            ..blocked
+        },
+        stats,
+        "{core}: blocks-mode episode outcome diverged from per-cycle"
+    );
+    stats
 }
 
 /// `x9` (`s1`) as a CSR source-register number.

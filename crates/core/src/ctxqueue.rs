@@ -73,6 +73,13 @@ impl CtxQueue {
         self.inflight.len()
     }
 
+    /// Entries still in flight at `now`, without draining. Completion
+    /// times are monotone, so the in-flight entries form the queue's
+    /// tail.
+    pub fn pending_at(&self, now: u64) -> usize {
+        self.inflight.iter().rev().take_while(|&&r| r > now).count()
+    }
+
     /// `(issued, stalled-because-full)` counters.
     pub fn stats(&self) -> (u64, u64) {
         (self.issued, self.full_stalls)

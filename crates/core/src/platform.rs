@@ -487,10 +487,7 @@ impl DataBus for Platform {
 
     fn unit_pending(&self) -> u32 {
         match &self.ctx_queue {
-            Some(q) => {
-                let mut q = q.clone();
-                q.pending(self.cycle) as u32
-            }
+            Some(q) => q.pending_at(self.cycle) as u32,
             None => 0,
         }
     }

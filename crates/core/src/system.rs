@@ -214,6 +214,14 @@ impl System {
                 }
             }
             FaultKind::SpuriousIpi => self.platform.mmio.msip = true,
+            FaultKind::ImemFlip { addr, bit } => {
+                // Through the coherent IMEM write path: the cached decode
+                // and any live block translation covering the word die
+                // with the old bits.
+                if let Some(word) = self.core.imem_word(addr) {
+                    self.core.write_imem_word(addr, word ^ (1 << bit));
+                }
+            }
         }
         self.platform
             .record(TraceEvent::FaultInjected { code: kind.code() });
@@ -300,6 +308,20 @@ impl System {
         self.core.take_profile()
     }
 
+    /// Attaches or detaches the core's basic-block translation cache (see
+    /// [`CoreEngine::set_block_cache`]). Off by default; simulated timing,
+    /// state, counters and artifacts are bit-identical either way — the
+    /// cache only accelerates batched host execution.
+    pub fn set_block_cache(&mut self, on: bool) {
+        self.core.set_block_cache(on);
+    }
+
+    /// Block-translation statistics for blocks entered in `[start, end]`
+    /// (see [`CoreEngine::block_stats_in`]).
+    pub fn block_stats_in(&self, start: u32, end: u32) -> rvsim_cores::BlockStats {
+        self.core.block_stats_in(start, end)
+    }
+
     /// Advances the system by one cycle.
     pub fn step(&mut self) {
         self.platform.begin_cycle();
@@ -369,25 +391,32 @@ impl System {
             .step(&mut self.core.state, &mut self.platform);
     }
 
-    /// How many upcoming cycles are *quiescent*: the attached unit has no
-    /// background work, the interrupt lines already match what the core
-    /// sees, and no timer fire or scheduled external IRQ lands inside the
-    /// window. Over such a stretch the per-cycle `System` bookkeeping is
-    /// provably a no-op, so the engine may run batched. Guest actions that
-    /// could break the assumption mid-batch (MMIO writes to the interrupt
-    /// devices, custom unit instructions) stop the batch via the bus
-    /// attention latch and the engine's custom-instruction stop.
-    fn quiescent_budget(&mut self, now: u64, end: u64) -> u64 {
-        if !self.unit.as_coproc().is_idle() {
-            return 0;
-        }
+    /// How many upcoming cycles can run batched, and in which mode.
+    ///
+    /// `(n, false)` with `n > 0`: the stretch is fully *quiescent* — the
+    /// attached unit has no background work, the interrupt lines already
+    /// match what the core sees, and no timer fire, scheduled external
+    /// IRQ or planned fault lands inside the window. Over such a stretch
+    /// the per-cycle `System` bookkeeping is provably a no-op, so the
+    /// engine may run batched. Guest actions that could break the
+    /// assumption mid-batch (MMIO writes to the interrupt devices, custom
+    /// unit instructions) stop the batch via the bus attention latch and
+    /// the engine's custom-instruction stop.
+    ///
+    /// `(n, true)`: the lines are quiescent but the unit has background
+    /// work (context store/restore, preload, a scheduler sort) — the
+    /// engine may still run batched provided it steps the coprocessor
+    /// every cycle ([`CoreEngine::run_costep`](rvsim_cores::CoreEngine)).
+    ///
+    /// `(0, _)`: something needs the full per-cycle path this cycle.
+    fn batch_budget(&mut self, now: u64, end: u64) -> (u64, bool) {
         // A queued IPI needs the per-cycle path to assert MSIP.
         if self.platform.ipi_pending() {
-            return 0;
+            return (0, false);
         }
         let mask = self.platform.mmio.pending_mask();
         if mask != self.prev_mask || self.core.state.csrs.mip != mask {
-            return 0;
+            return (0, false);
         }
         let mut horizon = end;
         if let Some(delta) = self.platform.mmio.cycles_until_timer_fire() {
@@ -403,7 +432,10 @@ impl System {
         if let Some(next) = self.fault_plan.as_ref().and_then(|p| p.next_cycle()) {
             horizon = horizon.min(next.saturating_sub(1));
         }
-        horizon.saturating_sub(now)
+        (
+            horizon.saturating_sub(now),
+            !self.unit.as_coproc().is_idle(),
+        )
     }
 
     /// Runs until the guest halts or `max_cycles` elapse.
@@ -424,18 +456,29 @@ impl System {
                 return RunExit::CyclesExhausted;
             }
 
-            let budget = self.quiescent_budget(now, end);
+            let (budget, costep) = self.batch_budget(now, end);
             if budget == 0 {
                 self.step();
                 continue;
             }
 
-            let exit = self.core.run_until(
-                &mut self.platform,
-                self.unit.as_coproc(),
-                stop_events::ALL,
-                budget,
-            );
+            let exit = if costep {
+                // Unit-active batch: the engine co-steps the coprocessor
+                // every consumed cycle, including the exit cycle.
+                self.core.run_costep(
+                    &mut self.platform,
+                    self.unit.as_coproc(),
+                    stop_events::ALL,
+                    budget,
+                )
+            } else {
+                self.core.run_until(
+                    &mut self.platform,
+                    self.unit.as_coproc(),
+                    stop_events::ALL,
+                    budget,
+                )
+            };
             let now = self.platform.cycle();
             match exit.event {
                 Some(CoreEvent::InterruptEntered { cause }) => {
@@ -464,8 +507,8 @@ impl System {
             // The exit cycle's unit step: a no-op unless the final cycle
             // entered an interrupt or executed a custom instruction —
             // exactly the cycles where the per-cycle path steps a
-            // newly-active unit.
-            if exit.cycles > 0 {
+            // newly-active unit. A co-stepped batch already took it.
+            if !costep && exit.cycles > 0 {
                 self.unit
                     .as_coproc()
                     .step(&mut self.core.state, &mut self.platform);

@@ -35,6 +35,14 @@ pub struct CoreCounters {
     pub stall_coproc: u64,
     /// Cycles parked in `wfi`.
     pub wfi_cycles: u64,
+    /// Basic-block dispatches served from the translation cache (block
+    /// cache enabled only; zero on the interpreter path).
+    pub block_hits: u64,
+    /// Basic blocks translated into the cache (first builds plus
+    /// retranslations after invalidation).
+    pub block_builds: u64,
+    /// Fused macro-op executions (each retires two guest instructions).
+    pub fused_ops: u64,
 }
 
 impl CoreCounters {
@@ -50,7 +58,7 @@ impl CoreCounters {
 
     /// `(name, value)` pairs in a stable order, for machine-readable
     /// artifacts.
-    pub fn named(&self) -> [(&'static str, u64); 10] {
+    pub fn named(&self) -> [(&'static str, u64); 13] {
         [
             ("decode_hits", self.decode_hits),
             ("decode_misses", self.decode_misses),
@@ -62,7 +70,28 @@ impl CoreCounters {
             ("stall_mret", self.stall_mret),
             ("stall_coproc", self.stall_coproc),
             ("wfi_cycles", self.wfi_cycles),
+            ("block_hits", self.block_hits),
+            ("block_builds", self.block_builds),
+            ("fused_ops", self.fused_ops),
         ]
+    }
+
+    /// This snapshot with the block-cache bookkeeping fields zeroed.
+    ///
+    /// The block cache changes *how* the engine executes, never *what*
+    /// it executes: every architectural counter (decode cache, pairing,
+    /// stall attribution, `wfi` parking) must match the interpreter
+    /// exactly. The bookkeeping trio (`block_hits`, `block_builds`,
+    /// `fused_ops`) records fast-path machinery that the interpreter by
+    /// definition never exercises, so equivalence tests compare through
+    /// this view.
+    pub fn without_block_stats(&self) -> CoreCounters {
+        CoreCounters {
+            block_hits: 0,
+            block_builds: 0,
+            fused_ops: 0,
+            ..*self
+        }
     }
 }
 
@@ -84,7 +113,25 @@ mod tests {
         };
         assert_eq!(c.total_stalls(), 21);
         let named = c.named();
-        assert_eq!(named.len(), 10);
+        assert_eq!(named.len(), 13);
         assert!(named.iter().any(|&(n, v)| n == "wfi_cycles" && v == 100));
+    }
+
+    #[test]
+    fn without_block_stats_zeroes_only_the_bookkeeping_trio() {
+        let c = CoreCounters {
+            decode_hits: 7,
+            issued_pairs: 3,
+            block_hits: 40,
+            block_builds: 5,
+            fused_ops: 11,
+            ..CoreCounters::default()
+        };
+        let v = c.without_block_stats();
+        assert_eq!(v.decode_hits, 7);
+        assert_eq!(v.issued_pairs, 3);
+        assert_eq!(v.block_hits, 0);
+        assert_eq!(v.block_builds, 0);
+        assert_eq!(v.fused_ops, 0);
     }
 }

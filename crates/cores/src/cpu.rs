@@ -90,6 +90,14 @@ pub trait CpuCore {
     fn take_profile(&mut self) -> Option<PcProfile> {
         None
     }
+
+    /// Attaches or detaches the basic-block translation cache, when the
+    /// core supports one. Bit-identical timing either way — this only
+    /// trades host-side translation work for faster batched execution.
+    /// Default: unsupported no-op.
+    fn set_block_cache(&mut self, on: bool) {
+        let _ = on;
+    }
 }
 
 impl CpuCore for CoreEngine {
@@ -173,6 +181,10 @@ impl CpuCore for CoreEngine {
 
     fn take_profile(&mut self) -> Option<PcProfile> {
         CoreEngine::take_profile(self)
+    }
+
+    fn set_block_cache(&mut self, on: bool) {
+        CoreEngine::set_block_cache(self, on);
     }
 }
 

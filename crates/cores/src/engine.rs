@@ -7,6 +7,7 @@
 //! stalls (paper §4.2/§4.3). The engine owns the instruction memory
 //! (separate fetch port — the data port belongs to the [`DataBus`]).
 
+use crate::blockcache::{BlockCache, BlockOutcome};
 use crate::coproc::Coprocessor;
 use crate::counters::CoreCounters;
 use crate::exec::{execute, MemRequest};
@@ -15,7 +16,6 @@ use crate::state::ArchState;
 use crate::timing::TimingParams;
 use rvsim_isa::{decode, disassemble, Instr, Program};
 use rvsim_mem::{AccessSize, Mem};
-use std::collections::VecDeque;
 
 /// Response of the data bus to a core access.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -170,6 +170,98 @@ enum Completing {
     Mret,
 }
 
+/// Folded block-translation statistics for a PC range (see
+/// [`CoreEngine::block_stats_in`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BlockStats {
+    /// Translations whose entry PC lies in the range (first builds plus
+    /// retranslations after invalidation).
+    pub builds: u64,
+    /// Block dispatches entered in the range.
+    pub execs: u64,
+    /// Fused macro-op executions inside those dispatches.
+    pub fused: u64,
+    /// Distinct entry PCs translated in the range; `builds - entries` is
+    /// the number of retranslations forced by invalidation.
+    pub entries: u64,
+}
+
+impl BlockStats {
+    /// Fraction of dispatches served without a (re)translation, in
+    /// [0, 1]. Zero when the range was never dispatched.
+    pub fn hit_rate(&self) -> f64 {
+        if self.execs == 0 {
+            0.0
+        } else {
+            (self.execs - self.builds.min(self.execs)) as f64 / self.execs as f64
+        }
+    }
+
+    /// Translations beyond the first per entry PC — each one paid for an
+    /// invalidation (imem write, fault-injected flip or `fence.i`).
+    pub fn retranslations(&self) -> u64 {
+        self.builds.saturating_sub(self.entries)
+    }
+}
+
+/// Fixed-depth ring of the last retired `(cycle, pc)` pairs — the
+/// "recent instructions" debug trace. Replaces a `VecDeque` in the
+/// per-retirement hot path: a push is one store plus a wrapping bump,
+/// never a shift or reallocation.
+pub(crate) struct RetireRing {
+    buf: Box<[(u64, u32)]>,
+    /// Next write slot.
+    head: usize,
+    len: usize,
+}
+
+impl RetireRing {
+    fn new(depth: usize) -> RetireRing {
+        RetireRing {
+            buf: vec![(0, 0); depth].into_boxed_slice(),
+            head: 0,
+            len: 0,
+        }
+    }
+
+    /// Records a retirement, dropping the oldest entry once full.
+    #[inline]
+    pub(crate) fn push(&mut self, entry: (u64, u32)) {
+        self.buf[self.head] = entry;
+        self.head += 1;
+        if self.head == self.buf.len() {
+            self.head = 0;
+        }
+        if self.len < self.buf.len() {
+            self.len += 1;
+        }
+    }
+
+    /// Un-records the newest entry (a retirement squashed by a trap).
+    #[inline]
+    pub(crate) fn pop_back(&mut self) {
+        debug_assert!(self.len > 0, "pop from an empty retire ring");
+        self.head = self.head.checked_sub(1).unwrap_or(self.buf.len() - 1);
+        self.len -= 1;
+    }
+
+    /// The net effect of the interpreter's push-then-pop-back when the
+    /// ring is full: the oldest entry is gone, nothing new is kept.
+    #[inline]
+    pub(crate) fn drop_oldest_if_full(&mut self) {
+        if self.len == self.buf.len() {
+            self.len -= 1;
+        }
+    }
+
+    /// Entries oldest-first.
+    pub(crate) fn iter(&self) -> impl Iterator<Item = (u64, u32)> + '_ {
+        let depth = self.buf.len();
+        let start = self.head + depth - self.len;
+        (0..self.len).map(move |i| self.buf[(start + i) % depth])
+    }
+}
+
 /// A cycle-stepped RV32IM_Zicsr core. Construct via
 /// [`make_engine`](crate::models::make_engine) or [`CoreEngine::new`].
 pub struct CoreEngine {
@@ -177,20 +269,21 @@ pub struct CoreEngine {
     pub params: TimingParams,
     /// Architectural state (register banks, CSRs, PC).
     pub state: ArchState,
-    imem: Mem,
-    decoded: Vec<Option<Instr>>,
-    busy: u32,
+    pub(crate) imem: Mem,
+    pub(crate) decoded: Vec<Option<Instr>>,
+    pub(crate) busy: u32,
     completing: Completing,
     wfi_wait: bool,
     halted: bool,
-    cycle: u64,
-    retired: u64,
+    pub(crate) cycle: u64,
+    pub(crate) retired: u64,
     predictor: Vec<u8>,
-    trace: VecDeque<(u64, u32)>,
-    trace_depth: usize,
-    counters: CoreCounters,
+    pub(crate) trace: RetireRing,
+    pub(crate) counters: CoreCounters,
     profiler: Option<Box<PcProfile>>,
     wfi_pc: u32,
+    /// Basic-block translation cache ([`set_block_cache`](Self::set_block_cache)).
+    pub(crate) blocks: Option<Box<BlockCache>>,
 }
 
 impl std::fmt::Debug for CoreEngine {
@@ -221,11 +314,11 @@ impl CoreEngine {
             cycle: 0,
             retired: 0,
             predictor: vec![1; 256],
-            trace: VecDeque::new(),
-            trace_depth: 64,
+            trace: RetireRing::new(64),
             counters: CoreCounters::default(),
             profiler: None,
             wfi_pc: 0,
+            blocks: None,
         }
     }
 
@@ -235,6 +328,9 @@ impl CoreEngine {
         self.imem.load_words(program.base, &program.words);
         for w in &mut self.decoded {
             *w = None;
+        }
+        if let Some(cache) = &mut self.blocks {
+            cache.reset();
         }
         self.state.pc = program.base;
     }
@@ -251,6 +347,9 @@ impl CoreEngine {
         if let Some(slot) = self.decoded.get_mut(idx) {
             *slot = None;
         }
+        if let Some(cache) = &mut self.blocks {
+            cache.invalidate_word(addr);
+        }
     }
 
     /// Rewrites one instruction-memory word and invalidates its cached
@@ -258,6 +357,13 @@ impl CoreEngine {
     pub fn write_imem_word(&mut self, addr: u32, word: u32) {
         self.imem.write_word(addr, word);
         self.invalidate_decoded(addr);
+    }
+
+    /// Reads one instruction-memory word, or `None` outside IMEM. Fault
+    /// injectors pair this with [`write_imem_word`](Self::write_imem_word)
+    /// to flip bits without bypassing decode/block invalidation.
+    pub fn imem_word(&self, addr: u32) -> Option<u32> {
+        self.imem.contains(addr).then(|| self.imem.read_word(addr))
     }
 
     /// Current cycle count.
@@ -282,7 +388,7 @@ impl CoreEngine {
 
     /// The last retired `(cycle, pc)` pairs, oldest first (debug aid).
     pub fn recent_pcs(&self) -> impl Iterator<Item = (u64, u32)> + '_ {
-        self.trace.iter().copied()
+        self.trace.iter()
     }
 
     /// Snapshot of the activity counters. Stall cycles are attributed at
@@ -290,6 +396,39 @@ impl CoreEngine {
     /// per-cycle or through batched [`run_until`](Self::run_until).
     pub fn counters(&self) -> CoreCounters {
         self.counters
+    }
+
+    /// Attaches (or detaches) the basic-block translation cache. With the
+    /// cache on, batched [`run_until`](Self::run_until) executes
+    /// pre-decoded micro-op blocks per dispatch instead of stepping the
+    /// interpreter per cycle — architecturally and timing-wise
+    /// bit-identical (see [`crate::blockcache`]), just faster on the
+    /// host. Per-cycle [`step`](Self::step) always interprets.
+    pub fn set_block_cache(&mut self, on: bool) {
+        if on {
+            if self.blocks.is_none() {
+                self.blocks = Some(Box::new(BlockCache::new(
+                    self.imem.base(),
+                    self.imem.end() - self.imem.base(),
+                )));
+            }
+        } else {
+            self.blocks = None;
+        }
+    }
+
+    /// Whether the basic-block translation cache is attached.
+    pub fn block_cache_enabled(&self) -> bool {
+        self.blocks.is_some()
+    }
+
+    /// Block-translation statistics for blocks *entered* at a PC in
+    /// `[start, end]` (inclusive), including translations since killed by
+    /// invalidation. All zeros when the cache is off.
+    pub fn block_stats_in(&self, start: u32, end: u32) -> BlockStats {
+        self.blocks
+            .as_ref()
+            .map_or_else(BlockStats::default, |c| c.stats_in(start, end))
     }
 
     /// Turns the guest PC profiler on (fresh bins over the instruction
@@ -329,7 +468,7 @@ impl CoreEngine {
     }
 
     #[inline]
-    fn attribute(&mut self, pc: u32, cycles: u64) {
+    pub(crate) fn attribute(&mut self, pc: u32, cycles: u64) {
         if let Some(p) = &mut self.profiler {
             p.add(pc, cycles);
         }
@@ -345,7 +484,7 @@ impl CoreEngine {
         let word = self.imem.read_word(pc);
         let instr = decode(word).unwrap_or_else(|e| {
             let mut dump = String::new();
-            for (cyc, tpc) in &self.trace {
+            for (cyc, tpc) in self.trace.iter() {
                 dump.push_str(&format!("  cycle {cyc}: pc {tpc:#010x}\n"));
             }
             panic!("{e} at pc {pc:#010x}; recent instructions:\n{dump}")
@@ -354,7 +493,7 @@ impl CoreEngine {
         instr
     }
 
-    fn peek(&mut self, pc: u32) -> Option<Instr> {
+    pub(crate) fn peek(&mut self, pc: u32) -> Option<Instr> {
         if !self.imem.contains(pc) {
             return None;
         }
@@ -367,14 +506,14 @@ impl CoreEngine {
         })
     }
 
-    fn is_simple(instr: &Instr) -> bool {
+    pub(crate) fn is_simple(instr: &Instr) -> bool {
         matches!(
             instr,
             Instr::OpImm { .. } | Instr::Op { .. } | Instr::Lui { .. } | Instr::Auipc { .. }
         )
     }
 
-    fn predict_taken(&mut self, pc: u32, actual: bool) -> bool {
+    pub(crate) fn predict_taken(&mut self, pc: u32, actual: bool) -> bool {
         let idx = ((pc >> 2) as usize) % self.predictor.len();
         let counter = &mut self.predictor[idx];
         let predicted = *counter >= 2;
@@ -503,12 +642,17 @@ impl CoreEngine {
             }
 
             let outcome = execute(&mut self.state, &instr, pc);
+            // `fence.i` orders fetch after writes: drop every block
+            // translation (the per-word decode cache is kept coherent by
+            // the IMEM write paths themselves).
+            if matches!(instr, Instr::Fence) {
+                if let Some(cache) = &mut self.blocks {
+                    cache.flush();
+                }
+            }
             self.state.pc = outcome.next_pc;
             self.retired += 1;
-            if self.trace.len() == self.trace_depth {
-                self.trace.pop_front();
-            }
-            self.trace.push_back((self.cycle, pc));
+            self.trace.push((self.cycle, pc));
 
             let p = self.params;
             let mut latency = match instr {
@@ -738,6 +882,38 @@ impl CoreEngine {
                 };
             }
 
+            // Translated-block fast path: with the cache attached and the
+            // core able to issue straight-line code (no drain, no park, no
+            // takeable interrupt — `mip` is constant for the whole batch),
+            // execute whole pre-decoded blocks per dispatch.
+            if self.blocks.is_some()
+                && !self.wfi_wait
+                && !(self.state.csrs.mie_enabled() && self.state.csrs.pending_interrupt().is_some())
+            {
+                match self.try_blocks(bus, remaining) {
+                    BlockOutcome::Ran { event, attention } => {
+                        if let Some(ev) = event {
+                            if event_bit(ev) & event_mask != 0 {
+                                return BatchExit {
+                                    cycles: self.cycle - start,
+                                    event: Some(ev),
+                                    reason: StopReason::Event,
+                                };
+                            }
+                        }
+                        if attention {
+                            return BatchExit {
+                                cycles: self.cycle - start,
+                                event,
+                                reason: StopReason::Attention,
+                            };
+                        }
+                        continue;
+                    }
+                    BlockOutcome::NotEngaged => {}
+                }
+            }
+
             // One active cycle, identical to the per-cycle path.
             bus.advance_cycles(1);
             let out = self.step(bus, coproc);
@@ -758,6 +934,149 @@ impl CoreEngine {
                     reason: StopReason::CustomExecuted,
                 };
             }
+            if attention {
+                return BatchExit {
+                    cycles: self.cycle - start,
+                    event: out.event,
+                    reason: StopReason::Attention,
+                };
+            }
+        }
+    }
+
+    /// Runs a *unit-active* batch: the coprocessor has background work
+    /// (context store/restore FSMs, speculative preload, a scheduler
+    /// sort), so it must be stepped every cycle — but the interrupt lines
+    /// are quiescent, so the platform's per-cycle mask bookkeeping is
+    /// still provably a no-op. Executes in exactly the stepwise order
+    /// (bus clock advances, core steps, coprocessor steps), dispatching
+    /// translated blocks with the coprocessor co-stepped between
+    /// micro-ops, and returns as soon as the coprocessor drains idle so
+    /// the caller can re-enter the plain quiescent batch path.
+    ///
+    /// Same quiescence contract and stop conditions as
+    /// [`run_until`](Self::run_until), with one extra rule: every
+    /// consumed cycle *including the final one* has already taken its
+    /// coprocessor step — the caller must not step it again.
+    pub fn run_costep(
+        &mut self,
+        bus: &mut dyn DataBus,
+        coproc: &mut dyn Coprocessor,
+        event_mask: u32,
+        max_cycles: u64,
+    ) -> BatchExit {
+        let start = self.cycle;
+        loop {
+            let used = self.cycle - start;
+            if self.halted || used >= max_cycles || (used > 0 && coproc.is_idle()) {
+                return BatchExit {
+                    cycles: used,
+                    event: None,
+                    reason: StopReason::Budget,
+                };
+            }
+            let remaining = max_cycles - used;
+
+            // Translated-block fast path, with the coprocessor co-stepped
+            // cycle by cycle inside the dispatch (same gate as
+            // `run_until`).
+            if self.blocks.is_some()
+                && self.busy == 0
+                && !self.wfi_wait
+                && !(self.state.csrs.mie_enabled() && self.state.csrs.pending_interrupt().is_some())
+            {
+                match self.try_blocks_costep(bus, coproc, remaining) {
+                    BlockOutcome::Ran { event, attention } => {
+                        if let Some(ev) = event {
+                            if event_bit(ev) & event_mask != 0 {
+                                return BatchExit {
+                                    cycles: self.cycle - start,
+                                    event: Some(ev),
+                                    reason: StopReason::Event,
+                                };
+                            }
+                        }
+                        if attention {
+                            return BatchExit {
+                                cycles: self.cycle - start,
+                                event,
+                                reason: StopReason::Attention,
+                            };
+                        }
+                        continue;
+                    }
+                    BlockOutcome::NotEngaged => {}
+                }
+            }
+
+            // Coprocessor-stall fast-forward: a custom instruction or
+            // `mret` the coprocessor refuses pins the core at `pc`, and
+            // the interpreter burns one stall cycle per full step call.
+            // Replay those cycles in a tight loop — fetch count, stall
+            // counter, attribution and the coprocessor's step per cycle,
+            // exactly as `step` takes them — without the per-cycle gate
+            // checks and block lookups. Quiescence plus "nothing retires
+            // while stalled" keep every gate input constant, so checking
+            // the gates once before the loop is exact. (The stall state
+            // itself lives in the coprocessor and only moves in its
+            // `step`, so it is re-checked every cycle.)
+            if self.busy == 0
+                && !self.wfi_wait
+                && !(self.state.csrs.mie_enabled() && self.state.csrs.pending_interrupt().is_some())
+            {
+                let pc = self.state.pc;
+                if pc & 3 == 0 && self.imem.contains(pc) {
+                    let idx = ((pc - self.imem.base()) / 4) as usize;
+                    // Only an already-decoded word qualifies (the first
+                    // stall cycle goes through `step`, which fills and
+                    // counts the decode exactly as stepwise does).
+                    if let Some(Some(instr)) = self.decoded.get(idx).copied() {
+                        loop {
+                            let stalled = match instr {
+                                Instr::Custom { op, .. } => coproc.custom_stall(op),
+                                Instr::Mret => coproc.mret_stall(),
+                                _ => false,
+                            };
+                            if !stalled || self.cycle - start >= max_cycles {
+                                break;
+                            }
+                            bus.advance_cycles(1);
+                            self.cycle += 1;
+                            self.state.csrs.mcycle = self.cycle as u32;
+                            let fetched = self.fetch(pc);
+                            debug_assert_eq!(fetched, instr);
+                            self.counters.stall_coproc += 1;
+                            self.attribute(pc, 1);
+                            coproc.step(&mut self.state, bus);
+                        }
+                        if self.cycle - start >= max_cycles {
+                            continue;
+                        }
+                    }
+                }
+            }
+
+            // One cycle, stepwise order: bus clock, core, coprocessor.
+            bus.advance_cycles(1);
+            let out = self.step(bus, coproc);
+            coproc.step(&mut self.state, bus);
+            let attention = bus.take_attention();
+            if let Some(ev) = out.event {
+                if event_bit(ev) & event_mask != 0 {
+                    return BatchExit {
+                        cycles: self.cycle - start,
+                        event: Some(ev),
+                        reason: StopReason::Event,
+                    };
+                }
+            }
+            // Unlike `run_until`, a custom instruction does not end the
+            // batch: its only side effects live in the coprocessor and the
+            // core (no MMIO, no interrupt-line change — the batch horizons
+            // cannot move), and the coprocessor is already stepped every
+            // cycle here, which is the very thing the plain batch path
+            // must stop and hand back for. The idle check at the loop
+            // head still ends the batch once the unit drains.
             if attention {
                 return BatchExit {
                     cycles: self.cycle - start,
@@ -1077,6 +1396,203 @@ mod tests {
         };
         assert_eq!(name_of(ranked[0].0).as_deref(), Some("wfi"), "park cycles");
         assert_eq!(name_of(ranked[1].0).as_deref(), Some("div"), "div stall");
+    }
+
+    /// A program with every block-relevant shape: fusible `lui+addi` and
+    /// `auipc+jalr`, a fusible compare+branch, pairable ALU ops, loads,
+    /// stores, a div stall, a `fence`, calls and returns.
+    fn block_torture_program() -> rvsim_isa::Program {
+        let mut a = Asm::new(0);
+        a.j("main");
+        a.label("leaf");
+        a.add(Reg::S1, Reg::S1, Reg::S0);
+        a.addi(Reg::S0, Reg::S0, 3);
+        a.slti(Reg::A2, Reg::S0, 100);
+        a.bnez(Reg::A2, "skip"); // fusible cmp+branch
+        a.addi(Reg::A3, Reg::A3, 1);
+        a.label("skip");
+        a.ret();
+        a.label("main");
+        a.li(Reg::T0, 0x2000_0000u32 as i32);
+        a.li(Reg::S0, 0x1234_5678); // fusible lui+addi
+        a.li(Reg::T1, 30);
+        a.label("loop");
+        a.sw(Reg::T1, 0, Reg::T0);
+        a.lw(Reg::T2, 0, Reg::T0);
+        a.div(Reg::T2, Reg::T2, Reg::T1);
+        a.call("leaf");
+        let ap = a.here();
+        a.auipc(Reg::T3, 0); // fusible auipc+jalr back to `leaf` (pc 4)
+        a.jalr(Reg::Ra, Reg::T3, 4 - ap as i32);
+        a.addi(Reg::T1, Reg::T1, -1);
+        a.bnez(Reg::T1, "loop");
+        a.emit(Instr::Fence);
+        a.li(Reg::A0, 77);
+        a.ebreak();
+        a.finish().unwrap()
+    }
+
+    /// Runs the torture program to halt, per-cycle or batched with the
+    /// block cache attached.
+    fn run_torture(params: TimingParams, blocks: bool) -> CoreEngine {
+        let p = block_torture_program();
+        let mut e = CoreEngine::new(params, 0, 0x1_0000);
+        e.load_program(&p);
+        e.set_profiling(true);
+        e.set_block_cache(blocks);
+        let mut bus = SramBus {
+            mem: Mem::new(0x2000_0000, 0x100),
+        };
+        let mut co = NullCoprocessor;
+        if blocks {
+            while !e.halted() {
+                let exit = e.run_until(&mut bus, &mut co, stop_events::ALL, 1_000);
+                if exit.cycles == 0 && exit.reason == StopReason::Budget {
+                    break;
+                }
+            }
+        } else {
+            e.run_with(&mut bus, &mut co, 1_000_000, |_, _| {});
+        }
+        assert!(e.halted(), "torture program did not halt");
+        e
+    }
+
+    #[test]
+    fn block_cache_matches_per_cycle_stepping() {
+        for params in [TimingParams::cv32e40p(), TimingParams::naxriscv()] {
+            let mut slow = run_torture(params, false);
+            let mut fast = run_torture(params, true);
+            assert_eq!(fast.cycle(), slow.cycle(), "{}: cycles", params.name);
+            assert_eq!(fast.retired(), slow.retired(), "{}: retired", params.name);
+            assert_eq!(fast.state.pc, slow.state.pc);
+            for r in [
+                Reg::T0,
+                Reg::T1,
+                Reg::T2,
+                Reg::T3,
+                Reg::S0,
+                Reg::S1,
+                Reg::A0,
+                Reg::A2,
+                Reg::A3,
+                Reg::Ra,
+            ] {
+                assert_eq!(
+                    fast.state.read_reg(r),
+                    slow.state.read_reg(r),
+                    "{}: reg {r:?}",
+                    params.name
+                );
+            }
+            assert_eq!(fast.state.read_reg(Reg::A0), 77);
+            // Architectural counters (decode cache, pairing, stalls) are
+            // bit-identical; only the block bookkeeping trio differs.
+            assert_eq!(
+                fast.counters().without_block_stats(),
+                slow.counters(),
+                "{}: counters",
+                params.name
+            );
+            let fc = fast.counters();
+            assert!(fc.block_hits > 0, "{}: blocks never engaged", params.name);
+            assert!(fc.block_builds > 0, "{}: no translations", params.name);
+            assert!(fc.fused_ops > 0, "{}: no macro-op fusion", params.name);
+            assert_eq!(slow.counters().fused_ops, 0);
+            if params.dual_issue {
+                assert!(fc.issued_pairs > 0, "superscalar model never paired");
+            }
+            // The retired-instruction trace and the PC profile replay
+            // identically through the block path.
+            let ft: Vec<_> = fast.recent_pcs().collect();
+            let st: Vec<_> = slow.recent_pcs().collect();
+            assert_eq!(ft, st, "{}: trace", params.name);
+            assert_eq!(
+                fast.take_profile().unwrap(),
+                slow.take_profile().unwrap(),
+                "{}: profile",
+                params.name
+            );
+        }
+    }
+
+    #[test]
+    fn stale_block_cannot_survive_imem_rewrite() {
+        let mut a = Asm::new(0);
+        a.addi(Reg::A0, Reg::A0, 1);
+        a.ebreak();
+        let p = a.finish().unwrap();
+        let mut e = CoreEngine::new(TimingParams::cv32e40p(), 0, 0x1_0000);
+        e.load_program(&p);
+        e.set_block_cache(true);
+        let mut bus = SramBus {
+            mem: Mem::new(0x2000_0000, 0x100),
+        };
+        let mut co = NullCoprocessor;
+        e.run_until(&mut bus, &mut co, stop_events::ALL, 1_000);
+        assert!(e.halted());
+        assert_eq!(e.state.read_reg(Reg::A0), 1);
+        assert!(e.counters().block_hits > 0, "block path never engaged");
+
+        // Rewrite word 0 to `addi a0, a0, 7` and rerun from pc 0: the
+        // live block covering word 0 must die with the cached decode.
+        let mut b = Asm::new(0);
+        b.addi(Reg::A0, Reg::A0, 7);
+        let new_word = b.finish().unwrap().words[0];
+        e.write_imem_word(0, new_word);
+        e.halted = false;
+        e.state.pc = 0;
+        e.state.write_reg(Reg::A0, 0);
+        e.run_until(&mut bus, &mut co, stop_events::ALL, 1_000);
+        assert!(e.halted());
+        assert_eq!(
+            e.state.read_reg(Reg::A0),
+            7,
+            "stale block translation survived IMEM rewrite"
+        );
+        // Both generations count as builds at entry pc 0 — the profiler's
+        // retranslation column feeds off this.
+        let stats = e.block_stats_in(0, 0);
+        assert_eq!(stats.builds, 2, "rewrite must force a retranslation");
+        assert_eq!(stats.execs, 2);
+    }
+
+    #[test]
+    fn decode_cache_is_shared_between_block_and_interpreter_paths() {
+        // Run the torture program (a) pure interpreter and (b) 300 cycles
+        // interpreted, then batched with blocks: identical decode-cache
+        // counters prove both paths probe one shared per-word cache
+        // rather than the block cache shadowing it.
+        let p = block_torture_program();
+        let slow = {
+            let mut e = CoreEngine::new(TimingParams::naxriscv(), 0, 0x1_0000);
+            e.load_program(&p);
+            let mut bus = SramBus {
+                mem: Mem::new(0x2000_0000, 0x100),
+            };
+            let mut co = NullCoprocessor;
+            e.run_with(&mut bus, &mut co, 1_000_000, |_, _| {});
+            assert!(e.halted());
+            e
+        };
+        let mut e = CoreEngine::new(TimingParams::naxriscv(), 0, 0x1_0000);
+        e.load_program(&p);
+        e.set_block_cache(true);
+        let mut bus = SramBus {
+            mem: Mem::new(0x2000_0000, 0x100),
+        };
+        let mut co = NullCoprocessor;
+        for _ in 0..300 {
+            e.step(&mut bus, &mut co);
+        }
+        while !e.halted() {
+            e.run_until(&mut bus, &mut co, stop_events::ALL, 1_000);
+        }
+        assert_eq!(e.cycle(), slow.cycle());
+        assert_eq!(e.retired(), slow.retired());
+        assert_eq!(e.counters().without_block_stats(), slow.counters());
+        assert!(e.counters().decode_hits > 0);
+        assert!(e.counters().block_hits > 0);
     }
 
     #[test]

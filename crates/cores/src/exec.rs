@@ -63,7 +63,7 @@ impl Outcome {
     }
 }
 
-fn alu(op: AluOp, a: u32, b: u32) -> u32 {
+pub(crate) fn alu(op: AluOp, a: u32, b: u32) -> u32 {
     match op {
         AluOp::Add => a.wrapping_add(b),
         AluOp::Sub => a.wrapping_sub(b),
@@ -86,7 +86,7 @@ fn alu(op: AluOp, a: u32, b: u32) -> u32 {
 #[allow(clippy::collapsible_else_if)]
 #[allow(clippy::manual_unwrap_or_default)]
 #[allow(clippy::manual_checked_ops)]
-fn muldiv(op: MulDivOp, a: u32, b: u32) -> u32 {
+pub(crate) fn muldiv(op: MulDivOp, a: u32, b: u32) -> u32 {
     match op {
         MulDivOp::Mul => a.wrapping_mul(b),
         MulDivOp::Mulh => (((a as i32 as i64) * (b as i32 as i64)) >> 32) as u32,
@@ -127,7 +127,7 @@ fn muldiv(op: MulDivOp, a: u32, b: u32) -> u32 {
     }
 }
 
-fn branch_taken(op: BranchOp, a: u32, b: u32) -> bool {
+pub(crate) fn branch_taken(op: BranchOp, a: u32, b: u32) -> bool {
     match op {
         BranchOp::Eq => a == b,
         BranchOp::Ne => a != b,

@@ -63,6 +63,20 @@ pub enum FaultKind {
     },
     /// Ring the inter-processor doorbell (`mip.MSIP`) spuriously.
     SpuriousIpi,
+    /// Flip one bit of an instruction-memory word. The write goes through
+    /// the engine's coherent IMEM path, so any cached decode and any live
+    /// block translation covering the word are invalidated — subsequent
+    /// fetches execute the corrupted encoding (or trap on it).
+    ///
+    /// Not in [`FaultPlan::generate`]'s random table (generated plans are
+    /// pinned by regression seeds); construct it explicitly in directed
+    /// campaigns and tests.
+    ImemFlip {
+        /// Word-aligned IMEM address.
+        addr: u32,
+        /// Bit index, `0..32`.
+        bit: u8,
+    },
 }
 
 impl FaultKind {
@@ -78,10 +92,11 @@ impl FaultKind {
             FaultKind::DropIrq => "drop_irq",
             FaultKind::DelayIrq { .. } => "delay_irq",
             FaultKind::SpuriousIpi => "spurious_ipi",
+            FaultKind::ImemFlip { .. } => "imem_flip",
         }
     }
 
-    /// Dense numeric code for the trace layer (`1..=9`).
+    /// Dense numeric code for the trace layer (`1..=10`).
     pub fn code(&self) -> u32 {
         match self {
             FaultKind::RegFlip { .. } => 1,
@@ -93,6 +108,7 @@ impl FaultKind {
             FaultKind::DropIrq => 7,
             FaultKind::DelayIrq { .. } => 8,
             FaultKind::SpuriousIpi => 9,
+            FaultKind::ImemFlip { .. } => 10,
         }
     }
 }
@@ -111,6 +127,7 @@ pub fn fault_code_name(code: u32) -> &'static str {
         7 => "drop_irq",
         8 => "delay_irq",
         9 => "spurious_ipi",
+        10 => "imem_flip",
         _ => "unknown",
     }
 }
@@ -296,6 +313,25 @@ mod tests {
         p.rewind();
         assert_eq!(p.applied(), 0);
         assert_eq!(p.next_cycle(), Some(10));
+    }
+
+    #[test]
+    fn imem_flip_has_a_stable_code_but_is_never_generated() {
+        let kind = FaultKind::ImemFlip { addr: 0x40, bit: 3 };
+        assert_eq!(kind.name(), "imem_flip");
+        assert_eq!(kind.code(), 10);
+        assert_eq!(fault_code_name(10), "imem_flip");
+        // Generated plans are pinned by regression seeds: the random
+        // table must not include IMEM flips.
+        let targets = FaultTargets {
+            mem_words: vec![0x2000_0000],
+            csrs: vec![rvsim_isa::csr::MEPC],
+        };
+        let p = FaultPlan::generate(11, 200, 0..10_000, &targets);
+        assert!(p
+            .events()
+            .iter()
+            .all(|e| !matches!(e.kind, FaultKind::ImemFlip { .. })));
     }
 
     #[test]

@@ -21,6 +21,7 @@
 //! measurement (cycles from interrupt trigger to `mret`) and its jitter
 //! sources, not the exact RTL microarchitecture.
 
+pub mod blockcache;
 pub mod coproc;
 pub mod counters;
 pub mod cpu;
@@ -38,10 +39,12 @@ pub use coproc::{Coprocessor, NullCoprocessor};
 pub use counters::CoreCounters;
 pub use cpu::{make_cpu, make_golden_cpu, CpuCore, Executed, GoldenCpu};
 pub use csrs::Csrs;
-pub use engine::{stop_events, BatchExit, CoreEngine, CoreEvent, DataBus, StepOutput, StopReason};
+pub use engine::{
+    stop_events, BatchExit, BlockStats, CoreEngine, CoreEvent, DataBus, StepOutput, StopReason,
+};
 pub use fault::{fault_code_name, FaultEvent, FaultKind, FaultPlan, FaultTargets};
 pub use golden::{GoldenCore, GoldenStep};
 pub use models::{make_engine, CoreKind};
-pub use profile::{hot_block_report, HotBlock, PcProfile};
+pub use profile::{hot_block_report, hot_block_report_with_blocks, HotBlock, PcProfile};
 pub use state::{ArchState, Bank};
 pub use timing::TimingParams;

@@ -254,6 +254,42 @@ pub fn hot_block_report(profile: &PcProfile, blocks: &[HotBlock], limit: usize) 
     out
 }
 
+/// Renders the ranked hot-block table with per-block translation-cache
+/// columns appended: dispatches, hit rate, fused macro-ops executed and
+/// retranslations, from [`BlockStats`](crate::engine::BlockStats) folded
+/// over each block's PC range (pass the owning engine's
+/// `block_stats_in`). Blocks the cache never entered show all-zero
+/// columns — e.g. handler bodies reached only through trap entry.
+pub fn hot_block_report_with_blocks(
+    profile: &PcProfile,
+    blocks: &[HotBlock],
+    limit: usize,
+    mut stats: impl FnMut(u32, u32) -> crate::engine::BlockStats,
+) -> String {
+    let total = profile.total_cycles().max(1);
+    let mut out = String::from(
+        "| rank | block | instrs | cycles | share | bc execs | hit rate | fused | retrans |\n",
+    );
+    out.push_str("|---|---|---|---|---|---|---|---|---|\n");
+    for (rank, b) in blocks.iter().take(limit).enumerate() {
+        let s = stats(b.start, b.end);
+        out.push_str(&format!(
+            "| {} | {:#010x}..{:#010x} | {} | {} | {:.2}% | {} | {:.1}% | {} | {} |\n",
+            rank + 1,
+            b.start,
+            b.end,
+            b.len(),
+            b.cycles,
+            b.cycles as f64 * 100.0 / total as f64,
+            s.execs,
+            s.hit_rate() * 100.0,
+            s.fused,
+            s.retranslations(),
+        ));
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -334,5 +370,28 @@ mod tests {
         assert!(folded.contains("guest;block_0x00000000_0x00000004 40"));
         let report = hot_block_report(&p, &blocks, 10);
         assert!(report.contains("| 1 | 0x00000000..0x00000004 | 2 | 40 |"));
+    }
+
+    #[test]
+    fn block_cache_columns_render_hit_rate_and_retranslations() {
+        let mut a = Asm::new(0);
+        a.label("top");
+        a.addi(Reg::T0, Reg::T0, 1);
+        a.bnez(Reg::T0, "top");
+        a.ebreak();
+        let prog = a.finish().unwrap();
+        let mut p = PcProfile::new(0, 0x10);
+        p.add(0x0, 40);
+        let blocks = p.hot_blocks(decoder(&prog));
+        // 10 dispatches, 3 builds over 1 entry PC: 70% hit rate, 2
+        // retranslations.
+        let report =
+            hot_block_report_with_blocks(&p, &blocks, 10, |_, _| crate::engine::BlockStats {
+                builds: 3,
+                execs: 10,
+                fused: 4,
+                entries: 1,
+            });
+        assert!(report.contains("| 10 | 70.0% | 4 | 2 |"), "{report}");
     }
 }

@@ -38,6 +38,7 @@ pub mod instr;
 pub mod progen;
 pub mod reg;
 pub mod rng;
+pub mod uop;
 
 pub use asm::{Asm, AsmError, Program, SymbolTable};
 pub use custom::CustomOp;
@@ -48,3 +49,4 @@ pub use instr::{AluOp, BranchOp, CsrOp, Instr, LoadOp, MulDivOp, StoreOp};
 pub use progen::{GenConfig, GenOp, ProgramSpec};
 pub use reg::Reg;
 pub use rng::Rng64;
+pub use uop::{Uop, UopSrc};

@@ -211,6 +211,11 @@ pub struct RunSpec {
     /// Use the cycle-by-cycle reference loop instead of batched stepping
     /// (differential testing and throughput baselines).
     pub stepwise: bool,
+    /// Attach the basic-block translation cache to the core for batched
+    /// runs. Bit-identical simulated timing and artifacts — this only
+    /// accelerates host execution (the `fig9_blockcache` bench axis).
+    /// Inert for stepwise and SMP runs, which step per-cycle.
+    pub blocks: bool,
     /// Per-run SLO latency budget in cycles; falls back to the campaign's
     /// [`CampaignSpec::slo`] when `None`. Misses are counted exactly at
     /// harvest time and reported in the v3 telemetry artifact.
@@ -233,9 +238,17 @@ impl RunSpec {
             overrides: Vec::new(),
             filter: FilterPolicy::Standard,
             stepwise: false,
+            blocks: false,
             slo: None,
             harts: 1,
         }
+    }
+
+    /// Attaches the block translation cache for this run and returns
+    /// `self` (host-side speedup only; simulated results are unchanged).
+    pub fn with_blocks(mut self) -> RunSpec {
+        self.blocks = true;
+        self
     }
 
     /// Sets the hart count (SMP contention axis) and returns `self`.
@@ -1109,6 +1122,9 @@ fn simulate(
     let mut sys = System::new(spec.core, spec.preset);
     for o in &spec.overrides {
         o.apply(&mut sys);
+    }
+    if spec.blocks {
+        sys.set_block_cache(true);
     }
     image.install(&mut sys);
     drive.schedule(&mut sys, run_cycles);

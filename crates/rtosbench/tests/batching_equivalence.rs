@@ -65,6 +65,7 @@ fn run_one(
     workload: &str,
     stepwise: bool,
     faulted: bool,
+    blocks: bool,
 ) -> System {
     let w = workloads::by_name(workload).expect("workload exists");
     let image = workloads::build(&w, preset).expect("workload builds");
@@ -77,6 +78,9 @@ fn run_one(
     // too (asserted below), and enabling it must not perturb any of the
     // other equivalences.
     sys.set_profiling(true);
+    if blocks {
+        sys.set_block_cache(true);
+    }
     if w.ext_irq_interval > 0 {
         let mut at = w.ext_irq_interval;
         while at < w.run_cycles {
@@ -92,10 +96,18 @@ fn run_one(
     sys
 }
 
-fn assert_equivalent_inner(core: CoreKind, preset: Preset, workload: &str, faulted: bool) {
-    let mut fast = run_one(core, preset, workload, false, faulted);
-    let mut slow = run_one(core, preset, workload, true, faulted);
-    let ctx = format!("{core:?}/{preset}/{workload}/faulted={faulted}");
+fn assert_equivalent_inner(
+    core: CoreKind,
+    preset: Preset,
+    workload: &str,
+    faulted: bool,
+    blocks: bool,
+) {
+    // The block translation cache only ever accelerates the batched
+    // path; the stepwise reference always interprets per cycle.
+    let mut fast = run_one(core, preset, workload, false, faulted, blocks);
+    let mut slow = run_one(core, preset, workload, true, faulted, false);
+    let ctx = format!("{core:?}/{preset}/{workload}/faulted={faulted}/blocks={blocks}");
     assert_eq!(
         fast.take_profile(),
         slow.take_profile(),
@@ -130,11 +142,26 @@ fn assert_equivalent_inner(core: CoreKind, preset: Preset, workload: &str, fault
         slow.unit_stats(),
         "{ctx}: unit counters diverged"
     );
+    // With the block cache on, every architectural counter still matches
+    // the per-cycle reference exactly; only the fast path's own
+    // bookkeeping trio (block_hits/block_builds/fused_ops) is nonzero.
     assert_eq!(
-        fast.core.counters(),
-        slow.core.counters(),
+        fast.core.counters().without_block_stats(),
+        slow.core.counters().without_block_stats(),
         "{ctx}: core activity counters diverged"
     );
+    if blocks {
+        assert!(
+            fast.core.counters().block_hits > 0,
+            "{ctx}: block cache never engaged"
+        );
+    } else {
+        assert_eq!(
+            fast.core.counters(),
+            slow.core.counters(),
+            "{ctx}: block bookkeeping counters moved without the cache"
+        );
+    }
     assert_eq!(
         fast.faults_applied(),
         slow.faults_applied(),
@@ -146,7 +173,7 @@ fn assert_equivalent_inner(core: CoreKind, preset: Preset, workload: &str, fault
 }
 
 fn assert_equivalent(core: CoreKind, preset: Preset, workload: &str) {
-    assert_equivalent_inner(core, preset, workload, false);
+    assert_equivalent_inner(core, preset, workload, false, false);
 }
 
 #[test]
@@ -191,7 +218,53 @@ fn batched_run_matches_stepwise_with_a_fault_plan() {
     for core in CoreKind::ALL {
         for preset in [Preset::Vanilla, Preset::Slt] {
             for workload in ["delay_periodic", "interrupt_latency"] {
-                assert_equivalent_inner(core, preset, workload, true);
+                assert_equivalent_inner(core, preset, workload, true, false);
+            }
+        }
+    }
+}
+
+#[test]
+fn blocks_enabled_run_matches_stepwise_across_the_latency_matrix() {
+    for core in CoreKind::ALL {
+        for preset in [Preset::Vanilla, Preset::Cv32rt, Preset::Slt, Preset::Split] {
+            for workload in ["roundrobin_yield", "delay_periodic", "interrupt_latency"] {
+                assert_equivalent_inner(core, preset, workload, false, true);
+            }
+        }
+    }
+}
+
+#[test]
+fn blocks_enabled_run_matches_stepwise_for_remaining_presets() {
+    for preset in [
+        Preset::Sl,
+        Preset::T,
+        Preset::St,
+        Preset::Sdlo,
+        Preset::Sdlot,
+        Preset::SltHs,
+    ] {
+        assert_equivalent_inner(
+            CoreKind::Cv32e40p,
+            preset,
+            "pingpong_semaphore",
+            false,
+            true,
+        );
+        assert_equivalent_inner(CoreKind::NaxRiscv, preset, "priority_chain", false, true);
+    }
+}
+
+#[test]
+fn blocks_enabled_run_matches_stepwise_with_a_fault_plan() {
+    // Faults perturb registers, memory, IRQ lines and the cache while
+    // blocks are live; the quiescent horizon still stops short of every
+    // planned fault, so the translated path stays bit-identical too.
+    for core in CoreKind::ALL {
+        for preset in [Preset::Vanilla, Preset::Slt] {
+            for workload in ["delay_periodic", "interrupt_latency"] {
+                assert_equivalent_inner(core, preset, workload, true, true);
             }
         }
     }

@@ -4,7 +4,8 @@
 
 use rtosunit_suite::asic::{area_report, power_report};
 use rtosunit_suite::bench::{run_workload, workloads};
-use rtosunit_suite::cores::CoreKind;
+use rtosunit_suite::cores::{CoreKind, FaultEvent, FaultKind, FaultPlan};
+use rtosunit_suite::isa::{decode, Instr};
 use rtosunit_suite::kernel::KernelBuilder;
 use rtosunit_suite::unit::{Preset, System};
 use rtosunit_suite::wcet::analyze_preset;
@@ -156,4 +157,97 @@ fn hardware_and_software_schedulers_agree_on_order() {
             );
         }
     }
+}
+
+#[test]
+fn imem_flip_fault_invalidates_live_translated_blocks() {
+    // A fault-injected instruction-memory bit flip lands in the middle of
+    // a run while the block translation cache holds a live block covering
+    // that word. The coherent imem-write path must kill the stale
+    // translation, so the blocks-enabled batched run stays bit-identical
+    // to the per-cycle interpreter seeing the same flip.
+    let w = workloads::by_name("delay_periodic").expect("exists");
+    let core = CoreKind::Cv32e40p;
+    let preset = Preset::Slt;
+
+    // Scout run with the cache on and no fault: pick the hottest profiled
+    // block that the cache actually translated — its entry word is
+    // guaranteed to be covered by a live block again in the real runs.
+    // Restrict to entries whose flipped word still decodes to a plain ALU
+    // op: the corrupted guest computes garbage (which both runs must agree
+    // on) but never dereferences a wild pointer or jumps out of IMEM.
+    let flip_addr = {
+        let image = workloads::build(&w, preset).expect("builds");
+        let mut sys = System::new(core, preset);
+        image.install(&mut sys);
+        sys.set_profiling(true);
+        sys.set_block_cache(true);
+        sys.run(w.run_cycles);
+        let profile = sys.take_profile().expect("profiling was enabled");
+        let hot = sys.core.hot_blocks(&profile);
+        hot.iter()
+            .find(|b| {
+                let flipped = sys.core.imem_word(b.start).expect("hot block in imem") ^ (1 << 7);
+                sys.block_stats_in(b.start, b.end).builds > 0
+                    && matches!(
+                        decode(flipped),
+                        Ok(Instr::Op { .. }
+                            | Instr::OpImm { .. }
+                            | Instr::Lui { .. }
+                            | Instr::Auipc { .. })
+                    )
+            })
+            .expect("some hot translated block survives the flip benignly")
+            .start
+    };
+
+    let run = |blocks: bool| {
+        let image = workloads::build(&w, preset).expect("builds");
+        let mut sys = System::new(core, preset);
+        image.install(&mut sys);
+        sys.set_profiling(true);
+        sys.set_block_cache(blocks);
+        sys.attach_fault_plan(FaultPlan::new(vec![FaultEvent {
+            at_cycle: w.run_cycles / 2,
+            kind: FaultKind::ImemFlip {
+                addr: flip_addr,
+                bit: 7,
+            },
+        }]));
+        if blocks {
+            sys.run(w.run_cycles);
+        } else {
+            sys.run_stepwise(w.run_cycles);
+        }
+        sys
+    };
+    let mut fast = run(true);
+    let mut slow = run(false);
+    assert_eq!(fast.faults_applied(), 1, "flip never fired");
+    assert_eq!(slow.faults_applied(), 1, "flip never fired");
+    assert_eq!(
+        fast.take_profile(),
+        slow.take_profile(),
+        "profiles diverged"
+    );
+    assert_eq!(fast.records(), slow.records(), "switch episodes diverged");
+    assert_eq!(
+        fast.platform.cycle(),
+        slow.platform.cycle(),
+        "cycles diverged"
+    );
+    assert_eq!(fast.core.retired(), slow.core.retired(), "retires diverged");
+    assert_eq!(
+        fast.core.counters().without_block_stats(),
+        slow.core.counters().without_block_stats(),
+        "activity counters diverged"
+    );
+    assert!(fast.core.counters().block_hits > 0, "cache never engaged");
+    // The killed translation was rebuilt (now decoding the flipped word)
+    // when the guest next reached it.
+    let stats = fast.block_stats_in(flip_addr, flip_addr);
+    assert!(
+        stats.retranslations() >= 1,
+        "no retranslation after the flip: {stats:?}"
+    );
 }

@@ -46,6 +46,36 @@ fn lockstep_ten_thousand_random_instructions_per_engine() {
 }
 
 #[test]
+fn lockstep_ten_thousand_random_instructions_per_engine_with_blocks() {
+    // The same gate a second time with the block translation cache
+    // enabled: the engine executes through batched translated blocks and
+    // must still match the golden executor at every batch boundary.
+    let cfg = GenConfig {
+        len: 256,
+        ..GenConfig::default()
+    };
+    for core in CoreKind::ALL {
+        let mut retired = 0u64;
+        let mut block_hits = 0u64;
+        let mut seed = 0u64;
+        while retired < 10_000 {
+            assert!(
+                seed < 64,
+                "{core}: seed budget exhausted at {retired} retires"
+            );
+            let mut ep = episode_for_seed(core, seed, cfg);
+            ep.blocks = true;
+            let stats =
+                run_episode(&ep).unwrap_or_else(|m| panic!("{core} seed {seed} (blocks): {m}"));
+            retired += stats.retired;
+            block_hits += stats.block_hits;
+            seed += 1;
+        }
+        assert!(block_hits > 0, "{core}: block cache never engaged");
+    }
+}
+
+#[test]
 fn oracle_thousand_schedules_per_isr_variant() {
     for preset in ORACLE_PRESETS {
         let mut total = OracleStats::default();
@@ -135,5 +165,28 @@ fn single_core_campaign_artifact_is_byte_identical_to_pre_smp_baseline() {
         fnv1a(rendered.as_bytes()),
         0xa270_a007_f9dc_103d,
         "artifact bytes drifted from the pre-refactor baseline"
+    );
+}
+
+#[test]
+fn block_cache_campaign_artifact_matches_the_pinned_baseline() {
+    // The same fixed matrix with the block translation cache enabled on
+    // every run must hash to the very same pre-refactor pin: the cache is
+    // host-side execution speed only, invisible in every measured cycle,
+    // every counter and every byte of the rendered artifact.
+    let w = workloads::by_name("pingpong_semaphore").expect("suite workload exists");
+    let mut spec = CampaignSpec::new("smp_equiv");
+    for core in CoreKind::ALL {
+        for preset in [Preset::Vanilla, Preset::Slt] {
+            spec.runs
+                .push(RunSpec::new(core, preset, WorkloadSpec::Suite(w)).with_blocks());
+        }
+    }
+    let rendered = spec.run(4).to_json().render();
+    assert_eq!(rendered.len(), 35753, "artifact length drifted");
+    assert_eq!(
+        fnv1a(rendered.as_bytes()),
+        0xa270_a007_f9dc_103d,
+        "block-cache artifact drifted from the pre-refactor baseline"
     );
 }
