@@ -91,6 +91,29 @@ cargo run -q --release -p rtosunit-bench --bin fig_tail -- --quick --blocks > /d
 cargo run -q --release -p rtosunit-bench --bin perfdiff -- \
   ci/perf_baseline.json results/fig_tail_quick.json --no-throughput --tolerance 0 > /dev/null
 
+echo "== snapshot smoke (roundtrip, resume determinism, fork, time travel)"
+# The snapshot contract: a restored system is byte-identical to one that
+# never stopped. `roundtrip` byte-diffs the cold-run snapshot against
+# save -> restore -> resume; two `resume`s of the same saved document
+# must print identical summaries (digest included); `fork` spawns
+# divergent futures and proves each is individually deterministic;
+# `checkfuzz travel` rewinds checkpointed runs and byte-compares every
+# rewound state against cold execution.
+cargo run -q --release -p rtosunit-bench --bin snap -- \
+  roundtrip naxriscv split interrupt_latency 6000 25000
+cargo run -q --release -p rtosunit-bench --bin snap -- \
+  save cva6 slt pingpong_semaphore 8000 results/snap_boot.json
+cargo run -q --release -p rtosunit-bench --bin snap -- \
+  resume results/snap_boot.json 20000 > results/snap_resume_a.txt
+cargo run -q --release -p rtosunit-bench --bin snap -- \
+  resume results/snap_boot.json 20000 > results/snap_resume_b.txt
+cmp results/snap_resume_a.txt results/snap_resume_b.txt
+rm results/snap_resume_a.txt results/snap_resume_b.txt
+cargo run -q --release -p rtosunit-bench --bin snap -- \
+  fork results/snap_boot.json 4 20000 > /dev/null
+cargo run -q --release -p rtosunit-bench --bin checkfuzz -- \
+  travel --cycles 60000 > /dev/null
+
 echo "== perfdiff throughput gate (relative mode, 10% tolerance)"
 cargo bench -q -p rtosunit-bench --bench bench_campaign > /dev/null
 cargo run -q --release -p rtosunit-bench --bin perfdiff -- \

@@ -2,30 +2,38 @@
 //!
 //! Drives the `rvsim-check` harness from the command line:
 //!
-//! * `checkfuzz fuzz [--secs N] [--start-seed S] [--blocks]` — time-boxed
-//!   fuzz loop alternating golden-model lockstep episodes and
+//! * `checkfuzz fuzz [--secs N] [--start-seed S] [--blocks] [--snap]` —
+//!   time-boxed fuzz loop alternating golden-model lockstep episodes and
 //!   scheduler-oracle scenarios across all cores and ISR variants. With
 //!   `--blocks` the lockstep episodes drive the engine through the block
 //!   translation cache (batched `run_until`) instead of per-cycle
-//!   stepping — the mode is recorded in the replay artifact, so shrink
-//!   and replay reproduce under the same engine path. Failures are
-//!   shrunk to minimal counterexamples and written to
-//!   `results/repro/*.json`; the exit code is non-zero if anything
-//!   failed.
+//!   stepping; with `--snap` each episode round-trips the engine through
+//!   the snapshot codec at pseudo-random retire points mid-run, so any
+//!   state the codec fails to carry diverges from the golden model.
+//!   Both modes are recorded in the replay artifact, so shrink and
+//!   replay reproduce under the same engine path. Failures are shrunk
+//!   to minimal counterexamples and written to `results/repro/*.json`;
+//!   the exit code is non-zero if anything failed.
 //! * `checkfuzz replay <path>...` — re-runs replay artifacts
 //!   byte-for-byte; exit code is non-zero if any still fails.
 //! * `checkfuzz selftest` — injects a known executor bug (flipped `sltu`
 //!   carry in the golden model), verifies the lockstep harness catches
 //!   it, shrinks it, round-trips the artifact through disk and replays
 //!   it. Guards the guard.
+//! * `checkfuzz travel [--cycles N] [--interval N]` — time-travel
+//!   self-check: runs generated kernel scenarios forward under periodic
+//!   auto-checkpoints, rewinds to intermediate cycles (restore nearest
+//!   checkpoint + deterministic re-execution) and byte-compares every
+//!   rewound state snapshot against a cold run stopped at that cycle.
 //!
 //! The nightly CI job runs `fuzz` with a fresh start seed and uploads
 //! `results/repro/` so failures arrive as self-contained repro files.
 
 use rtosbench::json::Json;
+use rtosunit::Preset;
 use rvsim_check::scenario::ORACLE_PRESETS;
 use rvsim_check::{artifact, episode_for_seed, run_episode, run_scenario, scenario_for_seed};
-use rvsim_check::{shrink_episode, shrink_scenario, Fault};
+use rvsim_check::{shrink_episode, shrink_scenario, travel_selfcheck, Fault};
 use rvsim_cores::CoreKind;
 use rvsim_isa::progen::GenConfig;
 use std::path::{Path, PathBuf};
@@ -35,9 +43,10 @@ const REPRO_DIR: &str = "results/repro";
 
 fn usage() -> ! {
     eprintln!(
-        "usage: checkfuzz fuzz [--secs N] [--start-seed S] [--blocks]\n       \
+        "usage: checkfuzz fuzz [--secs N] [--start-seed S] [--blocks] [--snap]\n       \
          checkfuzz replay <path>...\n       \
-         checkfuzz selftest"
+         checkfuzz selftest\n       \
+         checkfuzz travel [--cycles N] [--interval N]"
     );
     std::process::exit(2);
 }
@@ -48,6 +57,7 @@ fn main() {
         Some("fuzz") => cmd_fuzz(&args[1..]),
         Some("replay") if args.len() > 1 => cmd_replay(&args[1..]),
         Some("selftest") => cmd_selftest(),
+        Some("travel") => cmd_travel(&args[1..]),
         _ => usage(),
     };
     std::process::exit(code);
@@ -70,7 +80,7 @@ fn write_artifact(name: &str, doc: &Json) -> PathBuf {
 /// One fuzz iteration: even seeds run a lockstep episode (core rotating),
 /// odd seeds run an oracle scenario (core x preset rotating). Returns the
 /// artifact name written on failure.
-fn fuzz_one(seed: u64, blocks: bool) -> Option<String> {
+fn fuzz_one(seed: u64, blocks: bool, snap: bool) -> Option<String> {
     let core = CoreKind::ALL[(seed / 2 % 3) as usize];
     if seed.is_multiple_of(2) {
         let cfg = GenConfig {
@@ -79,19 +89,24 @@ fn fuzz_one(seed: u64, blocks: bool) -> Option<String> {
         };
         let mut ep = episode_for_seed(core, seed, cfg);
         ep.blocks = blocks;
+        ep.snap = snap;
         let mismatch = run_episode(&ep).err()?;
-        let mode = if blocks { " blocks" } else { "" };
+        let mode = match (blocks, snap) {
+            (true, true) => " blocks+snap",
+            (true, false) => " blocks",
+            (false, true) => " snap",
+            (false, false) => "",
+        };
         eprintln!("lockstep{mode} FAIL core={core} seed={seed}: {mismatch}");
-        // `EpisodeSpec::blocks` rides along through the shrink (the
-        // predicate is `run_episode`, which dispatches on it) and into
+        // `EpisodeSpec::blocks`/`snap` ride along through the shrink (the
+        // predicate is `run_episode`, which dispatches on them) and into
         // the artifact, so the repro replays under the same engine path.
         let small = shrink_episode(&ep);
         let m = run_episode(&small).expect_err("shrunk episode still fails");
-        let name = if blocks {
-            format!("lockstep_blocks_{core}_{seed}.json")
-        } else {
-            format!("lockstep_{core}_{seed}.json")
-        };
+        let name = format!(
+            "lockstep{}_{core}_{seed}.json",
+            mode.replace([' ', '+'], "_")
+        );
         write_artifact(&name, &artifact::lockstep_to_json(&small, seed, &m));
         Some(name)
     } else {
@@ -114,21 +129,28 @@ fn cmd_fuzz(args: &[String]) -> i32 {
     let secs = parse_flag(args, "--secs").unwrap_or(60);
     let start = parse_flag(args, "--start-seed").unwrap_or(0);
     let blocks = args.iter().any(|a| a == "--blocks");
+    let snap = args.iter().any(|a| a == "--snap");
     let deadline = Instant::now() + Duration::from_secs(secs);
     let mut seed = start;
     let mut failures = Vec::new();
     let mut runs = 0u64;
     while Instant::now() < deadline && failures.len() < 20 {
-        if let Some(name) = fuzz_one(seed, blocks) {
+        if let Some(name) = fuzz_one(seed, blocks, snap) {
             failures.push(name);
         }
         runs += 1;
         seed += 1;
     }
+    let mut modes = String::new();
+    if blocks {
+        modes.push_str(" [blocks]");
+    }
+    if snap {
+        modes.push_str(" [snap]");
+    }
     println!(
-        "checkfuzz: {runs} runs, seeds {start}..{seed}, {} failure(s){}",
+        "checkfuzz: {runs} runs, seeds {start}..{seed}, {} failure(s){modes}",
         failures.len(),
-        if blocks { " [blocks]" } else { "" }
     );
     for f in &failures {
         println!("  {REPRO_DIR}/{f}");
@@ -236,4 +258,40 @@ fn cmd_selftest() -> i32 {
             1
         }
     }
+}
+
+/// Time-travel self-check across a small (core, preset) matrix: every
+/// rewound state snapshot must render byte-identically to a cold run
+/// stopped at the same cycle.
+fn cmd_travel(args: &[String]) -> i32 {
+    let cycles = parse_flag(args, "--cycles").unwrap_or(120_000);
+    let interval = parse_flag(args, "--interval").unwrap_or(cycles / 6).max(1);
+    let matrix = [
+        (CoreKind::Cv32e40p, Preset::Vanilla),
+        (CoreKind::Cva6, Preset::Slt),
+        (CoreKind::NaxRiscv, Preset::Split),
+    ];
+    let mut failed = false;
+    for (core, preset) in matrix {
+        for seed in [1, 2] {
+            match travel_selfcheck(core, preset, seed, cycles, interval) {
+                Ok(r) => println!(
+                    "travel OK core={core} preset={} seed={seed}: {} checkpoints, \
+                     {} rewinds verified, final cycle {}",
+                    artifact::preset_name(preset),
+                    r.checkpoints,
+                    r.rewinds,
+                    r.final_cycle
+                ),
+                Err(e) => {
+                    eprintln!(
+                        "travel FAIL core={core} preset={} seed={seed}: {e}",
+                        artifact::preset_name(preset)
+                    );
+                    failed = true;
+                }
+            }
+        }
+    }
+    i32::from(failed)
 }

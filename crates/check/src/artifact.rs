@@ -100,6 +100,7 @@ pub fn lockstep_to_json(ep: &EpisodeSpec, seed: u64, mismatch: &Mismatch) -> Jso
         .with("max_retires", Json::UInt(ep.max_retires))
         .with("max_cycles", Json::UInt(ep.max_cycles))
         .with("blocks", Json::Bool(ep.blocks))
+        .with("snap", Json::Bool(ep.snap))
         .with(
             "gen",
             Json::object()
@@ -198,6 +199,8 @@ pub fn lockstep_from_json(j: &Json) -> Option<EpisodeSpec> {
         // Absent in artifacts written before the block-cache mode existed;
         // those replayed per-cycle and still do.
         blocks: get_bool(j, "blocks").unwrap_or(false),
+        // Likewise absent before snapshot stress existed.
+        snap: get_bool(j, "snap").unwrap_or(false),
     })
 }
 
@@ -348,6 +351,7 @@ mod tests {
         );
         ep.fault = Some(Fault::GoldenSltuFlip);
         ep.blocks = true;
+        ep.snap = true;
         let mismatch = Mismatch {
             field: "x13".into(),
             engine: 1,

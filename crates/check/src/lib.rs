@@ -17,6 +17,10 @@
 //!   shared bus; every hart's trace is checked against its own scheduler
 //!   model (per-core ready lists) and the shared IPI mailboxes must
 //!   conserve every cross-core wakeup.
+//! * [`timetravel`] — full-system snapshots taken on a periodic cadence
+//!   let any previously visited cycle be revisited exactly: rewind is
+//!   restore-nearest-checkpoint plus deterministic re-execution, verified
+//!   byte-for-byte against cold runs.
 //! * [`shrink`] + [`artifact`] — failures are delta-debugged to minimal
 //!   counterexamples and serialized as self-contained JSON replay files
 //!   under `results/repro/`, re-runnable via the `checkfuzz` bin.
@@ -29,6 +33,7 @@ pub mod oracle;
 pub mod scenario;
 pub mod shrink;
 pub mod smp;
+pub mod timetravel;
 
 pub use coproc::{ScratchCoproc, ScratchUnit};
 pub use faultcamp::{
@@ -41,8 +46,12 @@ pub use lockstep::{
 };
 pub use oracle::{OracleStats, Violation};
 pub use scenario::{
-    run_scenario, scenario_for_seed, trace_scenario, Action, ScenarioSpec, TaskScript,
-    ORACLE_PRESETS,
+    run_scenario, scenario_for_seed, scenario_system, trace_scenario, Action, ScenarioSpec,
+    TaskScript, ORACLE_PRESETS,
 };
 pub use shrink::{shrink_episode, shrink_scenario, shrink_scenario_with};
-pub use smp::{run_smp_scenario, smp_scenario_for_seed, trace_smp_scenario, SmpScenarioSpec};
+pub use smp::{
+    run_smp_scenario, smp_scenario_for_seed, smp_scenario_system, trace_smp_scenario,
+    SmpScenarioSpec,
+};
+pub use timetravel::{travel_selfcheck, TimeTravel, TravelReport};

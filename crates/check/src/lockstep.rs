@@ -26,6 +26,14 @@
 //! Interrupt lines rise at batch granularity (`at_retire` is a lower
 //! bound there), which keeps episodes deterministic while letting blocks
 //! chain freely inside a batch.
+//!
+//! With [`EpisodeSpec::snap`] set the engine is additionally round-tripped
+//! through the snapshot codec ([`CoreEngine::to_snap`] →
+//! [`restore_snap`](rvsim_cores::CoreEngine::restore_snap) into a fresh
+//! engine, which then replaces the original) at pseudo-random retire
+//! points. The round-trip must be invisible: any micro-architectural
+//! state the codec fails to carry desynchronises the swapped-in engine
+//! from the golden model and is caught by the ordinary lockstep diff.
 
 use crate::coproc::{ScratchCoproc, ScratchUnit};
 use rvsim_cores::engine::{BusResponse, DataBus};
@@ -95,6 +103,12 @@ pub struct EpisodeSpec {
     /// Drive the engine through batched `run_until` calls with the block
     /// translation cache enabled, instead of per-cycle stepping.
     pub blocks: bool,
+    /// Round-trip the engine through the snapshot codec at pseudo-random
+    /// retire points mid-episode: serialize, restore into a fresh engine,
+    /// and swap it in. The round-trip must be invisible — state the
+    /// snapshot fails to carry diverges from the golden model within a
+    /// few retires of the swap.
+    pub snap: bool,
 }
 
 /// A state divergence between engine and golden model.
@@ -138,6 +152,9 @@ pub struct EpisodeStats {
     /// Translated-block dispatches (zero unless the episode ran with
     /// [`EpisodeSpec::blocks`]).
     pub block_hits: u64,
+    /// Mid-episode snapshot round-trips performed (zero unless the
+    /// episode ran with [`EpisodeSpec::snap`]).
+    pub snap_roundtrips: u64,
 }
 
 /// The engine-side data bus: flat SRAM, one extra cycle per load (enough
@@ -204,6 +221,85 @@ pub fn episode_for_seed(core: CoreKind, seed: u64, cfg: GenConfig) -> EpisodeSpe
         max_cycles: 40 * max_retires,
         fault: None,
         blocks: false,
+        snap: false,
+    }
+}
+
+/// Tracks the pseudo-random retire points at which a `snap` episode
+/// round-trips its engine through the snapshot codec. Gaps are
+/// xorshift-derived from the episode's retire budget, so snapshot points
+/// vary across episodes but are identical on replay.
+struct SnapPlan {
+    seq: u64,
+    next: u64,
+}
+
+impl SnapPlan {
+    fn new(ep: &EpisodeSpec) -> SnapPlan {
+        let mut plan = SnapPlan {
+            seq: 0x5eed_ca11_0dd5_ee1f ^ ep.max_retires,
+            next: u64::MAX,
+        };
+        if ep.snap {
+            plan.next = plan.gap();
+        }
+        plan
+    }
+
+    fn gap(&mut self) -> u64 {
+        self.seq ^= self.seq << 13;
+        self.seq ^= self.seq >> 7;
+        self.seq ^= self.seq << 17;
+        40 + self.seq % 200
+    }
+
+    /// Round-trips the engine (and its SRAM bus) through the snapshot
+    /// codec if a snapshot point is due at the current retire count. The
+    /// serialized form must be stable, restore bit-exactly into a fresh
+    /// engine, and re-serialize identically; the restored engine then
+    /// *replaces* the original, so any state the codec drops shows up as
+    /// an ordinary lockstep divergence downstream.
+    fn maybe_roundtrip(
+        &mut self,
+        engine: &mut rvsim_cores::CoreEngine,
+        bus: &mut SramBus,
+        core: CoreKind,
+        stats: &mut EpisodeStats,
+    ) -> Result<(), Mismatch> {
+        if engine.retired() < self.next {
+            return Ok(());
+        }
+        let fail = |field: String, e: &rvsim_cores::CoreEngine| Mismatch {
+            field,
+            engine: 0,
+            golden: 0,
+            retired: e.retired(),
+            cycle: e.cycle(),
+        };
+        let doc = engine.to_snap();
+        if doc.render() != engine.to_snap().render() {
+            return Err(fail(
+                "snapshot digest (unstable serialization)".into(),
+                engine,
+            ));
+        }
+        let mut fresh = make_engine(core, IMEM_BASE, IMEM_SIZE);
+        fresh
+            .restore_snap(&doc)
+            .map_err(|e| fail(format!("snapshot restore: {e}"), engine))?;
+        if fresh.to_snap().render() != doc.render() {
+            return Err(fail(
+                "snapshot re-serialization after restore".into(),
+                engine,
+            ));
+        }
+        *engine = fresh;
+        let bus_doc = bus.mem.to_snap();
+        bus.mem = Mem::from_snap(&bus_doc)
+            .map_err(|e| fail(format!("bus snapshot restore: {e}"), engine))?;
+        stats.snap_roundtrips += 1;
+        self.next = engine.retired() + self.gap();
+        Ok(())
     }
 }
 
@@ -275,6 +371,7 @@ fn run_episode_cycle(ep: &EpisodeSpec) -> Result<EpisodeStats, Mismatch> {
     } = build_rig(ep);
 
     let mut stats = EpisodeStats::default();
+    let mut snap_plan = SnapPlan::new(ep);
     let mut mip: u32 = 0;
     let mut next_irq = 0usize;
 
@@ -355,6 +452,7 @@ fn run_episode_cycle(ep: &EpisodeSpec) -> Result<EpisodeStats, Mismatch> {
         if retires > 0 || out.event.is_some() {
             diff_state(&engine, &golden)?;
         }
+        snap_plan.maybe_roundtrip(&mut engine, &mut bus, ep.core, &mut stats)?;
         if engine.halted() {
             stats.halted = true;
             break;
@@ -399,6 +497,7 @@ fn run_episode_batched(ep: &EpisodeSpec) -> Result<EpisodeStats, Mismatch> {
     engine.set_block_cache(true);
 
     let mut stats = EpisodeStats::default();
+    let mut snap_plan = SnapPlan::new(ep);
     let mut mip: u32 = 0;
     let mut next_irq = 0usize;
 
@@ -480,6 +579,7 @@ fn run_episode_batched(ep: &EpisodeSpec) -> Result<EpisodeStats, Mismatch> {
         }
 
         diff_state(&engine, &golden)?;
+        snap_plan.maybe_roundtrip(&mut engine, &mut bus, ep.core, &mut stats)?;
         if engine.halted() {
             stats.halted = true;
             break;
@@ -672,6 +772,60 @@ mod tests {
             caught,
             "no seed in 0..20 tripped the injected sltu fault under blocks"
         );
+    }
+
+    #[test]
+    fn snapshot_roundtrips_are_invisible_mid_episode() {
+        // Every engine, both execution paths: the episode's outcome with
+        // mid-run snapshot/restore swaps must equal the undisturbed
+        // outcome field for field, and the combined corpus must clear
+        // the tier-1 floor of 1 000 instructions under snapshot stress.
+        let cfg = GenConfig {
+            len: 256,
+            ..GenConfig::default()
+        };
+        let mut total = 0u64;
+        let mut roundtrips = 0u64;
+        for core in CoreKind::ALL {
+            for blocks in [false, true] {
+                for seed in [11, 42, 99] {
+                    let mut ep = episode_for_seed(core, seed, cfg);
+                    ep.blocks = blocks;
+                    let base = run_episode(&ep)
+                        .unwrap_or_else(|m| panic!("{core} seed {seed} blocks={blocks}: {m}"));
+                    ep.snap = true;
+                    let snapped = run_episode(&ep)
+                        .unwrap_or_else(|m| panic!("{core} seed {seed} blocks={blocks} snap: {m}"));
+                    assert_eq!(
+                        base,
+                        EpisodeStats {
+                            snap_roundtrips: 0,
+                            ..snapped
+                        },
+                        "{core} seed {seed} blocks={blocks}: snapshot round-trip \
+                         perturbed the episode"
+                    );
+                    total += snapped.retired;
+                    roundtrips += snapped.snap_roundtrips;
+                }
+            }
+        }
+        assert!(
+            total >= 1_000,
+            "only {total} instructions executed under snapshot stress"
+        );
+        assert!(roundtrips > 0, "no snapshot point was ever reached");
+    }
+
+    #[test]
+    fn snap_episodes_are_deterministic() {
+        let cfg = GenConfig {
+            len: 64,
+            ..GenConfig::default()
+        };
+        let mut ep = episode_for_seed(CoreKind::Cva6, 11, cfg);
+        ep.snap = true;
+        assert_eq!(run_episode(&ep), run_episode(&ep.clone()));
     }
 
     #[test]

@@ -161,14 +161,17 @@ pub(crate) fn emit_task(ctx: &mut freertos_lite::TaskCtx, task_id: u32, script: 
     }
 }
 
-/// Builds and runs one scenario on the timing simulator, returning the
-/// probed event trace.
+/// Builds one scenario into a ready-to-run [`System`]: kernel generated
+/// and installed, probes on, tracing enabled, external interrupts
+/// scheduled — but not yet run a single cycle. [`trace_scenario`] runs
+/// it to the budget; the time-travel harness instead drives it in
+/// checkpointed slices.
 ///
 /// # Panics
 ///
-/// Panics if the generated kernel fails to build or the event-trace ring
-/// overflows — both harness bugs, not kernel bugs.
-pub fn trace_scenario(spec: &ScenarioSpec) -> rtosunit::EventTrace {
+/// Panics if the generated kernel fails to build — a harness bug, not a
+/// kernel bug.
+pub fn scenario_system(spec: &ScenarioSpec) -> System {
     let mut k = KernelBuilder::new(spec.preset);
     k.tick_period(spec.tick_period).probe(true);
     for (j, initial) in spec.sems.iter().enumerate() {
@@ -191,6 +194,18 @@ pub fn trace_scenario(spec: &ScenarioSpec) -> rtosunit::EventTrace {
     for &cycle in &spec.ext_irqs {
         sys.schedule_external_irq(cycle);
     }
+    sys
+}
+
+/// Builds and runs one scenario on the timing simulator, returning the
+/// probed event trace.
+///
+/// # Panics
+///
+/// Panics if the generated kernel fails to build or the event-trace ring
+/// overflows — both harness bugs, not kernel bugs.
+pub fn trace_scenario(spec: &ScenarioSpec) -> rtosunit::EventTrace {
+    let mut sys = scenario_system(spec);
     sys.run(spec.max_cycles);
 
     let trace = sys.platform.take_trace().expect("tracing was enabled");

@@ -143,15 +143,16 @@ pub fn smp_scenario_for_seed(
     }
 }
 
-/// Builds and runs one SMP scenario in per-cycle lockstep, returning one
-/// probed event trace per hart plus the final shared state (mailbox
-/// counters, bus stats).
+/// Builds one SMP scenario into a ready-to-run [`SmpSystem`]: per-hart
+/// kernels generated and installed, probes on, tracing enabled — but not
+/// yet run a single cycle. [`trace_smp_scenario`] runs it to the budget;
+/// the snapshot battery instead snapshots it mid-flight.
 ///
 /// # Panics
 ///
-/// Panics if the generated kernels fail to build or an event-trace ring
-/// overflows — harness bugs, not kernel bugs.
-pub fn trace_smp_scenario(spec: &SmpScenarioSpec) -> (Vec<EventTrace>, SmpSystem) {
+/// Panics if the generated kernels fail to build — a harness bug, not a
+/// kernel bug.
+pub fn smp_scenario_system(spec: &SmpScenarioSpec) -> SmpSystem {
     let n = spec.harts.len();
     let mut b = SmpKernelBuilder::new(spec.preset, n);
     b.tick_period(spec.tick_period).probe(true);
@@ -173,6 +174,20 @@ pub fn trace_smp_scenario(spec: &SmpScenarioSpec) -> (Vec<EventTrace>, SmpSystem
     for h in 0..n {
         smp.hart_mut(h).enable_tracing(1 << 15);
     }
+    smp
+}
+
+/// Builds and runs one SMP scenario in per-cycle lockstep, returning one
+/// probed event trace per hart plus the final shared state (mailbox
+/// counters, bus stats).
+///
+/// # Panics
+///
+/// Panics if the generated kernels fail to build or an event-trace ring
+/// overflows — harness bugs, not kernel bugs.
+pub fn trace_smp_scenario(spec: &SmpScenarioSpec) -> (Vec<EventTrace>, SmpSystem) {
+    let n = spec.harts.len();
+    let mut smp = smp_scenario_system(spec);
     smp.run(spec.max_cycles);
 
     // Quiesce: the cycle budget can expire mid-drain — between a mailbox

@@ -1,0 +1,194 @@
+//! Time-travel execution: periodic auto-checkpoints plus deterministic
+//! rewind.
+//!
+//! The simulator is fully deterministic and its entire machine state
+//! round-trips through the snapshot codec, so "running backwards" needs
+//! no reverse semantics: [`TimeTravel`] drives a [`System`] forward in
+//! checkpointed slices, and [`rewind`](TimeTravel::rewind) restores the
+//! nearest checkpoint at or before the target cycle and re-executes the
+//! remainder. The rewound system is cycle-for-cycle, counter-for-counter
+//! and trace-for-trace identical to a cold run stopped at the same cycle
+//! — [`travel_selfcheck`] proves exactly that, and the `checkfuzz travel`
+//! verb runs it from the command line.
+
+use crate::scenario::{scenario_for_seed, scenario_system};
+use rtosunit::{Preset, System};
+use rvsim_cores::CoreKind;
+use rvsim_snapshot::Json;
+
+/// A [`System`] under time-travel supervision: every `interval` cycles of
+/// forward progress deposits an automatic checkpoint (a full state
+/// snapshot), and any previously visited cycle can be revisited exactly.
+pub struct TimeTravel {
+    sys: System,
+    interval: u64,
+    /// `(cycle, state)` pairs, strictly increasing in cycle. The first
+    /// entry is taken at construction, so every cycle from there on is
+    /// reachable.
+    checkpoints: Vec<(u64, Json)>,
+}
+
+impl TimeTravel {
+    /// Starts supervising `sys`, checkpointing it immediately and then
+    /// every `interval` cycles of [`run`](Self::run).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `interval` is zero.
+    pub fn new(sys: System, interval: u64) -> TimeTravel {
+        assert!(interval > 0, "checkpoint interval must be positive");
+        let first = (sys.platform.cycle(), sys.state_snap());
+        TimeTravel {
+            sys,
+            interval,
+            checkpoints: vec![first],
+        }
+    }
+
+    /// The supervised system, at its furthest point of forward progress.
+    pub fn system(&self) -> &System {
+        &self.sys
+    }
+
+    /// Cycles at which checkpoints exist, in increasing order.
+    pub fn checkpoint_cycles(&self) -> Vec<u64> {
+        self.checkpoints.iter().map(|(c, _)| *c).collect()
+    }
+
+    /// Runs forward by up to `cycles`, depositing a checkpoint every
+    /// `interval` cycles. Stops early if the guest halts.
+    pub fn run(&mut self, cycles: u64) {
+        let target = self.sys.platform.cycle() + cycles;
+        while self.sys.platform.cycle() < target && !self.sys.halted() {
+            let last = self.checkpoints.last().expect("first checkpoint exists").0;
+            let stop = (last + self.interval).min(target);
+            let budget = stop - self.sys.platform.cycle();
+            self.sys.run(budget);
+            if self.sys.platform.cycle() == last + self.interval {
+                let cp = (self.sys.platform.cycle(), self.sys.state_snap());
+                self.checkpoints.push(cp);
+            }
+        }
+    }
+
+    /// Produces a fresh [`System`] positioned exactly at `target` cycles:
+    /// the nearest checkpoint at or before `target` is restored and the
+    /// gap re-executed deterministically. The supervised system itself is
+    /// untouched, so the result is a fork from the past.
+    pub fn rewind(&self, target: u64) -> Result<System, String> {
+        let (cycle, state) = self
+            .checkpoints
+            .iter()
+            .rev()
+            .find(|(c, _)| *c <= target)
+            .ok_or_else(|| format!("no checkpoint at or before cycle {target}"))?;
+        let mut sys = System::from_state_snap(state).map_err(|e| e.to_string())?;
+        sys.run(target - cycle);
+        Ok(sys)
+    }
+}
+
+/// Summary of a passing [`travel_selfcheck`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TravelReport {
+    /// Checkpoints deposited during the forward run.
+    pub checkpoints: usize,
+    /// Rewind targets verified against cold execution.
+    pub rewinds: usize,
+    /// Cycle the forward run finished at.
+    pub final_cycle: u64,
+}
+
+/// End-to-end time-travel verification on one generated kernel scenario:
+/// runs it forward under checkpoint supervision, then rewinds to a spread
+/// of intermediate cycles and demands each rewound system's full state
+/// snapshot render byte-identically to a cold run stopped at the same
+/// cycle. Any divergence — a cycle, a counter, a trace event — is an
+/// error naming the offending target.
+pub fn travel_selfcheck(
+    core: CoreKind,
+    preset: Preset,
+    seed: u64,
+    total: u64,
+    interval: u64,
+) -> Result<TravelReport, String> {
+    let spec = scenario_for_seed(core, preset, seed);
+    let mut tt = TimeTravel::new(scenario_system(&spec), interval);
+    tt.run(total);
+
+    // Targets straddle checkpoint boundaries: exactly on one, just after
+    // one, mid-slice, and the final cycle.
+    let targets = [
+        interval,
+        interval + 1,
+        interval + interval / 2,
+        total / 2,
+        total,
+    ];
+    let mut rewinds = 0;
+    for &target in &targets {
+        if target > tt.system().platform.cycle() {
+            continue;
+        }
+        let rewound = tt.rewind(target)?;
+        let mut cold = scenario_system(&spec);
+        cold.run(target);
+        if rewound.state_snap().render() != cold.state_snap().render() {
+            return Err(format!(
+                "rewind to cycle {target} diverged from cold execution \
+                 ({core} {preset:?} seed {seed})"
+            ));
+        }
+        rewinds += 1;
+    }
+    if rewinds == 0 {
+        return Err("no rewind target was reachable".into());
+    }
+    Ok(TravelReport {
+        checkpoints: tt.checkpoint_cycles().len(),
+        rewinds,
+        final_cycle: tt.system().platform.cycle(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rewind_matches_cold_execution() {
+        let report = travel_selfcheck(CoreKind::Cva6, Preset::Slt, 42, 60_000, 10_000)
+            .expect("time travel is exact");
+        assert!(report.checkpoints >= 2, "{report:?}");
+        assert!(report.rewinds >= 4, "{report:?}");
+    }
+
+    #[test]
+    fn rewind_before_the_first_checkpoint_is_an_error() {
+        let spec = scenario_for_seed(CoreKind::Cv32e40p, Preset::Vanilla, 7);
+        let mut sys = scenario_system(&spec);
+        sys.run(5_000);
+        let tt = TimeTravel::new(sys, 10_000);
+        assert!(
+            tt.rewind(1_000).is_err(),
+            "the past before supervision is gone"
+        );
+        assert!(
+            tt.rewind(5_000).is_ok(),
+            "the supervision start is reachable"
+        );
+    }
+
+    #[test]
+    fn rewound_forks_are_independent() {
+        let spec = scenario_for_seed(CoreKind::NaxRiscv, Preset::Sdlot, 9);
+        let mut tt = TimeTravel::new(scenario_system(&spec), 8_000);
+        tt.run(40_000);
+        let before = tt.system().state_snap().render();
+        // Rewinding and running a fork forward must not disturb the
+        // supervised system.
+        let mut fork = tt.rewind(12_345).expect("rewind");
+        fork.run(10_000);
+        assert_eq!(tt.system().state_snap().render(), before);
+    }
+}

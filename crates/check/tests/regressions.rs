@@ -47,6 +47,19 @@ fn regression_seeds_stay_clean() {
                     panic!("regression lockstep {core} seed={seed}: {m}");
                 }
             }
+            ["lockstep-snap", core, seed] => {
+                let core = core_from_name(core);
+                let seed: u64 = seed.parse().expect("seed");
+                let cfg = GenConfig {
+                    len: 256,
+                    ..GenConfig::default()
+                };
+                let mut ep = episode_for_seed(core, seed, cfg);
+                ep.snap = true;
+                if let Err(m) = run_episode(&ep) {
+                    panic!("regression lockstep-snap {core} seed={seed}: {m}");
+                }
+            }
             ["oracle", preset, core, seed] => {
                 let preset = preset_from_lower(preset);
                 let core = core_from_name(core);

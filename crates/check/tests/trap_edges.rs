@@ -28,6 +28,7 @@ fn run_directed(core: CoreKind, ops: &[GenOp], irqs: &[IrqEvent]) -> EpisodeStat
         max_cycles: 80_000,
         fault: None,
         blocks: false,
+        snap: false,
     };
     let stats = run_episode(&ep).unwrap_or_else(|m| panic!("{core}: {m}"));
     let blocked = run_episode(&EpisodeSpec {

@@ -263,6 +263,47 @@ impl Preset {
         }
     }
 
+    /// A stable lowercase identifier, e.g. `"slt"` — used by snapshot
+    /// self-description and CLI argument parsing.
+    pub fn tag(self) -> &'static str {
+        match self {
+            Preset::Vanilla => "vanilla",
+            Preset::Cv32rt => "cv32rt",
+            Preset::S => "s",
+            Preset::Sl => "sl",
+            Preset::T => "t",
+            Preset::St => "st",
+            Preset::Slt => "slt",
+            Preset::Sd => "sd",
+            Preset::Sdt => "sdt",
+            Preset::Sdlo => "sdlo",
+            Preset::Sdlot => "sdlot",
+            Preset::Split => "split",
+            Preset::SltHs => "slt_hs",
+        }
+    }
+
+    /// Inverse of [`tag`](Self::tag).
+    pub fn from_tag(tag: &str) -> Option<Preset> {
+        [
+            Preset::Vanilla,
+            Preset::Cv32rt,
+            Preset::S,
+            Preset::Sl,
+            Preset::T,
+            Preset::St,
+            Preset::Slt,
+            Preset::Sd,
+            Preset::Sdt,
+            Preset::Sdlo,
+            Preset::Sdlot,
+            Preset::Split,
+            Preset::SltHs,
+        ]
+        .into_iter()
+        .find(|p| p.tag() == tag)
+    }
+
     /// Whether context storing is hardware-accelerated (register banking).
     pub fn has_store(self) -> bool {
         RtosUnitConfig::from_preset(self).is_some_and(|c| c.store)

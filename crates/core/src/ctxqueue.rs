@@ -7,6 +7,7 @@
 //! queue's depth bounds how many unit accesses may be in flight — the
 //! paper found **eight** entries Pareto-optimal.
 
+use rvsim_snapshot::{self as snap, Json, SnapError};
 use std::collections::VecDeque;
 
 /// Timing model of the ctxQueue. Entries hold only completion times: the
@@ -83,6 +84,44 @@ impl CtxQueue {
     /// `(issued, stalled-because-full)` counters.
     pub fn stats(&self) -> (u64, u64) {
         (self.issued, self.full_stalls)
+    }
+
+    /// Serializes the queue (in-flight completion times and counters)
+    /// for a machine-state snapshot.
+    pub fn to_snap(&self) -> Json {
+        let inflight: Vec<u64> = self.inflight.iter().copied().collect();
+        Json::object()
+            .with("capacity", self.capacity)
+            .with("inflight_len", inflight.len())
+            .with("inflight", snap::longs_to_json(&inflight))
+            .with("issued", self.issued)
+            .with("full_stalls", self.full_stalls)
+    }
+
+    /// Rebuilds the queue from [`to_snap`](Self::to_snap) output.
+    ///
+    /// # Errors
+    ///
+    /// Fails on malformed fields, an out-of-range capacity, or more
+    /// in-flight entries than the capacity allows.
+    pub fn from_snap(value: &Json) -> Result<CtxQueue, SnapError> {
+        let capacity = snap::get_usize(value, "capacity")?;
+        if !(1..32).contains(&capacity) {
+            return Err(SnapError::new("ctxqueue: capacity out of 1..32"));
+        }
+        let len = snap::get_usize(value, "inflight_len")?;
+        if len > capacity {
+            return Err(SnapError::new(format!(
+                "ctxqueue: {len} in flight exceeds capacity {capacity}"
+            )));
+        }
+        let inflight = snap::longs_from_json(snap::field(value, "inflight")?, len)?;
+        Ok(CtxQueue {
+            capacity,
+            inflight: inflight.into_iter().collect(),
+            issued: snap::get_u64(value, "issued")?,
+            full_stalls: snap::get_u64(value, "full_stalls")?,
+        })
     }
 }
 

@@ -55,6 +55,7 @@ pub use events::{EventTrace, PhaseCode, TraceEvent, TraceMark, TraceSink};
 pub use hist::{LatencyHistogram, SloCounter, SwitchMetrics, REPORTED_PERCENTILES};
 pub use platform::{Mmio, Platform};
 pub use rvsim_mem::BusMasterStats;
+pub use rvsim_snapshot as snap;
 pub use scheduler::{HwScheduler, SchedEntry};
 pub use smp::{SmpShared, SmpSystem};
 pub use stats::{LatencyStats, SwitchRecord};

@@ -27,6 +27,7 @@ use crate::system::{RunExit, System};
 use rvsim_cores::CoreKind;
 use rvsim_isa::Program;
 use rvsim_mem::{BusArbiter, BusMasterStats};
+use rvsim_snapshot::{self as snap, Json, SnapError};
 use std::cell::RefCell;
 use std::collections::VecDeque;
 use std::rc::Rc;
@@ -101,6 +102,63 @@ impl SmpShared {
     /// Per-hart shared-bus statistics.
     pub fn bus_stats(&self, hart: usize) -> BusMasterStats {
         self.bus.master_stats(hart)
+    }
+
+    /// Serializes the shared bus and IPI mailboxes for a machine-state
+    /// snapshot.
+    pub fn to_snap(&self) -> Json {
+        let mailboxes: Vec<Json> = self
+            .mailboxes
+            .iter()
+            .map(|mb| {
+                let codes: Vec<u32> = mb.iter().copied().collect();
+                Json::object()
+                    .with("len", codes.len())
+                    .with("codes", snap::words_to_json(&codes))
+            })
+            .collect();
+        Json::object()
+            .with("harts", self.harts())
+            .with("bus", self.bus.to_snap())
+            .with("mailboxes", mailboxes)
+            .with("sends", snap::longs_to_json(&self.sends))
+            .with("recvs", snap::longs_to_json(&self.recvs))
+    }
+
+    /// Rebuilds the shared state from [`to_snap`](Self::to_snap) output.
+    ///
+    /// # Errors
+    ///
+    /// Fails on malformed fields or mailbox/counter counts that disagree
+    /// with the recorded hart count.
+    pub fn from_snap(value: &Json) -> Result<SmpShared, SnapError> {
+        let harts = snap::get_usize(value, "harts")?;
+        if harts == 0 {
+            return Err(SnapError::new("smp: zero harts"));
+        }
+        let boxes = snap::get_array(value, "mailboxes")?;
+        if boxes.len() != harts {
+            return Err(SnapError::new(format!(
+                "smp: {} mailboxes for {harts} harts",
+                boxes.len()
+            )));
+        }
+        let mut mailboxes = Vec::with_capacity(harts);
+        for mb in boxes {
+            let len = snap::get_usize(mb, "len")?;
+            let codes = snap::words_from_json(snap::field(mb, "codes")?, len)?;
+            mailboxes.push(codes.into_iter().collect());
+        }
+        let bus = BusArbiter::from_snap(snap::field(value, "bus")?)?;
+        if bus.masters() != harts {
+            return Err(SnapError::new("smp: bus master count disagrees"));
+        }
+        Ok(SmpShared {
+            bus,
+            mailboxes,
+            sends: snap::longs_from_json(snap::field(value, "sends")?, harts)?,
+            recvs: snap::longs_from_json(snap::field(value, "recvs")?, harts)?,
+        })
     }
 }
 
@@ -186,6 +244,56 @@ impl SmpSystem {
                 sys.step();
             }
         }
+    }
+
+    /// Serializes the whole composition — every hart plus the shared
+    /// bus/mailbox state — into a sealed snapshot document.
+    pub fn snapshot(&self) -> Json {
+        let systems: Vec<Json> = self.harts.iter().map(System::state_snap).collect();
+        snap::seal(
+            Json::object()
+                .with("harts", self.harts.len())
+                .with("shared", self.shared.borrow().to_snap())
+                .with("systems", systems),
+        )
+    }
+
+    /// Rebuilds a composition from a sealed snapshot document. Wiring
+    /// (the per-hart `Rc` links to the shared state) is re-established by
+    /// construction; only state is read from the snapshot.
+    ///
+    /// # Errors
+    ///
+    /// Fails on a broken envelope, hart-count disagreements, or any
+    /// malformed per-hart state.
+    pub fn from_snapshot(doc: &Json) -> Result<SmpSystem, SnapError> {
+        let state = snap::open(&doc.render())?;
+        let n = snap::get_usize(&state, "harts")?;
+        let systems = snap::get_array(&state, "systems")?;
+        if n == 0 || systems.len() != n {
+            return Err(SnapError::new(format!(
+                "smp: {} hart states for {n} harts",
+                systems.len()
+            )));
+        }
+        let shared = SmpShared::from_snap(snap::field(&state, "shared")?)?;
+        if shared.harts() != n {
+            return Err(SnapError::new("smp: shared state hart count disagrees"));
+        }
+        // Hart 0's payload self-describes kind and preset; `restore_snap`
+        // re-validates them per hart, so a mixed snapshot is rejected.
+        let kind_name = snap::get_str(&systems[0], "kind")?;
+        let kind = CoreKind::from_name(kind_name)
+            .ok_or_else(|| SnapError::new(format!("smp: unknown core kind `{kind_name}`")))?;
+        let preset_tag = snap::get_str(&systems[0], "preset")?;
+        let preset = Preset::from_tag(preset_tag)
+            .ok_or_else(|| SnapError::new(format!("smp: unknown preset `{preset_tag}`")))?;
+        let mut smp = SmpSystem::new(kind, preset, n);
+        for (hart, sys_state) in systems.iter().enumerate() {
+            smp.harts[hart].restore_snap(sys_state)?;
+        }
+        *smp.shared.borrow_mut() = shared;
+        Ok(smp)
     }
 
     /// Runs in lockstep until hart 0 halts or `max_cycles` elapse.
@@ -348,6 +456,67 @@ mod tests {
         assert!(
             contended > alone,
             "4-hart run ({contended}) not slower than solo ({alone})"
+        );
+    }
+
+    #[test]
+    fn smp_snapshot_roundtrip_preserves_lockstep() {
+        // Snapshot a 2-hart system mid-flight — between hart 1's IPI send
+        // and hart 0's delivery, so a queued mailbox entry and live bus
+        // state cross the snapshot — and check the restored composition
+        // finishes identically to the uninterrupted one.
+        let build = || {
+            let mut smp = SmpSystem::new(CoreKind::Cv32e40p, Preset::Vanilla, 2);
+            let mut rx = Asm::new(IMEM_BASE);
+            rx.la(Reg::T0, "isr");
+            rx.csrw(csr::MTVEC, Reg::T0);
+            rx.li(Reg::T0, csr::MIP_MSIP as i32);
+            rx.csrw(csr::MIE, Reg::T0);
+            rx.enable_interrupts();
+            rx.label("spin");
+            rx.li(Reg::T0, DMEM_BASE as i32);
+            rx.lw(Reg::T1, 0, Reg::T0);
+            rx.beq(Reg::T1, Reg::Zero, "spin");
+            rx.li(Reg::T0, MMIO_HALT as i32);
+            rx.sw(Reg::Zero, 0, Reg::T0);
+            rx.j("spin");
+            rx.label("isr");
+            rx.li(Reg::T0, MMIO_IPI_RECV as i32);
+            rx.lw(Reg::A0, 0, Reg::T0);
+            rx.li(Reg::T0, DMEM_BASE as i32);
+            rx.sw(Reg::A0, 0, Reg::T0);
+            rx.mret();
+            smp.load_program(0, &rx.finish().expect("assemble rx"));
+            let mut tx = Asm::new(IMEM_BASE);
+            // Busy-wait, then send code 9 to hart 0 and halt.
+            tx.li(Reg::A1, 20);
+            tx.label("wait");
+            tx.addi(Reg::A1, Reg::A1, -1);
+            tx.bne(Reg::A1, Reg::Zero, "wait");
+            tx.li(Reg::T0, MMIO_IPI_SEND as i32);
+            tx.li(Reg::T1, 9);
+            tx.sw(Reg::T1, 0, Reg::T0);
+            tx.li(Reg::T0, MMIO_HALT as i32);
+            tx.sw(Reg::Zero, 0, Reg::T0);
+            tx.label("spin");
+            tx.j("spin");
+            smp.load_program(1, &tx.finish().expect("assemble tx"));
+            smp
+        };
+
+        let mut a = build();
+        for _ in 0..45 {
+            a.step();
+        }
+        let doc = a.snapshot();
+        assert_eq!(doc.render(), a.snapshot().render(), "digest-stable");
+        let mut b = SmpSystem::from_snapshot(&doc).expect("restore");
+        assert_eq!(a.run(5_000), b.run(5_000));
+        assert_eq!(a.hart(0).platform.dmem.read_word(DMEM_BASE), 9);
+        assert_eq!(
+            a.snapshot().render(),
+            b.snapshot().render(),
+            "continuations must stay bit-identical"
         );
     }
 

@@ -13,6 +13,7 @@ use rvsim_cores::{
     FaultPlan, NullCoprocessor,
 };
 use rvsim_isa::{csr, Program};
+use rvsim_snapshot::{self as snap, Json, SnapError};
 
 /// Default timer-tick period in cycles.
 pub const DEFAULT_TICK_PERIOD: u32 = 2000;
@@ -516,6 +517,211 @@ impl System {
         }
     }
 
+    /// Serializes the complete system — core, platform, attached unit,
+    /// interrupt bookkeeping, episode records and fault-plan cursor —
+    /// into a sealed, self-describing snapshot document.
+    ///
+    /// The contract: a system rebuilt with
+    /// [`from_snapshot`](Self::from_snapshot) continues cycle-for-cycle,
+    /// counter-for-counter and trace-for-trace identically to one that
+    /// never stopped.
+    pub fn snapshot(&self) -> Json {
+        snap::seal(self.state_snap())
+    }
+
+    /// The unsealed state payload of [`snapshot`](Self::snapshot).
+    pub fn state_snap(&self) -> Json {
+        let records: Vec<Json> = self
+            .records
+            .iter()
+            .map(|r| {
+                Json::object()
+                    .with("trigger", r.trigger_cycle)
+                    .with("entry", r.entry_cycle)
+                    .with("mret", r.mret_cycle)
+                    .with("cause", r.cause)
+            })
+            .collect();
+        let triggers: Vec<Json> = self
+            .pending_triggers
+            .iter()
+            .map(|t| match t {
+                None => Json::Int(-1),
+                Some(c) => Json::UInt(*c),
+            })
+            .collect();
+        let open = match self.open_episode {
+            None => Json::Null,
+            Some((trigger, entry, cause)) => Json::object()
+                .with("trigger", trigger)
+                .with("entry", entry)
+                .with("cause", cause),
+        };
+        let unit = match &self.unit {
+            UnitBox::None(_) => Json::object().with("model", "none"),
+            UnitBox::Rtos(u) => Json::object()
+                .with("model", "rtos")
+                .with("state", u.to_snap()),
+            UnitBox::Cv32rt(u) => Json::object()
+                .with("model", "cv32rt")
+                .with("state", u.to_snap()),
+        };
+        Json::object()
+            .with("kind", self.kind.name())
+            .with("preset", self.preset.tag())
+            .with("core", self.core.to_snap())
+            .with("platform", self.platform.to_snap())
+            .with("unit", unit)
+            .with("records", records)
+            .with("prev_mask", self.prev_mask)
+            .with("pending_triggers", triggers)
+            .with("open_episode", open)
+            .with("ext_len", self.ext_schedule.len())
+            .with("ext_schedule", snap::longs_to_json(&self.ext_schedule))
+            .with(
+                "fault_plan",
+                self.fault_plan.as_ref().map_or(Json::Null, |p| p.to_snap()),
+            )
+    }
+
+    /// Rebuilds a system from a sealed snapshot document (the output of
+    /// [`snapshot`](Self::snapshot), parsed). The document is fully
+    /// self-describing: core kind and preset are read from the payload.
+    ///
+    /// # Errors
+    ///
+    /// Fails on a broken envelope, unknown kind/preset tags, or any
+    /// malformed state field.
+    pub fn from_snapshot(doc: &Json) -> Result<System, SnapError> {
+        let state = snap::open(&doc.render())?;
+        Self::from_state_snap(&state)
+    }
+
+    /// Rebuilds a system from an **unsealed** state payload.
+    ///
+    /// # Errors
+    ///
+    /// Fails on unknown kind/preset tags or malformed state fields.
+    pub fn from_state_snap(state: &Json) -> Result<System, SnapError> {
+        let kind_name = snap::get_str(state, "kind")?;
+        let kind = CoreKind::from_name(kind_name)
+            .ok_or_else(|| SnapError::new(format!("system: unknown core kind `{kind_name}`")))?;
+        let preset_tag = snap::get_str(state, "preset")?;
+        let preset = Preset::from_tag(preset_tag)
+            .ok_or_else(|| SnapError::new(format!("system: unknown preset `{preset_tag}`")))?;
+        let mut sys = System::new(kind, preset);
+        sys.restore_snap(state)?;
+        Ok(sys)
+    }
+
+    /// Restores this system in place from a state payload. The snapshot
+    /// must describe the same core kind and preset this system was built
+    /// for. The SMP attachment (if any) is left untouched — per-hart
+    /// shared-bus state is restored by the composition.
+    ///
+    /// # Errors
+    ///
+    /// Fails on kind/preset mismatch or malformed state; the system is
+    /// left unchanged on error.
+    pub fn restore_snap(&mut self, state: &Json) -> Result<(), SnapError> {
+        let kind_name = snap::get_str(state, "kind")?;
+        if kind_name != self.kind.name() {
+            return Err(SnapError::new(format!(
+                "system: snapshot is for core `{kind_name}`, this system is `{}`",
+                self.kind.name()
+            )));
+        }
+        let preset_tag = snap::get_str(state, "preset")?;
+        if preset_tag != self.preset.tag() {
+            return Err(SnapError::new(format!(
+                "system: snapshot is for preset `{preset_tag}`, this system is `{}`",
+                self.preset.tag()
+            )));
+        }
+
+        let unit_doc = snap::field(state, "unit")?;
+        let unit = match snap::get_str(unit_doc, "model")? {
+            "none" => UnitBox::None(NullCoprocessor),
+            "rtos" => UnitBox::Rtos(RtosUnit::from_snap(snap::field(unit_doc, "state")?)?),
+            "cv32rt" => UnitBox::Cv32rt(Cv32rtUnit::from_snap(snap::field(unit_doc, "state")?)?),
+            m => return Err(SnapError::new(format!("system: unknown unit model `{m}`"))),
+        };
+        match (&unit, self.preset) {
+            (UnitBox::None(_), Preset::Vanilla) | (UnitBox::Cv32rt(_), Preset::Cv32rt) => {}
+            (UnitBox::Rtos(_), p) if RtosUnitConfig::from_preset(p).is_some() => {}
+            _ => {
+                return Err(SnapError::new(
+                    "system: unit model disagrees with the preset",
+                ))
+            }
+        }
+
+        let mut records = Vec::new();
+        for r in snap::get_array(state, "records")? {
+            records.push(SwitchRecord {
+                trigger_cycle: snap::get_u64(r, "trigger")?,
+                entry_cycle: snap::get_u64(r, "entry")?,
+                mret_cycle: snap::get_u64(r, "mret")?,
+                cause: snap::get_u32(r, "cause")?,
+            });
+        }
+        let triggers_doc = snap::get_array(state, "pending_triggers")?;
+        if triggers_doc.len() != 3 {
+            return Err(SnapError::new("system: pending_triggers must have 3 slots"));
+        }
+        let mut pending_triggers = [None; 3];
+        for (slot, t) in pending_triggers.iter_mut().zip(triggers_doc) {
+            *slot = match t {
+                Json::Int(-1) => None,
+                v => Some(
+                    v.as_u64()
+                        .ok_or_else(|| SnapError::new("system: malformed pending-trigger entry"))?,
+                ),
+            };
+        }
+        let open_episode = match snap::field(state, "open_episode")? {
+            Json::Null => None,
+            v => Some((
+                snap::get_u64(v, "trigger")?,
+                snap::get_u64(v, "entry")?,
+                snap::get_u32(v, "cause")?,
+            )),
+        };
+        let ext_len = snap::get_usize(state, "ext_len")?;
+        let ext_schedule = snap::longs_from_json(snap::field(state, "ext_schedule")?, ext_len)?;
+        let fault_plan = match snap::field(state, "fault_plan")? {
+            Json::Null => None,
+            v => Some(FaultPlan::from_snap(v)?),
+        };
+        let prev_mask = snap::get_u32(state, "prev_mask")?;
+
+        // Stage the two restore-in-place components on scratch copies so
+        // a failure below this point cannot leave `self` half-written.
+        let mut core = make_engine(self.kind, IMEM_BASE, IMEM_SIZE);
+        core.restore_snap(snap::field(state, "core")?)?;
+        let mut platform = Platform::new(self.kind, DEFAULT_TICK_PERIOD);
+        platform.restore_snap(snap::field(state, "platform")?)?;
+
+        // Commit. The platform's SMP attachment survives by restoring the
+        // staged platform's state *into* the live one field-by-field —
+        // `Platform::restore_snap` already does exactly that, so run it
+        // against `self.platform` now that it is known to succeed.
+        self.platform
+            .restore_snap(snap::field(state, "platform")?)
+            .expect("platform restore succeeded on the staged copy");
+        self.core = core;
+        self.unit = unit;
+        self.records = records;
+        self.prev_mask = prev_mask;
+        self.pending_triggers = pending_triggers;
+        self.open_episode = open_episode;
+        self.ext_schedule = ext_schedule;
+        self.fault_plan = fault_plan;
+        // mhartid is wiring, not snapshot state: keep the live value.
+        self.core.state.csrs.mhartid = self.platform.hart_id() as u32;
+        Ok(())
+    }
+
     /// Cycle-by-cycle reference path: semantically identical to
     /// [`run`](Self::run) but calls [`step`](Self::step) once per cycle.
     /// Kept for differential testing and throughput comparisons.
@@ -634,6 +840,90 @@ mod tests {
         assert_eq!(sys.run(5000), RunExit::Halted);
         // The trigger cycle must match the scheduled assertion.
         assert!(sys.platform.cycle() >= 300);
+    }
+
+    fn isr_program_with_stack() -> Program {
+        // `simple_isr_program` plus a stack pointer inside DMEM, so the
+        // CV32RT hardware drain has a valid frame to write into.
+        let mut a = Asm::new(IMEM_BASE);
+        a.li(
+            Reg::Sp,
+            (crate::layout::DMEM_BASE + crate::layout::DMEM_SIZE / 2) as i32,
+        );
+        a.la(Reg::T0, "isr");
+        a.csrw(csr::MTVEC, Reg::T0);
+        a.li(Reg::T0, csr::MIP_MTIP as i32);
+        a.csrw(csr::MIE, Reg::T0);
+        a.enable_interrupts();
+        a.label("spin");
+        a.li(Reg::T1, 3);
+        a.bge(Reg::A0, Reg::T1, "done");
+        a.j("spin");
+        a.label("done");
+        a.li(Reg::T2, MMIO_HALT as i32);
+        a.sw(Reg::Zero, 0, Reg::T2);
+        a.j("done");
+        a.label("isr");
+        a.li(Reg::T0, crate::layout::MMIO_MTIME as i32);
+        a.lw(Reg::T1, 0, Reg::T0);
+        a.addi(Reg::T1, Reg::T1, 1000);
+        a.li(Reg::T0, MMIO_MTIMECMP as i32);
+        a.sw(Reg::T1, 0, Reg::T0);
+        a.addi(Reg::A0, Reg::A0, 1);
+        a.mret();
+        a.finish().expect("assemble")
+    }
+
+    #[test]
+    fn snapshot_roundtrip_mid_isr_workload() {
+        for preset in [Preset::Vanilla, Preset::Slt, Preset::Cv32rt] {
+            // Cv32rt has no software restore in this tiny ISR; it still
+            // exercises the snapshot of a drained unit.
+            let build = || {
+                let mut s = System::new(CoreKind::Cva6, preset);
+                s.set_timer_period(500);
+                s.enable_tracing(64);
+                s.load_program(&isr_program_with_stack());
+                s.schedule_external_irq(100_000); // stays pending state
+                s
+            };
+            let mut a = build();
+            a.run(1_200); // past the first ISR entry
+            let doc = a.snapshot();
+            assert_eq!(
+                doc.render(),
+                a.snapshot().render(),
+                "snapshot must be digest-stable ({preset:?})"
+            );
+            let mut b = System::from_snapshot(&doc).expect("restore");
+            assert_eq!(a.run(50_000), b.run(50_000), "{preset:?}");
+            assert_eq!(a.platform.cycle(), b.platform.cycle(), "{preset:?}");
+            assert_eq!(a.records(), b.records(), "{preset:?}");
+            assert_eq!(
+                a.state_snap().render(),
+                b.state_snap().render(),
+                "continuations must stay bit-identical ({preset:?})"
+            );
+        }
+    }
+
+    #[test]
+    fn snapshot_restore_rejects_wrong_identity() {
+        let mut sys = System::new(CoreKind::Cv32e40p, Preset::Vanilla);
+        sys.load_program(&simple_isr_program());
+        sys.run(200);
+        let state = sys.state_snap();
+        let mut other = System::new(CoreKind::Cva6, Preset::Vanilla);
+        assert!(other.restore_snap(&state).is_err(), "core kind mismatch");
+        let mut other = System::new(CoreKind::Cv32e40p, Preset::Slt);
+        assert!(other.restore_snap(&state).is_err(), "preset mismatch");
+        assert_eq!(other.platform.cycle(), 0, "failed restore left it alone");
+
+        // A corrupted sealed document must fail the digest check.
+        let doc = sys.snapshot();
+        let text = doc.render().replace("\"prev_mask\": 0", "\"prev_mask\": 1");
+        assert_ne!(text, doc.render(), "tamper target present");
+        assert!(rvsim_snapshot::open(&text).is_err(), "tamper detected");
     }
 
     #[test]

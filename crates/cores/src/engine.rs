@@ -16,6 +16,7 @@ use crate::state::ArchState;
 use crate::timing::TimingParams;
 use rvsim_isa::{decode, disassemble, Instr, Program};
 use rvsim_mem::{AccessSize, Mem};
+use rvsim_snapshot::{self as snap, Json, SnapError};
 
 /// Response of the data bus to a core access.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -1091,6 +1092,189 @@ impl CoreEngine {
     pub fn disassemble_at(&mut self, pc: u32) -> Option<String> {
         self.peek(pc).map(|i| disassemble(&i, pc))
     }
+
+    /// Serializes the complete engine state for a machine-state
+    /// snapshot: architectural state, instruction memory, pipeline
+    /// timing state (`busy`/`completing`/`wfi`), cycle and retire
+    /// counts, the branch predictor, the retire-trace ring, activity
+    /// counters, and the optional profiler and block cache.
+    ///
+    /// The per-word decode cache and the block translations are
+    /// recorded as *layout* (which slots are filled), not contents:
+    /// both are deterministic functions of the instruction memory, and
+    /// [`restore_snap`](Self::restore_snap) rebuilds them bit-exactly
+    /// through non-counting paths.
+    pub fn to_snap(&self) -> Json {
+        let mut bitmap = vec![0u32; self.decoded.len().div_ceil(32)];
+        for (i, d) in self.decoded.iter().enumerate() {
+            if d.is_some() {
+                bitmap[i / 32] |= 1 << (i % 32);
+            }
+        }
+        let predictor: Vec<u32> = self.predictor.iter().map(|&v| u32::from(v)).collect();
+        let cycles: Vec<u64> = self.trace.buf.iter().map(|&(c, _)| c).collect();
+        let pcs: Vec<u32> = self.trace.buf.iter().map(|&(_, p)| p).collect();
+        let trace = Json::object()
+            .with("depth", self.trace.buf.len())
+            .with("head", self.trace.head)
+            .with("len", self.trace.len)
+            .with("cycles", snap::longs_to_json(&cycles))
+            .with("pcs", snap::words_to_json(&pcs));
+        Json::object()
+            .with("core", self.params.name)
+            .with("state", self.state.to_snap())
+            .with("imem", self.imem.to_snap())
+            .with("decoded", snap::words_to_json(&bitmap))
+            .with("busy", self.busy)
+            .with(
+                "completing",
+                match self.completing {
+                    Completing::Plain => "plain",
+                    Completing::Mret => "mret",
+                },
+            )
+            .with("wfi_wait", self.wfi_wait)
+            .with("wfi_pc", self.wfi_pc)
+            .with("halted", self.halted)
+            .with("cycle", self.cycle)
+            .with("retired", self.retired)
+            .with("predictor", snap::words_to_json(&predictor))
+            .with("trace", trace)
+            .with("counters", self.counters.to_snap())
+            .with(
+                "profile",
+                self.profiler.as_ref().map_or(Json::Null, |p| p.to_snap()),
+            )
+            .with(
+                "blocks",
+                self.blocks.as_ref().map_or(Json::Null, |c| c.to_snap()),
+            )
+    }
+
+    /// Restores the engine from [`to_snap`](Self::to_snap) output, in
+    /// place. The engine must have been constructed for the same core
+    /// model and instruction-memory geometry; everything else —
+    /// including whether the profiler or block cache is attached — is
+    /// taken from the snapshot.
+    ///
+    /// Decode entries and block translations are rebuilt from the
+    /// restored instruction memory through non-counting paths, and the
+    /// activity counters are overwritten last, so a restored engine is
+    /// cycle-for-cycle and counter-for-counter identical to one that
+    /// never stopped. Every field is parsed before any is committed: on
+    /// error the engine is unchanged.
+    ///
+    /// # Errors
+    ///
+    /// Fails on malformed fields, a core-model or IMEM-geometry
+    /// mismatch, or a cached layout that no longer rebuilds from the
+    /// snapshotted instruction memory.
+    pub fn restore_snap(&mut self, value: &Json) -> Result<(), SnapError> {
+        let name = snap::get_str(value, "core")?;
+        if name != self.params.name {
+            return Err(SnapError::new(format!(
+                "engine: snapshot of core `{name}` cannot restore a `{}` engine",
+                self.params.name
+            )));
+        }
+        let imem = Mem::from_snap(snap::field(value, "imem")?)?;
+        if imem.base() != self.imem.base() || imem.end() != self.imem.end() {
+            return Err(SnapError::new(format!(
+                "engine: imem geometry {:#010x}..{:#010x} does not match snapshot {:#010x}..{:#010x}",
+                self.imem.base(),
+                self.imem.end(),
+                imem.base(),
+                imem.end()
+            )));
+        }
+        let state = ArchState::from_snap(snap::field(value, "state")?)?;
+        let bitmap = snap::words_from_json(
+            snap::field(value, "decoded")?,
+            self.decoded.len().div_ceil(32),
+        )?;
+        let mut decoded: Vec<Option<Instr>> = vec![None; self.decoded.len()];
+        for (idx, slot) in decoded.iter_mut().enumerate() {
+            if bitmap[idx / 32] & (1 << (idx % 32)) != 0 {
+                let addr = imem.base() + 4 * idx as u32;
+                let instr = decode(imem.read_word(addr)).map_err(|e| {
+                    SnapError::new(format!("engine: decode slot {idx} ({addr:#010x}): {e}"))
+                })?;
+                *slot = Some(instr);
+            }
+        }
+        let busy = snap::get_u32(value, "busy")?;
+        let completing = match snap::get_str(value, "completing")? {
+            "plain" => Completing::Plain,
+            "mret" => Completing::Mret,
+            other => {
+                return Err(SnapError::new(format!(
+                    "engine: unknown completing state `{other}`"
+                )))
+            }
+        };
+        let wfi_wait = snap::get_bool(value, "wfi_wait")?;
+        let wfi_pc = snap::get_u32(value, "wfi_pc")?;
+        let halted = snap::get_bool(value, "halted")?;
+        let cycle = snap::get_u64(value, "cycle")?;
+        let retired = snap::get_u64(value, "retired")?;
+        let predictor_words =
+            snap::words_from_json(snap::field(value, "predictor")?, self.predictor.len())?;
+        let mut predictor = Vec::with_capacity(predictor_words.len());
+        for w in predictor_words {
+            if w > 3 {
+                return Err(SnapError::new(format!(
+                    "engine: predictor counter {w} out of range"
+                )));
+            }
+            predictor.push(w as u8);
+        }
+        let trace_v = snap::field(value, "trace")?;
+        let depth = snap::get_usize(trace_v, "depth")?;
+        let head = snap::get_usize(trace_v, "head")?;
+        let len = snap::get_usize(trace_v, "len")?;
+        if depth == 0 || head >= depth || len > depth {
+            return Err(SnapError::new(format!(
+                "engine: retire ring head {head}/len {len} out of range for depth {depth}"
+            )));
+        }
+        let cycles = snap::longs_from_json(snap::field(trace_v, "cycles")?, depth)?;
+        let pcs = snap::words_from_json(snap::field(trace_v, "pcs")?, depth)?;
+        let trace = RetireRing {
+            buf: cycles
+                .iter()
+                .zip(&pcs)
+                .map(|(&c, &p)| (c, p))
+                .collect::<Vec<_>>()
+                .into_boxed_slice(),
+            head,
+            len,
+        };
+        let profiler = match snap::field(value, "profile")? {
+            Json::Null => None,
+            v => Some(Box::new(PcProfile::from_snap(v)?)),
+        };
+        let blocks = match snap::field(value, "blocks")? {
+            Json::Null => None,
+            v => Some(Box::new(BlockCache::from_snap(v, &self.params, &imem)?)),
+        };
+        let counters = CoreCounters::from_snap(snap::field(value, "counters")?)?;
+        self.state = state;
+        self.imem = imem;
+        self.decoded = decoded;
+        self.busy = busy;
+        self.completing = completing;
+        self.wfi_wait = wfi_wait;
+        self.wfi_pc = wfi_pc;
+        self.halted = halted;
+        self.cycle = cycle;
+        self.retired = retired;
+        self.predictor = predictor;
+        self.trace = trace;
+        self.profiler = profiler;
+        self.blocks = blocks;
+        self.counters = counters;
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -1514,6 +1698,111 @@ mod tests {
                 params.name
             );
         }
+    }
+
+    /// Mid-run snapshot/restore is invisible: a restored engine finishes
+    /// the torture program cycle-for-cycle, counter-for-counter and
+    /// trace-for-trace identical to one that never stopped — per core
+    /// model, with and without the block cache, profiler attached.
+    #[test]
+    fn snapshot_roundtrip_is_invisible_mid_run() {
+        for params in [TimingParams::cv32e40p(), TimingParams::naxriscv()] {
+            for blocks in [false, true] {
+                let p = block_torture_program();
+                let mut a = CoreEngine::new(params, 0, 0x1_0000);
+                a.load_program(&p);
+                a.set_profiling(true);
+                a.set_block_cache(blocks);
+                let mut a_bus = SramBus {
+                    mem: Mem::new(0x2000_0000, 0x100),
+                };
+                let mut co = NullCoprocessor;
+                // Part-way through the run: mid-loop, caches warm.
+                while a.cycle() < 700 && !a.halted() {
+                    a.run_until(&mut a_bus, &mut co, stop_events::ALL, 700 - a.cycle());
+                }
+                let doc = a.to_snap();
+                let bus_doc = a_bus.mem.to_snap();
+                // Snapshotting twice yields byte-identical documents.
+                assert_eq!(
+                    doc.render(),
+                    a.to_snap().render(),
+                    "{}: unstable",
+                    params.name
+                );
+
+                let mut b = CoreEngine::new(params, 0, 0x1_0000);
+                b.restore_snap(&doc).expect("restore");
+                let mut b_bus = SramBus {
+                    mem: Mem::from_snap(&bus_doc).expect("bus restore"),
+                };
+                assert_eq!(b.cycle(), a.cycle());
+                assert_eq!(b.block_cache_enabled(), blocks);
+
+                let mut finish = |e: &mut CoreEngine, bus: &mut SramBus| {
+                    while !e.halted() {
+                        let exit = e.run_until(bus, &mut co, stop_events::ALL, 1_000);
+                        if exit.cycles == 0 && exit.reason == StopReason::Budget {
+                            break;
+                        }
+                    }
+                };
+                finish(&mut a, &mut a_bus);
+                finish(&mut b, &mut b_bus);
+                assert!(a.halted() && b.halted(), "{}: did not halt", params.name);
+                assert_eq!(b.cycle(), a.cycle(), "{}: cycles", params.name);
+                assert_eq!(b.retired(), a.retired(), "{}: retired", params.name);
+                assert_eq!(b.state.pc, a.state.pc, "{}: pc", params.name);
+                for n in 0..32 {
+                    let r = Reg::from_number(n);
+                    assert_eq!(
+                        b.state.read_reg(r),
+                        a.state.read_reg(r),
+                        "{}: x{n}",
+                        params.name
+                    );
+                }
+                assert_eq!(b.state.csrs, a.state.csrs, "{}: csrs", params.name);
+                assert_eq!(b.counters(), a.counters(), "{}: counters", params.name);
+                let at: Vec<_> = a.recent_pcs().collect();
+                let bt: Vec<_> = b.recent_pcs().collect();
+                assert_eq!(bt, at, "{}: trace", params.name);
+                assert_eq!(
+                    b.take_profile().unwrap(),
+                    a.take_profile().unwrap(),
+                    "{}: profile",
+                    params.name
+                );
+                // The final engine states serialize identically too.
+                assert_eq!(a.to_snap().render(), b.to_snap().render());
+                assert_eq!(a_bus.mem.to_snap().render(), b_bus.mem.to_snap().render());
+            }
+        }
+    }
+
+    /// A restore with the wrong core model or mangled fields must fail
+    /// without touching the engine.
+    #[test]
+    fn snapshot_restore_rejects_mismatches() {
+        let p = block_torture_program();
+        let mut e = CoreEngine::new(TimingParams::cv32e40p(), 0, 0x1_0000);
+        e.load_program(&p);
+        let doc = e.to_snap();
+        let mut other = CoreEngine::new(TimingParams::naxriscv(), 0, 0x1_0000);
+        assert!(other.restore_snap(&doc).is_err(), "wrong core accepted");
+        let mut small = CoreEngine::new(TimingParams::cv32e40p(), 0, 0x8000);
+        assert!(small.restore_snap(&doc).is_err(), "wrong imem accepted");
+        let mut mangled = doc.clone();
+        if let Json::Object(pairs) = &mut mangled {
+            for (k, v) in pairs.iter_mut() {
+                if k == "completing" {
+                    *v = Json::from("warp");
+                }
+            }
+        }
+        assert!(e.restore_snap(&mangled).is_err(), "bad field accepted");
+        // The failed restores left the engine usable.
+        assert_eq!(e.cycle(), 0);
     }
 
     #[test]

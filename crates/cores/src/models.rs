@@ -62,6 +62,12 @@ impl CoreKind {
     pub fn name(self) -> &'static str {
         self.timing().name
     }
+
+    /// Inverse of [`name`](Self::name): resolves a display name back to
+    /// the core kind (used by snapshot self-description).
+    pub fn from_name(name: &str) -> Option<CoreKind> {
+        CoreKind::ALL.into_iter().find(|k| k.name() == name)
+    }
 }
 
 impl fmt::Display for CoreKind {

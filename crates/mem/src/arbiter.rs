@@ -5,6 +5,8 @@
 //! dead/idle cycles. The [`Arbiter`] keeps the bookkeeping honest and
 //! gathers occupancy statistics used by the ablation benches.
 
+use rvsim_snapshot::{self as snap, Json, SnapError};
+
 /// Who may use the shared data port in a given cycle.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum PortClient {
@@ -114,6 +116,43 @@ impl Arbiter {
         }
         1.0 - (self.core_cycles + self.unit_cycles) as f64 / self.cycles as f64
     }
+
+    /// Serializes occupancy counters and the (normally `None` between
+    /// cycles) open grant for a machine-state snapshot.
+    pub fn to_snap(&self) -> Json {
+        Json::object()
+            .with(
+                "grant",
+                match self.grant {
+                    None => "none",
+                    Some(PortClient::Core) => "core",
+                    Some(PortClient::Unit) => "unit",
+                },
+            )
+            .with("cycles", self.cycles)
+            .with("core_cycles", self.core_cycles)
+            .with("unit_cycles", self.unit_cycles)
+    }
+
+    /// Rebuilds an arbiter from [`to_snap`](Self::to_snap) output.
+    ///
+    /// # Errors
+    ///
+    /// Fails on missing fields or an unknown grant holder.
+    pub fn from_snap(value: &Json) -> Result<Arbiter, SnapError> {
+        let grant = match snap::get_str(value, "grant")? {
+            "none" => None,
+            "core" => Some(PortClient::Core),
+            "unit" => Some(PortClient::Unit),
+            other => return Err(SnapError::new(format!("arbiter: unknown grant `{other}`"))),
+        };
+        Ok(Arbiter {
+            grant,
+            cycles: snap::get_u64(value, "cycles")?,
+            core_cycles: snap::get_u64(value, "core_cycles")?,
+            unit_cycles: snap::get_u64(value, "unit_cycles")?,
+        })
+    }
 }
 
 /// Per-master statistics of a [`BusArbiter`].
@@ -199,6 +238,72 @@ impl BusArbiter {
     /// Statistics for all masters, in hart order.
     pub fn all_stats(&self) -> &[BusMasterStats] {
         &self.stats
+    }
+
+    /// Serializes the bus-timing state and per-master statistics for a
+    /// machine-state snapshot.
+    pub fn to_snap(&self) -> Json {
+        let mut stats = Vec::with_capacity(self.stats.len() * 3);
+        for s in &self.stats {
+            stats.push(Json::UInt(s.grants));
+            stats.push(Json::UInt(s.wait_cycles));
+            stats.push(Json::UInt(s.max_wait));
+        }
+        Json::object()
+            .with("free_at", self.free_at)
+            .with(
+                "owner",
+                match self.owner {
+                    // Owner is a master index; -1 marks "unparked".
+                    None => Json::Int(-1),
+                    Some(m) => Json::UInt(m as u64),
+                },
+            )
+            .with("masters", self.stats.len())
+            .with("stats", Json::Array(stats))
+    }
+
+    /// Rebuilds a bus arbiter from [`to_snap`](Self::to_snap) output.
+    ///
+    /// # Errors
+    ///
+    /// Fails on missing fields or a stats-array length mismatch.
+    pub fn from_snap(value: &Json) -> Result<BusArbiter, SnapError> {
+        let masters = snap::get_usize(value, "masters")?;
+        let owner = match snap::field(value, "owner")? {
+            Json::Int(-1) => None,
+            j => Some(
+                j.as_u64()
+                    .and_then(|m| usize::try_from(m).ok())
+                    .filter(|&m| m < masters)
+                    .ok_or_else(|| SnapError::new("bus: owner out of range"))?,
+            ),
+        };
+        let flat = snap::get_array(value, "stats")?;
+        if flat.len() != masters * 3 {
+            return Err(SnapError::new(format!(
+                "bus: {} stat fields, expected {}",
+                flat.len(),
+                masters * 3
+            )));
+        }
+        let mut stats = Vec::with_capacity(masters);
+        for chunk in flat.chunks_exact(3) {
+            let read = |j: &Json| {
+                j.as_u64()
+                    .ok_or_else(|| SnapError::new("bus stats: expected integer"))
+            };
+            stats.push(BusMasterStats {
+                grants: read(&chunk[0])?,
+                wait_cycles: read(&chunk[1])?,
+                max_wait: read(&chunk[2])?,
+            });
+        }
+        Ok(BusArbiter {
+            free_at: snap::get_u64(value, "free_at")?,
+            owner,
+            stats,
+        })
     }
 }
 

@@ -7,6 +7,8 @@
 //! creates the residual context-switch jitter the paper observes on CVA6
 //! and NaxRiscv (§6.1).
 
+use rvsim_snapshot::{self as snap, Json, SnapError};
+
 /// Write policy of the cache.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum WritePolicy {
@@ -231,6 +233,81 @@ impl Cache {
         for line in &mut self.lines {
             *line = Line::default();
         }
+    }
+
+    /// Serializes geometry, tag/valid/dirty/LRU state and counters for a
+    /// machine-state snapshot.
+    pub fn to_snap(&self) -> Json {
+        let mut lines = Vec::with_capacity(self.lines.len() * 4);
+        for l in &self.lines {
+            lines.push(Json::UInt(u64::from(l.valid)));
+            lines.push(Json::UInt(u64::from(l.dirty)));
+            lines.push(Json::UInt(u64::from(l.tag)));
+            lines.push(Json::UInt(l.lru));
+        }
+        Json::object()
+            .with("sets", self.cfg.sets)
+            .with("ways", self.cfg.ways)
+            .with("line_words", self.cfg.line_words)
+            .with(
+                "policy",
+                match self.cfg.policy {
+                    WritePolicy::WriteThrough => "write_through",
+                    WritePolicy::WriteBack => "write_back",
+                },
+            )
+            .with("hit_latency", self.cfg.hit_latency)
+            .with("miss_penalty", self.cfg.miss_penalty)
+            .with("tick", self.tick)
+            .with("hits", self.hits)
+            .with("misses", self.misses)
+            .with("lines", Json::Array(lines))
+    }
+
+    /// Rebuilds a cache from [`to_snap`](Self::to_snap) output.
+    ///
+    /// # Errors
+    ///
+    /// Fails on missing fields, an unknown policy, or a line-array length
+    /// mismatch.
+    pub fn from_snap(value: &Json) -> Result<Cache, SnapError> {
+        let policy = match snap::get_str(value, "policy")? {
+            "write_through" => WritePolicy::WriteThrough,
+            "write_back" => WritePolicy::WriteBack,
+            other => return Err(SnapError::new(format!("cache: unknown policy `{other}`"))),
+        };
+        let cfg = CacheConfig {
+            sets: snap::get_u32(value, "sets")?,
+            ways: snap::get_u32(value, "ways")?,
+            line_words: snap::get_u32(value, "line_words")?,
+            policy,
+            hit_latency: snap::get_u32(value, "hit_latency")?,
+            miss_penalty: snap::get_u32(value, "miss_penalty")?,
+        };
+        let mut cache = Cache::new(cfg);
+        let flat = snap::get_array(value, "lines")?;
+        if flat.len() != cache.lines.len() * 4 {
+            return Err(SnapError::new(format!(
+                "cache: {} line fields, expected {}",
+                flat.len(),
+                cache.lines.len() * 4
+            )));
+        }
+        for (line, chunk) in cache.lines.iter_mut().zip(flat.chunks_exact(4)) {
+            let read = |j: &Json, what: &str| {
+                j.as_u64()
+                    .ok_or_else(|| SnapError::new(format!("cache line {what}: expected integer")))
+            };
+            line.valid = read(&chunk[0], "valid")? != 0;
+            line.dirty = read(&chunk[1], "dirty")? != 0;
+            line.tag = u32::try_from(read(&chunk[2], "tag")?)
+                .map_err(|_| SnapError::new("cache line tag: exceeds u32"))?;
+            line.lru = read(&chunk[3], "lru")?;
+        }
+        cache.tick = snap::get_u64(value, "tick")?;
+        cache.hits = snap::get_u64(value, "hits")?;
+        cache.misses = snap::get_u64(value, "misses")?;
+        Ok(cache)
     }
 
     /// Whether the line containing `addr` is currently resident.

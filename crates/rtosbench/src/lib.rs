@@ -17,7 +17,6 @@
 //! mean/min/max/jitter rows of Fig. 9.
 
 pub mod campaign;
-pub mod json;
 pub mod perfdiff;
 pub mod report;
 pub mod runner;
@@ -26,9 +25,10 @@ pub mod workloads;
 
 pub use campaign::{
     Campaign, CampaignSpec, ConfigOverride, FailureKind, FilterPolicy, RunFailure, RunOutcome,
-    RunSpec, SimOutcome, WorkloadSpec,
+    RunSpec, SimOutcome, WarmStart, WorkloadSpec,
 };
-pub use json::Json;
 pub use perfdiff::{compare, DiffOptions, DiffReport, MetricDelta};
 pub use runner::{run_suite, run_workload, run_workload_with, Fig9Row, RunResult};
+pub use rvsim_snapshot::json;
+pub use rvsim_snapshot::Json;
 pub use workloads::{Workload, ALL as WORKLOADS};

@@ -12,4 +12,5 @@ pub use rvsim_check as check;
 pub use rvsim_cores as cores;
 pub use rvsim_isa as isa;
 pub use rvsim_mem as mem;
+pub use rvsim_snapshot as snapshot;
 pub use rvsim_wcet as wcet;

@@ -190,3 +190,30 @@ fn block_cache_campaign_artifact_matches_the_pinned_baseline() {
         "block-cache artifact drifted from the pre-refactor baseline"
     );
 }
+
+#[test]
+fn warm_started_campaign_artifact_matches_the_pinned_baseline() {
+    // The same fixed matrix warm-started from per-cell boot snapshots:
+    // every run boots once to cycle 10 000, snapshots, and forks the
+    // measured run from the snapshot instead of re-simulating the boot
+    // prefix. The artifact must hash to the very same pre-refactor pin —
+    // warm start is an execution shortcut, not a measurement change, so
+    // every latency row, counter and byte stays identical.
+    let w = workloads::by_name("pingpong_semaphore").expect("suite workload exists");
+    let mut spec = CampaignSpec::new("smp_equiv");
+    for core in CoreKind::ALL {
+        for preset in [Preset::Vanilla, Preset::Slt] {
+            let run = RunSpec::new(core, preset, WorkloadSpec::Suite(w));
+            let boot = run.boot_snapshot(10_000).expect("boot prefix simulates");
+            spec.runs
+                .push(run.from_snapshot(&boot).expect("fork from boot snapshot"));
+        }
+    }
+    let rendered = spec.run(4).to_json().render();
+    assert_eq!(rendered.len(), 35753, "artifact length drifted");
+    assert_eq!(
+        fnv1a(rendered.as_bytes()),
+        0xa270_a007_f9dc_103d,
+        "warm-started artifact drifted from the cold-boot baseline"
+    );
+}
